@@ -1,0 +1,74 @@
+//! Baseline interconnects for the Fig 1 / Fig 2 comparison.
+//!
+//! The paper contrasts the layered NoC (Fig 1: sockets plug straight in
+//! through NIUs) with what classical interconnects force (Fig 2: the
+//! interconnect has a *reference socket standard* and every foreign
+//! socket goes through a bridge, paying area and latency and losing
+//! protocol features). This crate implements both competitors:
+//!
+//! - [`SharedBus`]: an AHB-style single-transaction pipelined bus —
+//!   global full ordering, one transfer at a time, native locking.
+//! - [`BridgedInterconnect`]: a central crossbar speaking a fully-ordered
+//!   reference socket (think BVCI), with per-master bridges that
+//!   *serialise* multi-threaded/ID traffic to one outstanding
+//!   transaction, *chop* long bursts to the reference maximum, add
+//!   request/response pipeline latency, and *emulate* exclusives by
+//!   locking the target — precisely the feature clamping the paper
+//!   blames on bridges.
+//!
+//! Both baselines host the same [`SocketInitiator`] front ends and run
+//! the same programs as the NoC, so latency/throughput/fingerprint
+//! comparisons are apples-to-apples.
+
+pub mod bridged;
+pub mod bus;
+
+pub use bridged::{BridgeConfig, BridgedInterconnect};
+pub use bus::{BusConfig, SharedBus};
+
+use noc_niu::SocketInitiator;
+use noc_protocols::CompletionLog;
+
+/// Common reporting surface of the baselines.
+pub trait Interconnect {
+    /// Advances one cycle.
+    fn step(&mut self);
+    /// Returns `true` when all masters drained.
+    fn is_done(&self) -> bool;
+    /// Completion logs per master, in attachment order.
+    fn logs(&self) -> Vec<&CompletionLog>;
+    /// Cycles simulated so far.
+    fn now(&self) -> u64;
+
+    /// Runs until done or `max_cycles`.
+    fn run(&mut self, max_cycles: u64) -> bool {
+        while self.now() < max_cycles && !self.is_done() {
+            self.step();
+        }
+        self.is_done()
+    }
+}
+
+/// A master attached to a baseline: its front end plus a name.
+pub struct AttachedMaster {
+    /// Display name.
+    pub name: String,
+    /// The socket front end (same type the NoC uses).
+    pub fe: Box<dyn SocketInitiator>,
+}
+
+impl AttachedMaster {
+    /// Creates an attachment.
+    pub fn new(name: &str, fe: Box<dyn SocketInitiator>) -> Self {
+        AttachedMaster {
+            name: name.to_owned(),
+            fe,
+        }
+    }
+}
+
+impl std::fmt::Debug for AttachedMaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AttachedMaster({})", self.name)
+    }
+}

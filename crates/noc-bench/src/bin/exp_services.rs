@@ -1,0 +1,42 @@
+//! Experiment `exp_services` — paper §2: adding a socket-specific feature
+//! costs NIU state and packet bits; switches are untouched.
+
+use noc_area::{niu_gates, switch_gates, NiuAreaConfig};
+use noc_protocols::ProtocolKind;
+use noc_stats::Table;
+use noc_transaction::{ServiceBits, ServiceConfig};
+use noc_transport::Header;
+
+fn main() {
+    println!("exp_services: cost of activating optional NoC services\n");
+    let mut t = Table::new(&["configuration", "header bits", "NIU gates (AXI,8)", "switch gates (5x5)"]);
+    t.numeric();
+    let switch = switch_gates(5, 5, 72, 8).total(); // constant on purpose
+    let steps: Vec<(&str, ServiceConfig)> = vec![
+        ("no services", ServiceConfig::new()),
+        ("+ exclusive", ServiceConfig::new().enable(ServiceBits::EXCLUSIVE)),
+        (
+            "+ exclusive + secure",
+            ServiceConfig::new().enable(ServiceBits::EXCLUSIVE).enable(ServiceBits::SECURE),
+        ),
+        (
+            "+ exclusive + secure + user0/1",
+            ServiceConfig::new()
+                .enable(ServiceBits::EXCLUSIVE)
+                .enable(ServiceBits::SECURE)
+                .enable(ServiceBits::USER0)
+                .enable(ServiceBits::USER1),
+        ),
+    ];
+    for (label, cfg) in steps {
+        let niu = niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, 8).with_service_bits(cfg.header_bits()));
+        t.row(&[
+            label.to_string(),
+            Header::wire_bits(cfg.header_bits()).to_string(),
+            niu.total().to_string(),
+            switch.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("switch area is constant: services never touch transport logic (paper §2)");
+}

@@ -1,0 +1,2 @@
+//! Host crate for the workspace examples located in the repository-level
+//! `examples/` directory.

@@ -1,0 +1,2 @@
+//! Host crate for the workspace integration tests located in the
+//! repository-level `tests/` directory.

@@ -1,0 +1,324 @@
+//! Divisor-based clock domains.
+//!
+//! A mixed-clock NoC (GALS-style, as the paper's physical layer allows) is
+//! modelled against a single *base clock*: the fastest clock in the system.
+//! Every other clock is an integer division of it. A component in domain `d`
+//! performs work only on base cycles where `d` is *active*; this keeps the
+//! whole simulation on one deterministic timeline.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A clock domain defined by an integer divisor of the base clock and a
+/// phase offset.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::ClockDomain;
+/// let half = ClockDomain::new(2);
+/// assert!(half.is_active(0));
+/// assert!(!half.is_active(1));
+/// assert!(half.is_active(2));
+/// assert_eq!(half.next_active(1), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    divisor: u64,
+    phase: u64,
+}
+
+impl ClockDomain {
+    /// The base clock itself (divisor 1).
+    pub const BASE: ClockDomain = ClockDomain {
+        divisor: 1,
+        phase: 0,
+    };
+
+    /// Creates a clock domain ticking once every `divisor` base cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor > 0, "clock divisor must be non-zero");
+        ClockDomain { divisor, phase: 0 }
+    }
+
+    /// Creates a clock domain with a phase offset (`phase < divisor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero or `phase >= divisor`.
+    pub fn with_phase(divisor: u64, phase: u64) -> Self {
+        assert!(divisor > 0, "clock divisor must be non-zero");
+        assert!(phase < divisor, "phase must be less than divisor");
+        ClockDomain { divisor, phase }
+    }
+
+    /// The divisor relative to the base clock.
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// The phase offset.
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Returns `true` if this domain ticks on base cycle `base_cycle`.
+    pub fn is_active(&self, base_cycle: u64) -> bool {
+        base_cycle % self.divisor == self.phase
+    }
+
+    /// The first active base cycle at or after `base_cycle`.
+    pub fn next_active(&self, base_cycle: u64) -> u64 {
+        let rem = base_cycle % self.divisor;
+        if rem == self.phase {
+            base_cycle
+        } else if rem < self.phase {
+            base_cycle + (self.phase - rem)
+        } else {
+            base_cycle + (self.divisor - rem + self.phase)
+        }
+    }
+
+    /// Number of ticks of this domain in `base_cycles` base cycles starting
+    /// from cycle 0.
+    pub fn ticks_in(&self, base_cycles: u64) -> u64 {
+        if base_cycles == 0 {
+            return 0;
+        }
+        // active cycles c in [0, base_cycles): c ≡ phase (mod divisor)
+        let last = base_cycles - 1;
+        if last < self.phase {
+            0
+        } else {
+            (last - self.phase) / self.divisor + 1
+        }
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::BASE
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.phase == 0 {
+            write!(f, "clk/{}", self.divisor)
+        } else {
+            write!(f, "clk/{}+{}", self.divisor, self.phase)
+        }
+    }
+}
+
+/// A registry of clock domains used by a system, able to answer which
+/// domains are active on a given base cycle.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::{ClockDomain, ClockSet};
+/// let mut set = ClockSet::new();
+/// let fast = set.register(ClockDomain::BASE);
+/// let slow = set.register(ClockDomain::new(3));
+/// assert!(set.is_active(fast, 1));
+/// assert!(!set.is_active(slow, 1));
+/// assert!(set.is_active(slow, 3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClockSet {
+    domains: Vec<ClockDomain>,
+}
+
+/// Index of a clock domain within a [`ClockSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(usize);
+
+impl ClockId {
+    /// Raw index value.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ClockSet {
+    /// Creates an empty clock set.
+    pub fn new() -> Self {
+        ClockSet::default()
+    }
+
+    /// Registers a domain, returning its id. Identical domains are shared.
+    pub fn register(&mut self, domain: ClockDomain) -> ClockId {
+        if let Some(pos) = self.domains.iter().position(|d| *d == domain) {
+            return ClockId(pos);
+        }
+        self.domains.push(domain);
+        ClockId(self.domains.len() - 1)
+    }
+
+    /// Looks up a domain by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this set.
+    pub fn domain(&self, id: ClockId) -> ClockDomain {
+        self.domains[id.0]
+    }
+
+    /// Returns `true` if domain `id` ticks on `base_cycle`.
+    pub fn is_active(&self, id: ClockId, base_cycle: u64) -> bool {
+        self.domains[id.0].is_active(base_cycle)
+    }
+
+    /// Number of registered (distinct) domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Returns `true` if no domains are registered.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// The least common multiple of all divisors — the hyperperiod after
+    /// which the activation pattern repeats.
+    pub fn hyperperiod(&self) -> u64 {
+        self.domains
+            .iter()
+            .map(|d| d.divisor)
+            .fold(1, lcm)
+            .max(1)
+    }
+
+    /// The next base cycle at or after `base_cycle` (inclusive) where time
+    /// `t` maps into domain `id`'s active grid.
+    pub fn next_active(&self, id: ClockId, base_cycle: u64) -> u64 {
+        self.domains[id.0].next_active(base_cycle)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// Helper converting a [`SimTime`] to the local tick count of a domain.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::{ClockDomain, SimTime};
+/// use noc_kernel::clock::local_ticks;
+/// let d = ClockDomain::new(4);
+/// assert_eq!(local_ticks(d, SimTime::from_cycles(9)), 3); // ticks at 0,4,8
+/// ```
+pub fn local_ticks(domain: ClockDomain, t: SimTime) -> u64 {
+    domain.ticks_in(t.cycles() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_clock_always_active() {
+        for c in 0..10 {
+            assert!(ClockDomain::BASE.is_active(c));
+        }
+    }
+
+    #[test]
+    fn divided_clock_activation_pattern() {
+        let d = ClockDomain::new(3);
+        let active: Vec<u64> = (0..10).filter(|&c| d.is_active(c)).collect();
+        assert_eq!(active, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn phase_shifts_activation() {
+        let d = ClockDomain::with_phase(4, 1);
+        let active: Vec<u64> = (0..10).filter(|&c| d.is_active(c)).collect();
+        assert_eq!(active, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn next_active_rounds_up() {
+        let d = ClockDomain::new(4);
+        assert_eq!(d.next_active(0), 0);
+        assert_eq!(d.next_active(1), 4);
+        assert_eq!(d.next_active(4), 4);
+        assert_eq!(d.next_active(5), 8);
+        let p = ClockDomain::with_phase(4, 2);
+        assert_eq!(p.next_active(0), 2);
+        assert_eq!(p.next_active(2), 2);
+        assert_eq!(p.next_active(3), 6);
+    }
+
+    #[test]
+    fn ticks_in_counts_activations() {
+        let d = ClockDomain::new(4);
+        assert_eq!(d.ticks_in(0), 0);
+        assert_eq!(d.ticks_in(1), 1); // cycle 0 active
+        assert_eq!(d.ticks_in(4), 1);
+        assert_eq!(d.ticks_in(5), 2);
+        assert_eq!(d.ticks_in(9), 3);
+        let p = ClockDomain::with_phase(3, 2);
+        assert_eq!(p.ticks_in(2), 0);
+        assert_eq!(p.ticks_in(3), 1); // cycle 2
+        assert_eq!(p.ticks_in(6), 2); // cycles 2, 5
+    }
+
+    #[test]
+    fn clock_set_shares_identical_domains() {
+        let mut set = ClockSet::new();
+        let a = set.register(ClockDomain::new(2));
+        let b = set.register(ClockDomain::new(2));
+        let c = set.register(ClockDomain::new(3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        let mut set = ClockSet::new();
+        set.register(ClockDomain::new(2));
+        set.register(ClockDomain::new(3));
+        set.register(ClockDomain::new(4));
+        assert_eq!(set.hyperperiod(), 12);
+    }
+
+    #[test]
+    fn empty_set_hyperperiod_is_one() {
+        assert_eq!(ClockSet::new().hyperperiod(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be non-zero")]
+    fn zero_divisor_panics() {
+        ClockDomain::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must be less than divisor")]
+    fn phase_out_of_range_panics() {
+        ClockDomain::with_phase(2, 2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ClockDomain::new(2).to_string(), "clk/2");
+        assert_eq!(ClockDomain::with_phase(4, 1).to_string(), "clk/4+1");
+    }
+}

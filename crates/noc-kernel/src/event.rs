@@ -1,0 +1,185 @@
+//! Events and the scheduling context handed to firing events.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifier assigned to every scheduled event, usable for tracing.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::{Kernel, SimTime};
+/// let mut k: Kernel<()> = Kernel::new(());
+/// let id = k.schedule_fn(SimTime::from_cycles(1), |_, _| {});
+/// assert_eq!(id.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    pub(crate) fn new(seq: u64) -> Self {
+        EventId(seq)
+    }
+
+    /// The kernel-global sequence number of this event.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event #{}", self.0)
+    }
+}
+
+/// A simulation event: fired once, with exclusive access to the world and a
+/// [`Scheduler`] for enqueueing follow-up events.
+///
+/// Most callers use closures via [`crate::Kernel::schedule_fn`]; implementing
+/// `Event` directly is useful when the event carries data or is re-used
+/// across crates.
+pub trait Event<W> {
+    /// Consumes the event, applying its effect to `world`.
+    fn fire(self: Box<Self>, world: &mut W, scheduler: &mut Scheduler<W>);
+}
+
+/// Adapter turning an `FnOnce` closure into an [`Event`].
+pub struct FnEvent<F> {
+    f: F,
+}
+
+impl<F> FnEvent<F> {
+    /// Wraps `f` as an event.
+    pub fn new(f: F) -> Self {
+        FnEvent { f }
+    }
+}
+
+impl<W, F> Event<W> for FnEvent<F>
+where
+    F: FnOnce(&mut W, &mut Scheduler<W>),
+{
+    fn fire(self: Box<Self>, world: &mut W, scheduler: &mut Scheduler<W>) {
+        (self.f)(world, scheduler)
+    }
+}
+
+/// Scheduling context available while an event fires.
+///
+/// Events cannot touch the kernel's queue directly (it is mid-iteration);
+/// instead they deposit follow-up events here and the kernel merges them
+/// after the event returns.
+pub struct Scheduler<W> {
+    now: SimTime,
+    pending: Vec<(SimTime, Box<dyn Event<W>>)>,
+    stop: bool,
+}
+
+impl<W> fmt::Debug for Scheduler<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .field("stop", &self.stop)
+            .finish()
+    }
+}
+
+impl<W> Scheduler<W> {
+    pub(crate) fn new(now: SimTime) -> Self {
+        Scheduler {
+            now,
+            pending: Vec::new(),
+            stop: false,
+        }
+    }
+
+    /// The time of the currently firing event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a boxed event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current event's time.
+    pub fn schedule(&mut self, at: SimTime, event: Box<dyn Event<W>>) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {}",
+            self.now
+        );
+        self.pending.push((at, event));
+    }
+
+    /// Schedules a closure at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current event's time.
+    pub fn schedule_fn<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule(at, Box::new(FnEvent::new(f)));
+    }
+
+    /// Schedules a closure `delta` cycles after the current event.
+    pub fn schedule_in<F>(&mut self, delta: u64, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        let at = self.now + delta;
+        self.schedule_fn(at, f);
+    }
+
+    /// Requests that the kernel stop after this event completes.
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<(SimTime, Box<dyn Event<W>>)>, bool) {
+        (self.pending, self.stop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+
+    struct AddEvent(u64);
+    impl Event<u64> for AddEvent {
+        fn fire(self: Box<Self>, world: &mut u64, _s: &mut Scheduler<u64>) {
+            *world += self.0;
+        }
+    }
+
+    #[test]
+    fn custom_event_struct_fires() {
+        let mut k: Kernel<u64> = Kernel::new(0);
+        k.schedule(SimTime::from_cycles(1), Box::new(AddEvent(41)));
+        k.schedule(SimTime::from_cycles(2), Box::new(AddEvent(1)));
+        k.run_to_completion();
+        assert_eq!(*k.world(), 42);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new(Vec::new());
+        k.schedule_fn(SimTime::from_cycles(10), |_, s| {
+            s.schedule_in(5, |w: &mut Vec<u64>, s| {
+                w.push(s.now().cycles());
+            });
+        });
+        k.run_to_completion();
+        assert_eq!(k.world(), &[15]);
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId::new(3).to_string(), "event #3");
+    }
+}

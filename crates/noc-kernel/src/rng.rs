@@ -1,0 +1,187 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The whole workspace derives its stochastic behaviour from seeded
+//! [`SplitMix64`] generators, so a simulation is fully described by one
+//! `u64` seed. SplitMix64 is tiny, fast, passes BigCrush, and — critically —
+//! supports cheap *forking* into independent streams so every component can
+//! carry its own generator without correlation.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// let mut fork = a.fork(7);
+/// assert_ne!(a.next_u64(), fork.next_u64()); // independent streams
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Produces the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Produces a value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection-free reduction (slight modulo
+    /// bias below 2^-32 for the bounds used here, irrelevant for workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Produces a value in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Produces a uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Creates an independent generator derived from this one and a stream
+    /// id. Forking does not advance this generator, so component creation
+    /// order does not perturb sibling streams.
+    pub fn fork(&self, stream: u64) -> SplitMix64 {
+        // Mix the current state with the stream id through one SplitMix
+        // round so distinct streams decorrelate.
+        let mut child = SplitMix64 {
+            state: self
+                .state
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                ^ stream.wrapping_mul(0xD2B7_4407_B1CE_6E93),
+        };
+        child.next_u64();
+        child
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn next_range_inclusive() {
+        let mut r = SplitMix64::new(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = r.next_range(2, 5);
+            assert!((2..=5).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should occur");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(77);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SplitMix64::new(42);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn forks_are_independent_and_stable() {
+        let root = SplitMix64::new(42);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let mut f1_again = root.fork(1);
+        assert_eq!(f1.next_u64(), f1_again.next_u64());
+        let a = f1.next_u64();
+        let b = f2.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fork_does_not_advance_parent() {
+        let mut a = SplitMix64::new(11);
+        let mut b = SplitMix64::new(11);
+        let _ = b.fork(99);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation timestamp, measured in cycles of the fastest ("base") clock.
+///
+/// All components in a mixed-clock system express time in base cycles; a
+/// component on a divided clock is only active on base cycles that are
+/// multiples of its divisor (see [`crate::ClockDomain`]).
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::SimTime;
+/// let t = SimTime::from_cycles(10) + SimTime::from_cycles(5);
+/// assert_eq!(t.cycles(), 15);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a timestamp from a base-clock cycle count.
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimTime(cycles)
+    }
+
+    /// The cycle count of this timestamp.
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a cycle delta.
+    #[must_use]
+    pub const fn saturating_add_cycles(self, delta: u64) -> Self {
+        SimTime(self.0.saturating_add(delta))
+    }
+
+    /// The absolute difference in cycles between two timestamps.
+    pub const fn abs_diff(self, other: SimTime) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(cycles: u64) -> Self {
+        SimTime(cycles)
+    }
+}
+
+impl From<SimTime> for u64 {
+    fn from(t: SimTime) -> Self {
+        t.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_cycles(3);
+        let b = SimTime::from_cycles(7);
+        assert_eq!((a + b).cycles(), 10);
+        assert_eq!((b - a).cycles(), 4);
+        assert_eq!(a + 4u64, b);
+        assert!(a < b);
+        assert_eq!(a.abs_diff(b), 4);
+        assert_eq!(b.abs_diff(a), 4);
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        assert_eq!(SimTime::MAX.saturating_add_cycles(10), SimTime::MAX);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let t: SimTime = 42u64.into();
+        let c: u64 = t.into();
+        assert_eq!(c, 42);
+    }
+
+    #[test]
+    fn display_contains_cycle_number() {
+        assert_eq!(SimTime::from_cycles(5).to_string(), "cycle 5");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

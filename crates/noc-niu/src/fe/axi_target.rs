@@ -1,0 +1,117 @@
+//! AXI target front end: a target NIU driving an AXI slave IP (the
+//! typical DRAM-controller attachment).
+
+use crate::target::SocketTarget;
+use noc_protocols::axi::{AxiAr, AxiAw, AxiPort, AxiSlave};
+use noc_transaction::{MstAddr, SlvAddr, Tag, TransactionRequest, TransactionResponse};
+use std::collections::{HashMap, VecDeque};
+
+/// Drives an [`AxiSlave`] from neutral transactions.
+///
+/// Each NoC request is mapped to a local AXI ID derived from its
+/// `(MstAddr, Tag)` pair, so same-tag NoC order becomes same-ID AXI
+/// order — preserving the transaction layer's ordering contract through
+/// the socket.
+#[derive(Debug)]
+pub struct AxiTargetFe {
+    slave: AxiSlave,
+    port: AxiPort,
+    /// (Local AXI ID, is-read) → pending (src, origin, tag) FIFOs.
+    pending: HashMap<(u16, bool), VecDeque<(MstAddr, SlvAddr, Tag)>>,
+    out: VecDeque<TransactionResponse>,
+    retry: Option<TransactionRequest>,
+}
+
+impl AxiTargetFe {
+    /// Creates the front end around an AXI slave agent.
+    pub fn new(slave: AxiSlave) -> Self {
+        AxiTargetFe {
+            slave,
+            port: AxiPort::new(),
+            pending: HashMap::new(),
+            out: VecDeque::new(),
+            retry: None,
+        }
+    }
+
+    /// The wrapped slave (test inspection).
+    pub fn slave(&self) -> &AxiSlave {
+        &self.slave
+    }
+
+    /// Stable local-ID mapping: same (src, tag) → same AXI ID, so
+    /// same-tag transactions stay ordered at the slave.
+    fn local_id(src: MstAddr, tag: Tag) -> u16 {
+        ((src.raw() & 0xFF) << 8) | tag.raw() as u16
+    }
+
+    fn try_issue(&mut self, req: TransactionRequest) -> Option<TransactionRequest> {
+        let id = Self::local_id(req.src(), req.tag());
+        let ok = if req.opcode().is_read() {
+            self.port.ar.offer(AxiAr {
+                id,
+                addr: req.address(),
+                burst: req.burst(),
+                exclusive: false,
+            })
+        } else {
+            self.port.aw.offer(AxiAw {
+                id,
+                addr: req.address(),
+                burst: req.burst(),
+                data: req.data().to_vec(),
+                exclusive: false,
+            })
+        };
+        if ok {
+            if req.opcode().expects_response() {
+                self.pending
+                    .entry((id, req.opcode().is_read()))
+                    .or_default()
+                    .push_back((req.src(), req.dst(), req.tag()));
+            }
+            None
+        } else {
+            Some(req)
+        }
+    }
+}
+
+impl SocketTarget for AxiTargetFe {
+    fn tick(&mut self, cycle: u64) {
+        if let Some(req) = self.retry.take() {
+            self.retry = self.try_issue(req);
+        }
+        self.slave.tick(cycle, &mut self.port);
+        if let Some(r) = self.port.r.take() {
+            let (src, origin, tag) = self
+                .pending
+                .get_mut(&(r.id, true))
+                .and_then(|q| q.pop_front())
+                .expect("R beat for an issued request");
+            self.out
+                .push_back(TransactionResponse::new(r.status, src, origin, tag, r.data));
+        }
+        if let Some(b) = self.port.b.take() {
+            let (src, origin, tag) = self
+                .pending
+                .get_mut(&(b.id, false))
+                .and_then(|q| q.pop_front())
+                .expect("B beat for an issued request");
+            self.out
+                .push_back(TransactionResponse::new(b.status, src, origin, tag, Vec::new()));
+        }
+    }
+
+    fn push_request(&mut self, req: TransactionRequest) -> bool {
+        if self.retry.is_some() {
+            return false;
+        }
+        self.retry = self.try_issue(req);
+        self.retry.is_none()
+    }
+
+    fn pull_response(&mut self) -> Option<TransactionResponse> {
+        self.out.pop_front()
+    }
+}

@@ -1,0 +1,25 @@
+//! Protocol-specific NIU front ends.
+//!
+//! Each submodule adapts one socket protocol to the neutral transaction
+//! layer. An initiator front end owns the socket *master agent* and acts
+//! as the socket's slave side; a target front end drives a socket *slave
+//! agent* acting as the socket's master side.
+//!
+//! These are deliberately thin: all ordering, tagging, packetisation and
+//! synchronisation machinery lives in the protocol-neutral back ends —
+//! the paper's argument that socket support costs "the corresponding NIU"
+//! and nothing else.
+
+pub mod ahb;
+pub mod axi;
+pub mod axi_target;
+pub mod ocp;
+pub mod strm;
+pub mod vci;
+
+pub use ahb::AhbInitiator;
+pub use axi::AxiInitiator;
+pub use axi_target::AxiTargetFe;
+pub use ocp::OcpInitiator;
+pub use strm::StrmInitiator;
+pub use vci::VciInitiator;

@@ -1,0 +1,76 @@
+//! VCI initiator front end (all three flavours).
+
+use crate::initiator::SocketInitiator;
+use noc_protocols::vci::{VciMaster, VciPort, VciResp};
+use noc_protocols::CompletionLog;
+use noc_transaction::{Opcode, StreamId, TransactionRequest, TransactionResponse};
+use std::collections::VecDeque;
+
+/// Hosts a [`VciMaster`]. Pair PVCI/BVCI with
+/// [`noc_transaction::OrderingModel::FullyOrdered`] and AVCI with
+/// [`noc_transaction::OrderingModel::Threaded`].
+#[derive(Debug)]
+pub struct VciInitiator {
+    master: VciMaster,
+    port: VciPort,
+    resp_queue: VecDeque<VciResp>,
+}
+
+impl VciInitiator {
+    /// Creates the front end around a program-driven VCI master.
+    pub fn new(master: VciMaster) -> Self {
+        VciInitiator {
+            master,
+            port: VciPort::new(),
+            resp_queue: VecDeque::new(),
+        }
+    }
+
+    /// The wrapped master's flavour.
+    pub fn flavor(&self) -> noc_protocols::vci::VciFlavor {
+        self.master.flavor()
+    }
+}
+
+impl SocketInitiator for VciInitiator {
+    fn tick(&mut self, cycle: u64) {
+        if !self.resp_queue.is_empty() && self.port.resp.ready() {
+            let resp = self.resp_queue.pop_front().expect("checked non-empty");
+            self.port.resp.offer(resp);
+        }
+        self.master.tick(cycle, &mut self.port);
+    }
+
+    fn pull_request(&mut self) -> Option<TransactionRequest> {
+        let req = self.port.req.take()?;
+        let mut builder = TransactionRequest::builder(req.opcode)
+            .address(req.addr)
+            .burst(req.burst)
+            .stream(StreamId::new(req.thread as u16));
+        if req.opcode.is_write() {
+            builder = builder.data(req.data);
+        }
+        Some(builder.build().expect("agent produces valid requests"))
+    }
+
+    fn push_response(&mut self, stream: StreamId, opcode: Opcode, resp: TransactionResponse) {
+        let data = if opcode.is_read() {
+            resp.data().to_vec()
+        } else {
+            Vec::new()
+        };
+        self.resp_queue.push_back(VciResp {
+            thread: stream.raw() as u8,
+            status: resp.status(),
+            data,
+        });
+    }
+
+    fn done(&self) -> bool {
+        self.master.done() && self.resp_queue.is_empty() && self.port.req.is_empty()
+    }
+
+    fn log(&self) -> &CompletionLog {
+        self.master.log()
+    }
+}

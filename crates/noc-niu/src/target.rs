@@ -1,0 +1,392 @@
+//! The protocol-neutral target NIU back end, including the exclusive
+//! monitor and legacy lock state — the "state information in the NIU"
+//! of paper §3.
+
+use crate::codec::{decode_request, encode_response};
+use noc_transaction::{
+    ExclusiveMonitor, LockArbiter, Opcode, RespStatus, SlvAddr, TransactionRequest,
+    TransactionResponse,
+};
+use noc_transport::{Flit, PacketAssembler};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The protocol-specific front half of a target NIU: drives an IP slave
+/// through its socket, consuming neutral requests and producing neutral
+/// responses.
+///
+/// The built-in [`MemoryTarget`] is the "native" NoC target; protocol
+/// front ends (e.g. an AXI DRAM controller) live in [`crate::fe`].
+pub trait SocketTarget {
+    /// Advances the IP/slave model one cycle.
+    fn tick(&mut self, cycle: u64);
+    /// Offers a request; returns `false` when the target cannot accept
+    /// this cycle (back-pressure).
+    fn push_request(&mut self, req: TransactionRequest) -> bool;
+    /// Takes the next completed response (with `dst`, `origin`, `tag`
+    /// echoed from the request).
+    fn pull_response(&mut self) -> Option<TransactionResponse>;
+}
+
+/// Configuration of a target NIU back end.
+#[derive(Debug, Clone)]
+pub struct TargetNiuConfig {
+    /// This NIU's node number (the packet `SlvAddr`).
+    pub node: SlvAddr,
+    /// Flit payload width in bytes.
+    pub flit_bytes: usize,
+    /// Exclusive monitor reservation granule (bytes, power of two).
+    pub monitor_granule: u64,
+    /// Exclusive monitor capacity (reservations).
+    pub monitor_slots: usize,
+    /// Pressure stamped on response packets (responses inherit request
+    /// priority in real systems; a fixed value keeps the model simple and
+    /// conservative).
+    pub response_pressure: u8,
+}
+
+impl TargetNiuConfig {
+    /// Default configuration for `node`: 8-byte flits, 64-byte granule,
+    /// 8 reservations.
+    pub fn new(node: SlvAddr) -> Self {
+        TargetNiuConfig {
+            node,
+            flit_bytes: 8,
+            monitor_granule: 64,
+            monitor_slots: 8,
+            response_pressure: 1,
+        }
+    }
+
+    /// Sets the flit payload width.
+    #[must_use]
+    pub fn with_flit_bytes(mut self, bytes: usize) -> Self {
+        self.flit_bytes = bytes;
+        self
+    }
+}
+
+/// The target NIU: neutral back end + IP-facing front end.
+///
+/// Responsibilities (paper §3):
+///
+/// - **exclusive service**: `ReadExclusive`/`ReadLinked` arm the NIU's
+///   [`ExclusiveMonitor`]; `WriteExclusive`/`WriteConditional` are
+///   answered `EXFAIL` *locally, without touching the IP* when the
+///   reservation is gone, and upgraded to `EXOKAY` when it holds.
+///   Ordinary writes break covering reservations. One packet bit, NIU
+///   state only.
+/// - **legacy locks**: `ReadLocked` acquires the [`LockArbiter`];
+///   requests from other masters stall while held (in addition to the
+///   transport-level path pinning the LOCKED service bit causes).
+pub struct TargetNiu<T: SocketTarget> {
+    target: T,
+    config: TargetNiuConfig,
+    monitor: ExclusiveMonitor,
+    lock: LockArbiter,
+    ingress: VecDeque<TransactionRequest>,
+    /// Outstanding toward the IP: (opcode, exclusive upgrade pending).
+    inflight: VecDeque<Opcode>,
+    egress: VecDeque<Flit>,
+    assembler: PacketAssembler,
+    pkt_seq: u64,
+    requests_served: u64,
+    exclusive_fails: u64,
+    lock_stall_cycles: u64,
+}
+
+impl<T: SocketTarget> TargetNiu<T> {
+    /// Creates a target NIU around IP front end `target`.
+    pub fn new(target: T, config: TargetNiuConfig) -> Self {
+        TargetNiu {
+            target,
+            monitor: ExclusiveMonitor::new(config.monitor_granule, config.monitor_slots),
+            lock: LockArbiter::new(),
+            ingress: VecDeque::new(),
+            inflight: VecDeque::new(),
+            egress: VecDeque::new(),
+            assembler: PacketAssembler::new(),
+            pkt_seq: 0,
+            requests_served: 0,
+            exclusive_fails: 0,
+            lock_stall_cycles: 0,
+            config,
+        }
+    }
+
+    /// The IP front end.
+    pub fn target(&self) -> &T {
+        &self.target
+    }
+
+    /// The exclusive monitor (test inspection).
+    pub fn monitor(&self) -> &ExclusiveMonitor {
+        &self.monitor
+    }
+
+    /// Requests served (accepted towards the IP or answered locally).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Locally failed exclusive writes.
+    pub fn exclusive_fails(&self) -> u64 {
+        self.exclusive_fails
+    }
+
+    /// Cycles the head request stalled on the legacy lock.
+    pub fn lock_stall_cycles(&self) -> u64 {
+        self.lock_stall_cycles
+    }
+
+    /// Advances IP and back end one cycle.
+    pub fn tick(&mut self, cycle: u64) {
+        self.target.tick(cycle);
+        // Process the head ingress request.
+        if let Some(req) = self.ingress.front() {
+            let master = req.src();
+            let opcode = req.opcode();
+            // Legacy lock gate.
+            if opcode == Opcode::ReadLocked {
+                if !self.lock.try_lock(master) {
+                    self.lock_stall_cycles += 1;
+                    return;
+                }
+            } else if self.lock.is_locked() && self.lock.owner() != Some(master) {
+                self.lock_stall_cycles += 1;
+                return;
+            }
+            // Exclusive service, entirely in NIU state.
+            match opcode {
+                Opcode::ReadExclusive | Opcode::ReadLinked => {
+                    self.monitor.arm(master, req.address());
+                }
+                Opcode::WriteExclusive | Opcode::WriteConditional => {
+                    if !self
+                        .monitor
+                        .try_exclusive_write(master, req.address())
+                        .is_success()
+                    {
+                        // Fail locally: no IP interaction, no side effect.
+                        let req = self.ingress.pop_front().expect("head exists");
+                        self.exclusive_fails += 1;
+                        self.requests_served += 1;
+                        self.respond(TransactionResponse::new(
+                            RespStatus::ExFail,
+                            req.src(),
+                            self.config.node,
+                            req.tag(),
+                            Vec::new(),
+                        ));
+                        return;
+                    }
+                }
+                Opcode::Write | Opcode::WritePosted | Opcode::Broadcast | Opcode::WriteUnlock => {
+                    for a in req.burst().beat_addresses(req.address()) {
+                        self.monitor.observe_write(a);
+                    }
+                }
+                _ => {}
+            }
+            // Hand to the IP (as a plain opcode: the IP never sees NoC
+            // service semantics).
+            let mut plain = self.ingress.front().cloned().expect("head exists");
+            let downgraded = match opcode {
+                Opcode::ReadExclusive | Opcode::ReadLinked | Opcode::ReadLocked => Opcode::Read,
+                Opcode::WriteExclusive | Opcode::WriteConditional | Opcode::WriteUnlock => {
+                    Opcode::Write
+                }
+                other => other,
+            };
+            if downgraded != opcode {
+                plain = TransactionRequest::builder(downgraded)
+                    .address(plain.address())
+                    .burst(plain.burst())
+                    .source(plain.src())
+                    .destination(plain.dst())
+                    .tag(plain.tag())
+                    .stream(plain.stream())
+                    .pressure(plain.pressure())
+                    .data(if downgraded.is_write() {
+                        plain.data().to_vec()
+                    } else {
+                        Vec::new()
+                    })
+                    .build()
+                    .expect("rebuilding valid request");
+            }
+            let expects_response = opcode.expects_response();
+            if self.target.push_request(plain) {
+                self.ingress.pop_front();
+                self.requests_served += 1;
+                if expects_response {
+                    self.inflight.push_back(opcode);
+                }
+                if opcode == Opcode::WriteUnlock {
+                    self.lock
+                        .unlock(master)
+                        .expect("unlock from the lock owner");
+                }
+            }
+        }
+        // Collect IP responses, restore exclusive/lock status semantics.
+        while let Some(resp) = self.target.pull_response() {
+            let opcode = self
+                .inflight
+                .pop_front()
+                .expect("response with nothing in flight");
+            let status = match (opcode, resp.status()) {
+                (Opcode::ReadExclusive | Opcode::ReadLinked, RespStatus::Okay) => {
+                    RespStatus::ExOkay
+                }
+                (Opcode::WriteExclusive | Opcode::WriteConditional, RespStatus::Okay) => {
+                    RespStatus::ExOkay
+                }
+                (_, s) => s,
+            };
+            let resp = TransactionResponse::new(
+                status,
+                resp.dst(),
+                self.config.node,
+                resp.tag(),
+                resp.data().to_vec(),
+            );
+            self.respond(resp);
+        }
+    }
+
+    fn respond(&mut self, resp: TransactionResponse) {
+        let packet = encode_response(&resp, self.config.response_pressure);
+        let id = (self.config.node.raw() as u64) << 48 | 0x8000_0000_0000 | self.pkt_seq;
+        self.pkt_seq += 1;
+        for flit in packet.to_flits_with_id(self.config.flit_bytes, id) {
+            self.egress.push_back(flit);
+        }
+    }
+
+    /// Takes the next flit bound for the response network.
+    pub fn pull_flit(&mut self) -> Option<Flit> {
+        self.egress.pop_front()
+    }
+
+    /// Returns a refused flit to the head of the egress queue.
+    pub fn unpull_flit(&mut self, flit: Flit) {
+        self.egress.push_front(flit);
+    }
+
+    /// Delivers a request-network flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed packets (fabric corruption).
+    pub fn push_flit(&mut self, flit: Flit) {
+        let Some(packet) = self
+            .assembler
+            .push(flit)
+            .expect("well-formed flit stream from fabric")
+        else {
+            return;
+        };
+        let req = decode_request(&packet).expect("well-formed request packet");
+        self.ingress.push_back(req);
+    }
+
+    /// Returns `true` when nothing is queued or in flight.
+    pub fn is_done(&self) -> bool {
+        self.ingress.is_empty() && self.inflight.is_empty() && self.egress.is_empty()
+    }
+}
+
+impl<T: SocketTarget> crate::NocEndpoint for TargetNiu<T> {
+    fn tick(&mut self, cycle: u64) {
+        TargetNiu::tick(self, cycle);
+    }
+    fn pull_flit(&mut self) -> Option<Flit> {
+        TargetNiu::pull_flit(self)
+    }
+    fn unpull_flit(&mut self, flit: Flit) {
+        TargetNiu::unpull_flit(self, flit);
+    }
+    fn push_flit(&mut self, flit: Flit) {
+        TargetNiu::push_flit(self, flit);
+    }
+    fn is_done(&self) -> bool {
+        TargetNiu::is_done(self)
+    }
+}
+
+impl<T: SocketTarget> fmt::Debug for TargetNiu<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TargetNiu")
+            .field("node", &self.config.node)
+            .field("ingress", &self.ingress.len())
+            .field("inflight", &self.inflight.len())
+            .field("egress", &self.egress.len())
+            .finish()
+    }
+}
+
+/// The native NoC memory target: a [`noc_protocols::MemoryModel`] served
+/// in order with its configured latency plus burst occupancy.
+#[derive(Debug, Clone)]
+pub struct MemoryTarget {
+    mem: noc_protocols::MemoryModel,
+    pending: VecDeque<(u64, TransactionResponse)>,
+    now: u64,
+    capacity: usize,
+}
+
+impl MemoryTarget {
+    /// Creates a memory target; `capacity` bounds requests in service.
+    pub fn new(mem: noc_protocols::MemoryModel, capacity: usize) -> Self {
+        MemoryTarget {
+            mem,
+            pending: VecDeque::new(),
+            now: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The backing memory.
+    pub fn memory(&self) -> &noc_protocols::MemoryModel {
+        &self.mem
+    }
+}
+
+impl SocketTarget for MemoryTarget {
+    fn tick(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    fn push_request(&mut self, req: TransactionRequest) -> bool {
+        if self.pending.len() >= self.capacity {
+            return false;
+        }
+        let (status, data) = noc_protocols::memory::access(
+            &mut self.mem,
+            req.opcode(),
+            req.address(),
+            req.burst(),
+            req.data(),
+            None,
+            req.src(),
+        );
+        let ready = self.now + self.mem.latency() as u64 + req.burst().beats() as u64;
+        if req.opcode().expects_response() {
+            self.pending.push_back((
+                ready,
+                TransactionResponse::new(status, req.src(), req.dst(), req.tag(), data),
+            ));
+        }
+        true
+    }
+
+    fn pull_response(&mut self) -> Option<TransactionResponse> {
+        match self.pending.front() {
+            Some(&(ready, _)) if ready <= self.now => {
+                self.pending.pop_front().map(|(_, r)| r)
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A fixed-latency delay line, used for credit-return wires and other
+//! sideband signals that need physical delay without occupancy modelling.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An unbounded FIFO where every item emerges exactly `latency` base
+/// cycles after insertion.
+///
+/// # Examples
+///
+/// ```
+/// use noc_physical::DelayLine;
+/// let mut d: DelayLine<&str> = DelayLine::new(2);
+/// d.push("credit", 10);
+/// assert_eq!(d.pop(11), None);
+/// assert_eq!(d.pop(12), Some("credit"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: u64,
+    items: VecDeque<(u64, T)>,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay line with the given latency in base cycles.
+    pub fn new(latency: u64) -> Self {
+        DelayLine {
+            latency,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Inserts an item at base cycle `now`.
+    pub fn push(&mut self, item: T, now: u64) {
+        self.items.push_back((now + self.latency, item));
+    }
+
+    /// Removes the next item if it has matured by `now`. Call repeatedly
+    /// to drain everything due this cycle.
+    pub fn pop(&mut self, now: u64) -> Option<T> {
+        match self.items.front() {
+            Some(&(at, _)) if at <= now => self.items.pop_front().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Items still in flight.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T> fmt::Display for DelayLine<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delay({}) [{} in flight]", self.latency, self.items.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_by_exactly_latency() {
+        let mut d = DelayLine::new(3);
+        d.push(1u8, 5);
+        assert_eq!(d.pop(7), None);
+        assert_eq!(d.pop(8), Some(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn zero_latency_same_cycle() {
+        let mut d = DelayLine::new(0);
+        d.push(9u8, 4);
+        assert_eq!(d.pop(4), Some(9));
+    }
+
+    #[test]
+    fn multiple_items_drain_in_order() {
+        let mut d = DelayLine::new(1);
+        d.push('a', 0);
+        d.push('b', 0);
+        d.push('c', 1);
+        assert_eq!(d.pop(1), Some('a'));
+        assert_eq!(d.pop(1), Some('b'));
+        assert_eq!(d.pop(1), None);
+        assert_eq!(d.pop(2), Some('c'));
+    }
+
+    #[test]
+    fn len_tracks_in_flight() {
+        let mut d = DelayLine::new(5);
+        assert!(d.is_empty());
+        d.push(1u32, 0);
+        d.push(2, 0);
+        assert_eq!(d.len(), 2);
+        let _ = d.pop(5);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let d: DelayLine<u8> = DelayLine::new(2);
+        assert!(d.to_string().contains("delay(2)"));
+        assert_eq!(d.latency(), 2);
+    }
+}

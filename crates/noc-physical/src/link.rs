@@ -1,0 +1,428 @@
+//! The configurable physical link.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Physical parameters of a link.
+///
+/// Divisors follow the base-clock convention of `noc_kernel::ClockDomain`:
+/// the source endpoint ticks on base cycles divisible by `src_divisor`,
+/// the destination on those divisible by `dst_divisor`. Equal divisors
+/// mean a synchronous link (no CDC penalty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkConfig {
+    /// Phits (physical transfer units) per flit: 1 = full-width link,
+    /// 2 = half-width (two cycles of occupancy per flit), etc.
+    pub phits_per_flit: u32,
+    /// Pipeline register stages along the wire (source-clock cycles of
+    /// extra latency, zero occupancy cost).
+    pub pipeline: u32,
+    /// Source clock divisor (≥ 1).
+    pub src_divisor: u64,
+    /// Destination clock divisor (≥ 1).
+    pub dst_divisor: u64,
+    /// Synchroniser depth for asynchronous crossings, in destination
+    /// cycles. Ignored when the divisors are equal.
+    pub cdc_latency: u32,
+    /// Maximum flits in flight (wire + synchroniser capacity).
+    pub capacity: usize,
+}
+
+impl LinkConfig {
+    /// A full-width, unpipelined, synchronous base-clock link.
+    pub fn new() -> Self {
+        LinkConfig {
+            phits_per_flit: 1,
+            pipeline: 0,
+            src_divisor: 1,
+            dst_divisor: 1,
+            cdc_latency: 2,
+            capacity: 16,
+        }
+    }
+
+    /// Sets the serialisation ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phits` is zero.
+    #[must_use]
+    pub fn with_phits_per_flit(mut self, phits: u32) -> Self {
+        assert!(phits > 0, "phits per flit must be non-zero");
+        self.phits_per_flit = phits;
+        self
+    }
+
+    /// Sets the pipeline depth.
+    #[must_use]
+    pub fn with_pipeline(mut self, stages: u32) -> Self {
+        self.pipeline = stages;
+        self
+    }
+
+    /// Sets the clock divisors of the two endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either divisor is zero.
+    #[must_use]
+    pub fn with_clocks(mut self, src_divisor: u64, dst_divisor: u64) -> Self {
+        assert!(src_divisor > 0 && dst_divisor > 0, "divisors must be non-zero");
+        self.src_divisor = src_divisor;
+        self.dst_divisor = dst_divisor;
+        self
+    }
+
+    /// Sets the synchroniser depth.
+    #[must_use]
+    pub fn with_cdc_latency(mut self, stages: u32) -> Self {
+        self.cdc_latency = stages;
+        self
+    }
+
+    /// Sets the in-flight capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Returns `true` when the endpoints run on different clocks.
+    pub fn is_asynchronous(&self) -> bool {
+        self.src_divisor != self.dst_divisor
+    }
+
+    /// Zero-load latency in base cycles for a flit sent at a source edge:
+    /// serialisation + pipeline (+ CDC alignment, computed per-send since
+    /// it depends on phase).
+    pub fn min_latency(&self) -> u64 {
+        self.phits_per_flit as u64 * self.src_divisor + self.pipeline as u64 * self.src_divisor
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::new()
+    }
+}
+
+impl fmt::Display for LinkConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link 1/{} width, {} stages, clk/{}→clk/{}",
+            self.phits_per_flit, self.pipeline, self.src_divisor, self.dst_divisor
+        )
+    }
+}
+
+/// Error: the link cannot accept a flit right now (serialiser busy or
+/// capacity reached). Back-pressure, not failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFull {
+    /// Base cycle at which the serialiser frees up.
+    pub retry_at: u64,
+}
+
+impl fmt::Display for LinkFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link busy, retry at base cycle {}", self.retry_at)
+    }
+}
+
+impl std::error::Error for LinkFull {}
+
+/// A unidirectional physical link carrying items of type `T` (flits — the
+/// link is payload-agnostic, underscoring layer independence).
+///
+/// Items are delivered in FIFO order; [`Link::deliver`] returns at most one
+/// item per destination-clock edge.
+#[derive(Debug, Clone)]
+pub struct Link<T> {
+    config: LinkConfig,
+    busy_until: u64,
+    in_flight: VecDeque<(u64, T)>,
+    last_delivery: Option<u64>,
+    delivered: u64,
+    total_latency: u64,
+}
+
+impl<T> Link<T> {
+    /// Creates an idle link.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            busy_until: 0,
+            in_flight: VecDeque::new(),
+            last_delivery: None,
+            delivered: 0,
+            total_latency: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Returns `true` if a flit can be accepted at base cycle `now`
+    /// (which must be a source-clock edge for the send itself).
+    pub fn can_send(&self, now: u64) -> bool {
+        now >= self.busy_until && self.in_flight.len() < self.config.capacity
+    }
+
+    /// Number of flits currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Flits delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Mean delivery latency in base cycles (0 when nothing delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Sends a flit at base cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkFull`] when the serialiser is occupied or the wire is
+    /// at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is not a source-clock edge — the caller drives the
+    /// link from its clock domain, so this is a wiring bug.
+    pub fn send(&mut self, item: T, now: u64) -> Result<(), LinkFull> {
+        assert_eq!(
+            now % self.config.src_divisor,
+            0,
+            "send must occur on a source clock edge"
+        );
+        if !self.can_send(now) {
+            return Err(LinkFull {
+                retry_at: self.busy_until,
+            });
+        }
+        let ser = self.config.phits_per_flit as u64 * self.config.src_divisor;
+        let pipe = self.config.pipeline as u64 * self.config.src_divisor;
+        self.busy_until = now + ser;
+        let mut arrival = now + ser + pipe;
+        if self.config.is_asynchronous() {
+            arrival += self.config.cdc_latency as u64 * self.config.dst_divisor;
+        }
+        // Align to the next destination clock edge at or after arrival.
+        let rem = arrival % self.config.dst_divisor;
+        if rem != 0 {
+            arrival += self.config.dst_divisor - rem;
+        }
+        // FIFO: never deliver before the previously queued item.
+        if let Some(&(prev, _)) = self.in_flight.back() {
+            arrival = arrival.max(prev + self.config.dst_divisor);
+        }
+        self.total_latency += arrival - now;
+        self.in_flight.push_back((arrival, item));
+        Ok(())
+    }
+
+    /// Delivers the next flit if one has arrived by base cycle `now`.
+    /// At most one flit per destination-clock edge.
+    pub fn deliver(&mut self, now: u64) -> Option<T> {
+        if now % self.config.dst_divisor != 0 {
+            return None;
+        }
+        if self.last_delivery == Some(now) {
+            return None;
+        }
+        match self.in_flight.front() {
+            Some(&(at, _)) if at <= now => {
+                let (_, item) = self.in_flight.pop_front().expect("front exists");
+                self.last_delivery = Some(now);
+                self.delivered += 1;
+                Some(item)
+            }
+            _ => None,
+        }
+    }
+
+    /// Base cycle at which the earliest undelivered flit becomes ready,
+    /// if any (for event-driven callers).
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.in_flight.front().map(|&(at, _)| at)
+    }
+}
+
+impl<T> fmt::Display for Link<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} in flight, {} delivered]",
+            self.config,
+            self.in_flight.len(),
+            self.delivered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_synchronous_latency_one() {
+        let mut link: Link<u8> = Link::new(LinkConfig::new());
+        link.send(1, 0).unwrap();
+        assert_eq!(link.deliver(0), None);
+        assert_eq!(link.deliver(1), Some(1));
+    }
+
+    #[test]
+    fn serialisation_occupies_link() {
+        let cfg = LinkConfig::new().with_phits_per_flit(4);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(1, 0).unwrap();
+        // serialiser busy for 4 cycles
+        assert!(!link.can_send(1));
+        assert_eq!(link.send(2, 0).unwrap_err(), LinkFull { retry_at: 4 });
+        assert!(link.can_send(4));
+        link.send(2, 4).unwrap();
+        assert_eq!(link.deliver(4), Some(1));
+        assert_eq!(link.deliver(8), Some(2));
+    }
+
+    #[test]
+    fn pipeline_adds_pure_latency() {
+        let cfg = LinkConfig::new().with_pipeline(3);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(7, 0).unwrap();
+        // occupancy is still 1 cycle: next send allowed at cycle 1
+        assert!(link.can_send(1));
+        assert_eq!(link.deliver(3), None);
+        assert_eq!(link.deliver(4), Some(7));
+        assert_eq!(cfg.min_latency(), 4);
+    }
+
+    #[test]
+    fn throughput_full_width_is_one_per_cycle() {
+        let mut link: Link<u64> = Link::new(LinkConfig::new());
+        let mut received = Vec::new();
+        for now in 0..20u64 {
+            if link.can_send(now) {
+                link.send(now, now).unwrap();
+            }
+            if let Some(v) = link.deliver(now) {
+                received.push(v);
+            }
+        }
+        assert!(received.len() >= 18, "got {}", received.len());
+        // FIFO order
+        assert!(received.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn half_width_halves_throughput() {
+        let cfg = LinkConfig::new().with_phits_per_flit(2);
+        let mut link: Link<u64> = Link::new(cfg);
+        let mut sent = 0u32;
+        for now in 0..40u64 {
+            if link.can_send(now) {
+                link.send(now, now).unwrap();
+                sent += 1;
+            }
+            let _ = link.deliver(now);
+        }
+        assert_eq!(sent, 20);
+    }
+
+    #[test]
+    fn cdc_crossing_aligns_to_destination_clock() {
+        // src at base rate, dst at /3, 2-stage synchroniser
+        let cfg = LinkConfig::new().with_clocks(1, 3).with_cdc_latency(2);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(9, 0).unwrap();
+        // arrival = 0 + 1 (ser) + 0 + 6 (cdc: 2*3) = 7 → aligned up to 9
+        assert_eq!(link.next_arrival(), Some(9));
+        assert_eq!(link.deliver(7), None); // not a dst edge
+        assert_eq!(link.deliver(9), Some(9));
+    }
+
+    #[test]
+    fn slow_to_fast_crossing() {
+        let cfg = LinkConfig::new().with_clocks(4, 1).with_cdc_latency(2);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(1, 4).unwrap();
+        // ser = 1*4 → 8, cdc = 2*1 → 10; dst divisor 1 aligns trivially
+        assert_eq!(link.next_arrival(), Some(10));
+        assert_eq!(link.deliver(10), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "source clock edge")]
+    fn send_off_edge_panics() {
+        let cfg = LinkConfig::new().with_clocks(2, 2);
+        let mut link: Link<u8> = Link::new(cfg);
+        let _ = link.send(1, 3);
+    }
+
+    #[test]
+    fn one_delivery_per_destination_edge() {
+        let cfg = LinkConfig::new().with_clocks(1, 2);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(1, 0).unwrap();
+        link.send(2, 1).unwrap();
+        // both have arrived by cycle 4, but only one pops per dst edge
+        let mut got = Vec::new();
+        for now in 0..10 {
+            if let Some(v) = link.deliver(now) {
+                got.push((now, v));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_ne!(got[0].0, got[1].0);
+        assert_eq!(got[0].1, 1);
+        assert_eq!(got[1].1, 2);
+    }
+
+    #[test]
+    fn capacity_back_pressure() {
+        let cfg = LinkConfig::new().with_capacity(2).with_pipeline(10);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(1, 0).unwrap();
+        link.send(2, 1).unwrap();
+        assert!(!link.can_send(2));
+        assert!(link.send(3, 2).is_err());
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut link: Link<u8> = Link::new(LinkConfig::new().with_pipeline(1));
+        link.send(1, 0).unwrap();
+        assert_eq!(link.deliver(2), Some(1));
+        assert_eq!(link.delivered(), 1);
+        assert!((link.mean_latency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_accessors_and_display() {
+        let cfg = LinkConfig::new().with_phits_per_flit(2).with_clocks(1, 2);
+        assert!(cfg.is_asynchronous());
+        assert!(!LinkConfig::new().is_asynchronous());
+        assert!(cfg.to_string().contains("1/2 width"));
+        let link: Link<u8> = Link::new(cfg);
+        assert!(link.to_string().contains("0 delivered"));
+        assert!(LinkFull { retry_at: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,206 @@
+//! Protocol ordering checkers.
+//!
+//! These validate a master's [`CompletionLog`] against its socket's
+//! ordering contract — the executable form of the conformance rules a
+//! socket compliance suite would assert:
+//!
+//! - **AHB / PVCI / BVCI** ([`check_ahb_order`]): every response returns
+//!   in request order — completion order must equal program order.
+//! - **OCP** ([`check_ocp_order`]): completions within one thread follow
+//!   program order; threads are mutually unordered.
+//! - **AXI / AVCI** ([`check_axi_order`]): completions with one ID follow
+//!   program order *within each direction* (read and write channels are
+//!   independent); IDs and directions are mutually unordered.
+
+use crate::command::CompletionLog;
+use noc_transaction::StreamId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A detected violation of a socket ordering rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingViolation {
+    /// The stream in which order was broken (always 0 for ordered
+    /// sockets).
+    pub stream: StreamId,
+    /// Program index that completed too early.
+    pub early: usize,
+    /// Program index that should have completed first.
+    pub late: usize,
+}
+
+impl fmt::Display for OrderingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ordering violation on {}: command #{} completed before #{}",
+            self.stream, self.early, self.late
+        )
+    }
+}
+
+impl std::error::Error for OrderingViolation {}
+
+/// Checks fully-ordered (AHB, PVCI, BVCI) completion order.
+///
+/// # Errors
+///
+/// Returns the first [`OrderingViolation`] found.
+pub fn check_ahb_order(log: &CompletionLog) -> Result<(), OrderingViolation> {
+    let mut last: Option<usize> = None;
+    for r in log.records() {
+        if let Some(prev) = last {
+            if r.index < prev {
+                return Err(OrderingViolation {
+                    stream: StreamId::ZERO,
+                    early: prev,
+                    late: r.index,
+                });
+            }
+        }
+        last = Some(r.index);
+    }
+    Ok(())
+}
+
+/// Checks OCP per-thread completion order.
+///
+/// # Errors
+///
+/// Returns the first per-thread [`OrderingViolation`] found.
+pub fn check_ocp_order(log: &CompletionLog) -> Result<(), OrderingViolation> {
+    let mut last: HashMap<StreamId, usize> = HashMap::new();
+    for r in log.records() {
+        if let Some(&prev) = last.get(&r.stream) {
+            if r.index < prev {
+                return Err(OrderingViolation {
+                    stream: r.stream,
+                    early: prev,
+                    late: r.index,
+                });
+            }
+        }
+        last.insert(r.stream, r.index);
+    }
+    Ok(())
+}
+
+/// Checks AXI per-ID, per-direction completion order (read and write
+/// channels are independent in AXI, so a write may overtake an older
+/// same-ID read).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_axi_order(log: &CompletionLog) -> Result<(), OrderingViolation> {
+    let mut last: HashMap<(StreamId, bool), usize> = HashMap::new();
+    for r in log.records() {
+        let key = (r.stream, r.opcode.is_read());
+        if let Some(&prev) = last.get(&key) {
+            if r.index < prev {
+                return Err(OrderingViolation {
+                    stream: r.stream,
+                    early: prev,
+                    late: r.index,
+                });
+            }
+        }
+        last.insert(key, r.index);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CompletionRecord;
+    use noc_transaction::{Opcode, RespStatus};
+
+    fn rec(index: usize, stream: u16, opcode: Opcode) -> CompletionRecord {
+        CompletionRecord {
+            index,
+            opcode,
+            addr: 0,
+            status: RespStatus::Okay,
+            data: vec![],
+            stream: StreamId::new(stream),
+            issued_at: 0,
+            completed_at: 0,
+        }
+    }
+
+    fn log_of(recs: Vec<CompletionRecord>) -> CompletionLog {
+        let mut log = CompletionLog::new();
+        for r in recs {
+            log.push(r);
+        }
+        log
+    }
+
+    #[test]
+    fn ahb_in_order_passes() {
+        let log = log_of(vec![
+            rec(0, 0, Opcode::Read),
+            rec(1, 0, Opcode::Write),
+            rec(2, 0, Opcode::Read),
+        ]);
+        assert!(check_ahb_order(&log).is_ok());
+    }
+
+    #[test]
+    fn ahb_out_of_order_fails() {
+        let log = log_of(vec![rec(1, 0, Opcode::Read), rec(0, 0, Opcode::Read)]);
+        let v = check_ahb_order(&log).unwrap_err();
+        assert_eq!((v.early, v.late), (1, 0));
+        assert!(v.to_string().contains("before"));
+    }
+
+    #[test]
+    fn ocp_cross_thread_reorder_allowed() {
+        let log = log_of(vec![
+            rec(2, 1, Opcode::Read), // thread 1 completes its later cmd first
+            rec(0, 0, Opcode::Read),
+            rec(3, 1, Opcode::Read),
+            rec(1, 0, Opcode::Read),
+        ]);
+        assert!(check_ocp_order(&log).is_ok());
+        // but AHB rules would reject this interleaving
+        assert!(check_ahb_order(&log).is_err());
+    }
+
+    #[test]
+    fn ocp_same_thread_reorder_fails() {
+        let log = log_of(vec![rec(3, 1, Opcode::Read), rec(1, 1, Opcode::Read)]);
+        let v = check_ocp_order(&log).unwrap_err();
+        assert_eq!(v.stream, StreamId::new(1));
+    }
+
+    #[test]
+    fn axi_read_write_channels_independent() {
+        // Same ID: write #1 completes before read #0 — legal in AXI.
+        let log = log_of(vec![rec(1, 5, Opcode::Write), rec(0, 5, Opcode::Read)]);
+        assert!(check_axi_order(&log).is_ok());
+        // but OCP rules (one stream order) would reject it
+        assert!(check_ocp_order(&log).is_err());
+    }
+
+    #[test]
+    fn axi_same_id_same_direction_order_enforced() {
+        let log = log_of(vec![rec(2, 5, Opcode::Read), rec(0, 5, Opcode::Read)]);
+        assert!(check_axi_order(&log).is_err());
+    }
+
+    #[test]
+    fn axi_cross_id_reorder_allowed() {
+        let log = log_of(vec![rec(5, 1, Opcode::Read), rec(0, 2, Opcode::Read)]);
+        assert!(check_axi_order(&log).is_ok());
+    }
+
+    #[test]
+    fn empty_logs_pass_all() {
+        let log = CompletionLog::new();
+        assert!(check_ahb_order(&log).is_ok());
+        assert!(check_ocp_order(&log).is_ok());
+        assert!(check_axi_order(&log).is_ok());
+    }
+}

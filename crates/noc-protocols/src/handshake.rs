@@ -1,0 +1,143 @@
+//! Bounded handshake channels modelling valid/ready socket wiring.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded FIFO channel standing in for a valid/ready handshake bundle.
+///
+/// A producer [`Chan::offer`]s an item when the channel has space (ready
+/// high); the consumer [`Chan::take`]s from the head. Capacity 1 models an
+/// unregistered handshake; larger capacities model register slices /
+/// skid buffers.
+///
+/// # Examples
+///
+/// ```
+/// use noc_protocols::Chan;
+/// let mut ch: Chan<u32> = Chan::new(1);
+/// assert!(ch.offer(7));
+/// assert!(!ch.offer(8)); // back-pressure
+/// assert_eq!(ch.take(), Some(7));
+/// assert!(ch.offer(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chan<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    accepted: u64,
+}
+
+impl<T> Chan<T> {
+    /// Creates a channel with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be non-zero");
+        Chan {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            accepted: 0,
+        }
+    }
+
+    /// Returns `true` while the channel can accept an item (ready).
+    pub fn ready(&self) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    /// Returns `true` when an item is available (valid).
+    pub fn valid(&self) -> bool {
+        !self.items.is_empty()
+    }
+
+    /// Offers an item; returns `false` (item NOT consumed — the caller
+    /// keeps it and retries) when full.
+    pub fn offer(&mut self, item: T) -> bool {
+        if !self.ready() {
+            return false;
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        true
+    }
+
+    /// Takes the head item.
+    pub fn take(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the head item.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total items ever accepted (handshake count).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+}
+
+impl<T> fmt::Display for Chan<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan {}/{}", self.items.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_take_fifo() {
+        let mut ch = Chan::new(2);
+        assert!(ch.offer(1));
+        assert!(ch.offer(2));
+        assert!(!ch.offer(3));
+        assert_eq!(ch.take(), Some(1));
+        assert_eq!(ch.take(), Some(2));
+        assert_eq!(ch.take(), None);
+        assert_eq!(ch.accepted(), 2);
+    }
+
+    #[test]
+    fn valid_ready_flags() {
+        let mut ch: Chan<u8> = Chan::new(1);
+        assert!(ch.ready());
+        assert!(!ch.valid());
+        ch.offer(9);
+        assert!(!ch.ready());
+        assert!(ch.valid());
+    }
+
+    #[test]
+    fn peek_non_destructive() {
+        let mut ch = Chan::new(1);
+        ch.offer(5u8);
+        assert_eq!(ch.peek(), Some(&5));
+        assert_eq!(ch.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        Chan::<u8>::new(0);
+    }
+
+    #[test]
+    fn display() {
+        let ch: Chan<u8> = Chan::new(3);
+        assert_eq!(ch.to_string(), "chan 0/3");
+    }
+}

@@ -1,0 +1,309 @@
+//! A sparse byte-addressable memory model shared by all slave agents.
+
+use noc_transaction::{Burst, ExclusiveMonitor, MstAddr, Opcode, RespStatus};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Sparse memory with configurable access latency.
+///
+/// Unwritten locations read as a deterministic address-derived pattern
+/// (not zero) so that tests catch reads routed to the wrong address.
+///
+/// # Examples
+///
+/// ```
+/// use noc_protocols::MemoryModel;
+/// let mut mem = MemoryModel::new(4);
+/// mem.write(0x100, &[1, 2, 3]);
+/// assert_eq!(mem.read(0x100, 3), vec![1, 2, 3]);
+/// assert_eq!(mem.latency(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    bytes: HashMap<u64, u8>,
+    latency: u32,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemoryModel {
+    /// Creates a memory with the given fixed access latency (cycles from
+    /// request acceptance to response validity).
+    pub fn new(latency: u32) -> Self {
+        MemoryModel {
+            bytes: HashMap::new(),
+            latency,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The configured access latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// The deterministic background pattern at `addr`.
+    fn background(addr: u64) -> u8 {
+        let mut z = addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u8
+    }
+
+    /// Reads `len` bytes at `addr`.
+    pub fn read(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        self.reads += 1;
+        (0..len as u64)
+            .map(|i| {
+                let a = addr + i;
+                self.bytes.get(&a).copied().unwrap_or_else(|| Self::background(a))
+            })
+            .collect()
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.writes += 1;
+        for (i, &b) in data.iter().enumerate() {
+            self.bytes.insert(addr + i as u64, b);
+        }
+    }
+
+    /// Bytes explicitly written so far.
+    pub fn written_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Read accesses performed.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write accesses performed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// Performs one canonical transaction against a memory, honouring burst
+/// address progression and (optionally) an exclusive monitor — the single
+/// semantic kernel shared by every slave agent and target NIU.
+///
+/// Returns the response status and the read data (empty for writes).
+/// Failed exclusive/conditional writes perform **no** memory update.
+///
+/// # Examples
+///
+/// ```
+/// use noc_protocols::memory::{access, MemoryModel};
+/// use noc_transaction::{Burst, MstAddr, Opcode, RespStatus};
+/// let mut mem = MemoryModel::new(1);
+/// let burst = Burst::incr(2, 4).unwrap();
+/// let (st, _) = access(&mut mem, Opcode::Write, 0x10, burst, &[7u8; 8], None, MstAddr::new(0));
+/// assert_eq!(st, RespStatus::Okay);
+/// let (st, data) = access(&mut mem, Opcode::Read, 0x10, burst, &[], None, MstAddr::new(0));
+/// assert_eq!(st, RespStatus::Okay);
+/// assert_eq!(data, vec![7u8; 8]);
+/// ```
+pub fn access(
+    mem: &mut MemoryModel,
+    opcode: Opcode,
+    addr: u64,
+    burst: Burst,
+    wdata: &[u8],
+    monitor: Option<&mut ExclusiveMonitor>,
+    master: MstAddr,
+) -> (RespStatus, Vec<u8>) {
+    let beat = burst.beat_bytes() as usize;
+    if opcode.is_read() {
+        let mut data = Vec::with_capacity(burst.total_bytes() as usize);
+        for a in burst.beat_addresses(addr) {
+            data.extend_from_slice(&mem.read(a, beat));
+        }
+        let status = match opcode {
+            Opcode::ReadExclusive | Opcode::ReadLinked => {
+                if let Some(mon) = monitor {
+                    mon.arm(master, addr);
+                    RespStatus::ExOkay
+                } else {
+                    // Exclusive service not present: degrade to plain read.
+                    RespStatus::Okay
+                }
+            }
+            _ => RespStatus::Okay,
+        };
+        (status, data)
+    } else {
+        match opcode {
+            Opcode::WriteExclusive | Opcode::WriteConditional => {
+                if let Some(mon) = monitor {
+                    if mon.try_exclusive_write(master, addr).is_success() {
+                        write_burst(mem, addr, burst, wdata);
+                        (RespStatus::ExOkay, Vec::new())
+                    } else {
+                        (RespStatus::ExFail, Vec::new())
+                    }
+                } else {
+                    (RespStatus::ExFail, Vec::new())
+                }
+            }
+            _ => {
+                if let Some(mon) = monitor {
+                    // Ordinary writes break covering reservations.
+                    for a in burst.beat_addresses(addr) {
+                        mon.observe_write(a);
+                    }
+                }
+                write_burst(mem, addr, burst, wdata);
+                (RespStatus::Okay, Vec::new())
+            }
+        }
+    }
+}
+
+fn write_burst(mem: &mut MemoryModel, addr: u64, burst: Burst, wdata: &[u8]) {
+    let beat = burst.beat_bytes() as usize;
+    for (i, a) in burst.beat_addresses(addr).enumerate() {
+        let lo = i * beat;
+        let hi = ((i + 1) * beat).min(wdata.len());
+        if lo < wdata.len() {
+            mem.write(a, &wdata[lo..hi]);
+        }
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mem lat={} ({} bytes, {}r/{}w)",
+            self.latency,
+            self.bytes.len(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = MemoryModel::new(1);
+        m.write(0x40, &[9, 8, 7, 6]);
+        assert_eq!(m.read(0x40, 4), vec![9, 8, 7, 6]);
+        assert_eq!(m.read(0x42, 2), vec![7, 6]);
+    }
+
+    #[test]
+    fn unwritten_reads_are_deterministic_nonzero_pattern() {
+        let mut m = MemoryModel::new(1);
+        let a = m.read(0x1000, 8);
+        let b = m.read(0x1000, 8);
+        assert_eq!(a, b);
+        let c = m.read(0x2000, 8);
+        assert_ne!(a, c, "different addresses read different background");
+    }
+
+    #[test]
+    fn partial_overwrite() {
+        let mut m = MemoryModel::new(1);
+        m.write(0x0, &[1, 1, 1, 1]);
+        m.write(0x1, &[2, 2]);
+        assert_eq!(m.read(0x0, 4), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut m = MemoryModel::new(3);
+        m.write(0, &[0]);
+        m.read(0, 1);
+        m.read(0, 1);
+        assert_eq!(m.write_count(), 1);
+        assert_eq!(m.read_count(), 2);
+        assert_eq!(m.written_bytes(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let m = MemoryModel::new(2);
+        assert!(m.to_string().contains("lat=2"));
+    }
+
+    mod access_tests {
+        use super::super::*;
+        use noc_transaction::{Burst, ExclusiveMonitor, MstAddr, Opcode, RespStatus};
+
+        fn b(beats: u32) -> Burst {
+            Burst::incr(beats, 4).unwrap()
+        }
+
+        #[test]
+        fn write_then_read_burst() {
+            let mut mem = MemoryModel::new(1);
+            let data: Vec<u8> = (0..8).collect();
+            let (st, _) = access(&mut mem, Opcode::Write, 0x20, b(2), &data, None, MstAddr::new(0));
+            assert_eq!(st, RespStatus::Okay);
+            let (st, rd) = access(&mut mem, Opcode::Read, 0x20, b(2), &[], None, MstAddr::new(0));
+            assert_eq!(st, RespStatus::Okay);
+            assert_eq!(rd, data);
+        }
+
+        #[test]
+        fn wrap_burst_reads_wrapped_order() {
+            let mut mem = MemoryModel::new(1);
+            mem.write(0x20, &[1, 1, 1, 1]);
+            mem.write(0x24, &[2, 2, 2, 2]);
+            mem.write(0x28, &[3, 3, 3, 3]);
+            mem.write(0x2C, &[4, 4, 4, 4]);
+            let wrap = Burst::wrap(4, 4).unwrap();
+            let (_, rd) = access(&mut mem, Opcode::Read, 0x28, wrap, &[], None, MstAddr::new(0));
+            assert_eq!(rd, vec![3, 3, 3, 3, 4, 4, 4, 4, 1, 1, 1, 1, 2, 2, 2, 2]);
+        }
+
+        #[test]
+        fn exclusive_pair_succeeds_with_monitor() {
+            let mut mem = MemoryModel::new(1);
+            let mut mon = ExclusiveMonitor::new(64, 4);
+            let m0 = MstAddr::new(0);
+            let (st, _) = access(&mut mem, Opcode::ReadExclusive, 0x40, b(1), &[], Some(&mut mon), m0);
+            assert_eq!(st, RespStatus::ExOkay);
+            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x40, b(1), &[9, 9, 9, 9], Some(&mut mon), m0);
+            assert_eq!(st, RespStatus::ExOkay);
+            assert_eq!(mem.read(0x40, 4), vec![9, 9, 9, 9]);
+        }
+
+        #[test]
+        fn failed_exclusive_write_has_no_side_effect() {
+            let mut mem = MemoryModel::new(1);
+            let mut mon = ExclusiveMonitor::new(64, 4);
+            mem.write(0x40, &[5, 5, 5, 5]);
+            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x40, b(1), &[9, 9, 9, 9], Some(&mut mon), MstAddr::new(1));
+            assert_eq!(st, RespStatus::ExFail);
+            assert_eq!(mem.read(0x40, 4), vec![5, 5, 5, 5]);
+        }
+
+        #[test]
+        fn plain_write_breaks_reservation() {
+            let mut mem = MemoryModel::new(1);
+            let mut mon = ExclusiveMonitor::new(64, 4);
+            let (a, b_) = (MstAddr::new(0), MstAddr::new(1));
+            access(&mut mem, Opcode::ReadExclusive, 0x80, b(1), &[], Some(&mut mon), a);
+            access(&mut mem, Opcode::Write, 0x80, b(1), &[0; 4], Some(&mut mon), b_);
+            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x80, b(1), &[1; 4], Some(&mut mon), a);
+            assert_eq!(st, RespStatus::ExFail);
+        }
+
+        #[test]
+        fn no_monitor_degrades_gracefully() {
+            let mut mem = MemoryModel::new(1);
+            let (st, _) = access(&mut mem, Opcode::ReadExclusive, 0x0, b(1), &[], None, MstAddr::new(0));
+            assert_eq!(st, RespStatus::Okay);
+            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x0, b(1), &[0; 4], None, MstAddr::new(0));
+            assert_eq!(st, RespStatus::ExFail);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Counters, rate meters and utilization tracking.
+
+use std::fmt;
+
+/// A simple monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use noc_stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn reset(&mut self) -> u64 {
+        std::mem::take(&mut self.value)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// Measures an event rate over elapsed cycles (e.g. flits per cycle,
+/// accepted transactions per cycle).
+///
+/// # Examples
+///
+/// ```
+/// use noc_stats::RateMeter;
+/// let mut m = RateMeter::new();
+/// m.record(10);       // 10 events
+/// m.advance(100);     // over 100 cycles
+/// assert_eq!(m.rate(), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateMeter {
+    events: u64,
+    cycles: u64,
+}
+
+impl RateMeter {
+    /// Creates a meter with no events and no elapsed time.
+    pub fn new() -> Self {
+        RateMeter::default()
+    }
+
+    /// Records `n` events.
+    pub fn record(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Advances elapsed time by `cycles`.
+    pub fn advance(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Events per cycle (0.0 before any time elapses).
+    pub fn rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for RateMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}/cycle ({} in {})", self.rate(), self.events, self.cycles)
+    }
+}
+
+/// Tracks the fraction of cycles a resource (link, port, bus) was busy.
+///
+/// # Examples
+///
+/// ```
+/// use noc_stats::Utilization;
+/// let mut u = Utilization::new();
+/// u.busy();
+/// u.idle();
+/// u.busy();
+/// u.idle();
+/// assert_eq!(u.fraction(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Utilization {
+    busy: u64,
+    total: u64,
+}
+
+impl Utilization {
+    /// Creates an empty utilization tracker.
+    pub fn new() -> Self {
+        Utilization::default()
+    }
+
+    /// Records one busy cycle.
+    pub fn busy(&mut self) {
+        self.busy += 1;
+        self.total += 1;
+    }
+
+    /// Records one idle cycle.
+    pub fn idle(&mut self) {
+        self.total += 1;
+    }
+
+    /// Records a cycle that was busy iff `was_busy`.
+    pub fn tick(&mut self, was_busy: bool) {
+        if was_busy {
+            self.busy();
+        } else {
+            self.idle();
+        }
+    }
+
+    /// Busy cycles observed.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Total cycles observed.
+    pub fn total_cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Busy fraction in `[0, 1]` (0.0 before any cycle is observed).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.fraction() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.reset(), 10);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn rate_meter_computes_rate() {
+        let mut m = RateMeter::new();
+        assert_eq!(m.rate(), 0.0);
+        m.record(25);
+        m.advance(50);
+        assert_eq!(m.rate(), 0.5);
+        assert_eq!(m.events(), 25);
+        assert_eq!(m.cycles(), 50);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = Utilization::new();
+        assert_eq!(u.fraction(), 0.0);
+        for i in 0..10 {
+            u.tick(i % 4 == 0);
+        }
+        assert_eq!(u.busy_cycles(), 3);
+        assert_eq!(u.total_cycles(), 10);
+        assert!((u.fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut u = Utilization::new();
+        u.busy();
+        assert_eq!(u.to_string(), "100.0%");
+        let mut c = Counter::new();
+        c.add(7);
+        assert_eq!(c.to_string(), "7");
+        let mut m = RateMeter::new();
+        m.record(1);
+        m.advance(2);
+        assert!(m.to_string().starts_with("0.5000"));
+    }
+}

@@ -1,0 +1,336 @@
+//! One direction of the NoC: switches plus physical links, wired from a
+//! topology, with end-to-end credit flow control.
+
+use noc_physical::{Link, LinkConfig};
+use noc_topology::{RouteAlgorithm, Topology};
+use noc_transport::{Flit, PortId, RoutingTable, Switch, SwitchConfig, SwitchMode};
+use std::collections::VecDeque;
+
+/// Where a link terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEnd {
+    /// A switch input/output port.
+    Switch {
+        /// Switch index.
+        switch: usize,
+        /// Port index on that switch.
+        port: usize,
+    },
+    /// An endpoint (NIU), identified by its node number.
+    Endpoint {
+        /// Node number.
+        node: u16,
+    },
+}
+
+struct FabricLink {
+    link: Link<Flit>,
+    src: LinkEnd,
+    dst: LinkEnd,
+}
+
+/// One packet network (request or response): switches, links and credit
+/// bookkeeping.
+///
+/// Endpoints are *not* owned by the fabric; the [`crate::Soc`] moves flits
+/// between endpoints and the fabric's injection/ejection links each cycle.
+pub struct Fabric {
+    switches: Vec<Switch>,
+    links: Vec<FabricLink>,
+    /// Per endpoint node: injection link index and current credits into
+    /// the first switch.
+    injection: Vec<(u16, usize, u32)>,
+    /// Per switch output port: link index.
+    out_wire: Vec<Vec<Option<usize>>>,
+    /// Per switch input port: feeding link index.
+    in_wire: Vec<Vec<Option<usize>>>,
+    /// Output-register stash per (switch, out port): absorbs flits while
+    /// a serialising link is busy.
+    stash: Vec<Vec<VecDeque<Flit>>>,
+    delivered_flits: u64,
+}
+
+impl Fabric {
+    /// Builds the fabric over `topology` with the given switch mode,
+    /// buffer depth, link configuration and routing algorithm.
+    ///
+    /// Endpoint clock divisors (`node → divisor`) shape the injection and
+    /// ejection links' CDC behaviour; switches run on the base clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors from the topology.
+    pub fn new(
+        topology: &Topology,
+        mode: SwitchMode,
+        buffer_depth: usize,
+        link_cfg: LinkConfig,
+        routing: RouteAlgorithm,
+        clock_of: &dyn Fn(u16) -> u64,
+    ) -> Result<Fabric, noc_topology::TopologyError> {
+        let tables = topology.compute_routes(routing)?;
+        let num_nodes = topology
+            .attachments()
+            .iter()
+            .map(|a| a.node as usize + 1)
+            .max()
+            .unwrap_or(0);
+        // Instantiate switches.
+        let mut switches = Vec::new();
+        for s in 0..topology.num_switches() {
+            let ports = topology.ports()[s];
+            let mut table = RoutingTable::new(num_nodes);
+            for (node, port) in tables.switch_table(s).iter().enumerate() {
+                if let Some(p) = port {
+                    table.set(node as u16, PortId(*p));
+                }
+            }
+            let cfg = SwitchConfig {
+                inputs: ports.inputs as usize,
+                outputs: ports.outputs as usize,
+                mode,
+                buffer_depth,
+            };
+            switches.push(Switch::new(cfg, table));
+        }
+        let mut fabric = Fabric {
+            out_wire: switches
+                .iter()
+                .map(|sw| vec![None; sw.config().outputs])
+                .collect(),
+            in_wire: switches
+                .iter()
+                .map(|sw| vec![None; sw.config().inputs])
+                .collect(),
+            stash: switches
+                .iter()
+                .map(|sw| (0..sw.config().outputs).map(|_| VecDeque::new()).collect())
+                .collect(),
+            switches,
+            links: Vec::new(),
+            injection: Vec::new(),
+            delivered_flits: 0,
+        };
+        // Inter-switch links (base clock on both ends).
+        for e in topology.edges() {
+            let idx = fabric.links.len();
+            fabric.links.push(FabricLink {
+                link: Link::new(link_cfg),
+                src: LinkEnd::Switch {
+                    switch: e.from,
+                    port: e.from_port as usize,
+                },
+                dst: LinkEnd::Switch {
+                    switch: e.to,
+                    port: e.to_port as usize,
+                },
+            });
+            fabric.out_wire[e.from][e.from_port as usize] = Some(idx);
+            fabric.in_wire[e.to][e.to_port as usize] = Some(idx);
+            fabric.switches[e.from].set_output_credits(e.from_port as usize, buffer_depth as u32);
+        }
+        // Endpoint attachments: injection (endpoint → switch) and
+        // ejection (switch → endpoint) links, with CDC per endpoint clock.
+        for a in topology.attachments() {
+            let div = clock_of(a.node);
+            let inj_cfg = LinkConfig {
+                src_divisor: div,
+                dst_divisor: 1,
+                ..link_cfg
+            };
+            let ej_cfg = LinkConfig {
+                src_divisor: 1,
+                dst_divisor: div,
+                ..link_cfg
+            };
+            let inj_idx = fabric.links.len();
+            fabric.links.push(FabricLink {
+                link: Link::new(inj_cfg),
+                src: LinkEnd::Endpoint { node: a.node },
+                dst: LinkEnd::Switch {
+                    switch: a.switch,
+                    port: a.in_port as usize,
+                },
+            });
+            fabric.in_wire[a.switch][a.in_port as usize] = Some(inj_idx);
+            fabric.injection.push((a.node, inj_idx, buffer_depth as u32));
+            let ej_idx = fabric.links.len();
+            fabric.links.push(FabricLink {
+                link: Link::new(ej_cfg),
+                src: LinkEnd::Switch {
+                    switch: a.switch,
+                    port: a.out_port as usize,
+                },
+                dst: LinkEnd::Endpoint { node: a.node },
+            });
+            fabric.out_wire[a.switch][a.out_port as usize] = Some(ej_idx);
+            // Endpoint ingress is unbounded (NIUs bound it by outstanding
+            // transactions); give ejection ports ample credit.
+            fabric.switches[a.switch].set_output_credits(a.out_port as usize, u32::MAX / 2);
+        }
+        Ok(fabric)
+    }
+
+    /// Returns `true` when `node` can inject a flit this base cycle.
+    pub fn can_inject(&self, node: u16, now: u64) -> bool {
+        self.injection
+            .iter()
+            .find(|(n, _, _)| *n == node)
+            .map(|&(_, link, credits)| credits > 0 && self.links[link].link.can_send(now))
+            .unwrap_or(false)
+    }
+
+    /// Injects a flit from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Fabric::can_inject`] is false (caller must check).
+    pub fn inject(&mut self, node: u16, flit: Flit, now: u64) {
+        let entry = self
+            .injection
+            .iter_mut()
+            .find(|(n, _, _)| *n == node)
+            .expect("node attached to fabric");
+        assert!(entry.2 > 0, "injection without credit");
+        entry.2 -= 1;
+        let link = entry.1;
+        self.links[link]
+            .link
+            .send(flit, now)
+            .expect("can_inject checked link availability");
+    }
+
+    /// Advances the fabric one base cycle. Ejected flits are returned as
+    /// `(node, flit)` pairs for the SoC to deliver to endpoints.
+    pub fn tick(&mut self, now: u64) -> Vec<(u16, Flit)> {
+        let mut ejected = Vec::new();
+        // 1. Link deliveries into switches / endpoints.
+        for li in 0..self.links.len() {
+            if let Some(flit) = self.links[li].link.deliver(now) {
+                match self.links[li].dst {
+                    LinkEnd::Switch { switch, port } => {
+                        let ok = self.switches[switch].accept(port, flit);
+                        assert!(ok, "credit flow control must prevent overflow");
+                    }
+                    LinkEnd::Endpoint { node } => {
+                        self.delivered_flits += 1;
+                        ejected.push((node, flit));
+                    }
+                }
+            }
+        }
+        // 2. Drain output stashes into links.
+        for s in 0..self.switches.len() {
+            for p in 0..self.stash[s].len() {
+                if self.stash[s][p].is_empty() {
+                    continue;
+                }
+                let Some(li) = self.out_wire[s][p] else {
+                    continue;
+                };
+                if self.links[li].link.can_send(now) {
+                    let flit = self.stash[s][p].pop_front().expect("checked non-empty");
+                    self.links[li]
+                        .link
+                        .send(flit, now)
+                        .expect("can_send checked");
+                }
+            }
+        }
+        // 3. Switch cycles.
+        for s in 0..self.switches.len() {
+            let tick = self.switches[s].tick();
+            for (port, flit) in tick.sent {
+                let p = port.index();
+                let Some(li) = self.out_wire[s][p] else {
+                    continue; // unreachable: every routed port is wired
+                };
+                if self.stash[s][p].is_empty() && self.links[li].link.can_send(now) {
+                    self.links[li]
+                        .link
+                        .send(flit, now)
+                        .expect("can_send checked");
+                } else {
+                    self.stash[s][p].push_back(flit);
+                }
+            }
+            // 4. Credit returns to upstream.
+            for input in tick.credits_released {
+                match self.in_wire[s][input] {
+                    Some(li) => match self.links[li].src {
+                        LinkEnd::Switch { switch, port } => {
+                            self.switches[switch].add_output_credit(port);
+                        }
+                        LinkEnd::Endpoint { node } => {
+                            let entry = self
+                                .injection
+                                .iter_mut()
+                                .find(|(n, _, _)| *n == node)
+                                .expect("injection entry exists");
+                            entry.2 += 1;
+                        }
+                    },
+                    None => unreachable!("every switch input is wired"),
+                }
+            }
+        }
+        ejected
+    }
+
+    /// Returns `true` when no flit is buffered or in flight anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.switches.iter().all(|s| s.is_idle())
+            && self.links.iter().all(|l| l.link.in_flight() == 0)
+            && self.stash.iter().flatten().all(|q| q.is_empty())
+    }
+
+    /// Aggregate switch statistics.
+    pub fn stats(&self) -> noc_transport::SwitchStats {
+        let mut total = noc_transport::SwitchStats::default();
+        for s in &self.switches {
+            let st = s.stats();
+            total.flits_forwarded += st.flits_forwarded;
+            total.packets_forwarded += st.packets_forwarded;
+            total.credit_stalls += st.credit_stalls;
+            total.arbitration_conflicts += st.arbitration_conflicts;
+            total.lock_idle_cycles += st.lock_idle_cycles;
+        }
+        total
+    }
+
+    /// Total flits delivered to endpoints.
+    pub fn delivered_flits(&self) -> u64 {
+        self.delivered_flits
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Mean link latency across all links that delivered flits.
+    pub fn mean_link_latency(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u64);
+        for l in &self.links {
+            if l.link.delivered() > 0 {
+                sum += l.link.mean_latency() * l.link.delivered() as f64;
+                n += l.link.delivered();
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("switches", &self.switches.len())
+            .field("links", &self.links.len())
+            .field("idle", &self.is_idle())
+            .finish()
+    }
+}

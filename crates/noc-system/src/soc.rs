@@ -1,0 +1,389 @@
+//! The assembled SoC and its builder.
+
+use crate::fabric::Fabric;
+use crate::report::{FabricReport, MasterReport, SocReport};
+use noc_niu::NocEndpoint;
+use noc_physical::LinkConfig;
+use noc_stats::Histogram;
+use noc_topology::{RouteAlgorithm, Topology, TopologyError};
+use noc_transport::SwitchMode;
+use std::fmt;
+
+/// Transport + physical configuration of a NoC instance — everything the
+/// paper says can change without the transaction layer noticing.
+#[derive(Debug, Clone, Copy)]
+pub struct NocConfig {
+    /// Switching discipline.
+    pub mode: SwitchMode,
+    /// Switch input buffer depth in flits.
+    pub buffer_depth: usize,
+    /// Physical link configuration applied to every link.
+    pub link: LinkConfig,
+    /// Routing algorithm.
+    pub routing: RouteAlgorithm,
+}
+
+impl NocConfig {
+    /// Wormhole switching, 8-flit buffers, full-width synchronous links,
+    /// shortest-path routing.
+    pub fn new() -> Self {
+        NocConfig {
+            mode: SwitchMode::Wormhole,
+            buffer_depth: 8,
+            link: LinkConfig::new(),
+            routing: RouteAlgorithm::ShortestPath,
+        }
+    }
+
+    /// Sets the switching mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SwitchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the buffer depth.
+    #[must_use]
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the link configuration.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the routing algorithm.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RouteAlgorithm) -> Self {
+        self.routing = routing;
+        self
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::new()
+    }
+}
+
+/// Errors assembling a SoC.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Topology/routing failure.
+    Topology(TopologyError),
+    /// An endpoint references a node the topology does not attach.
+    UnknownNode {
+        /// The missing node number.
+        node: u16,
+    },
+    /// Two endpoints claim the same node.
+    DuplicateNode {
+        /// The contested node number.
+        node: u16,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Topology(e) => write!(f, "topology error: {e}"),
+            BuildError::UnknownNode { node } => {
+                write!(f, "endpoint node {node} is not attached in the topology")
+            }
+            BuildError::DuplicateNode { node } => {
+                write!(f, "node {node} claimed by two endpoints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for BuildError {
+    fn from(e: TopologyError) -> Self {
+        BuildError::Topology(e)
+    }
+}
+
+struct Endpoint {
+    name: String,
+    node: u16,
+    is_initiator: bool,
+    clock_divisor: u64,
+    inner: Box<dyn NocEndpoint>,
+}
+
+/// Builds a [`Soc`] from a topology, a NoC configuration and endpoints.
+///
+/// See the crate-level example.
+pub struct SocBuilder {
+    topology: Topology,
+    config: NocConfig,
+    endpoints: Vec<Endpoint>,
+}
+
+impl SocBuilder {
+    /// Starts building over `topology` with `config`.
+    pub fn new(topology: Topology, config: NocConfig) -> Self {
+        SocBuilder {
+            topology,
+            config,
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Attaches an initiator NIU at `node` (base clock).
+    #[must_use]
+    pub fn initiator(self, name: &str, node: u16, endpoint: Box<dyn NocEndpoint>) -> Self {
+        self.initiator_clocked(name, node, endpoint, 1)
+    }
+
+    /// Attaches an initiator NIU at `node` on a divided clock.
+    #[must_use]
+    pub fn initiator_clocked(
+        mut self,
+        name: &str,
+        node: u16,
+        endpoint: Box<dyn NocEndpoint>,
+        clock_divisor: u64,
+    ) -> Self {
+        self.endpoints.push(Endpoint {
+            name: name.to_owned(),
+            node,
+            is_initiator: true,
+            clock_divisor,
+            inner: endpoint,
+        });
+        self
+    }
+
+    /// Attaches a target NIU at `node` (base clock).
+    #[must_use]
+    pub fn target(self, name: &str, node: u16, endpoint: Box<dyn NocEndpoint>) -> Self {
+        self.target_clocked(name, node, endpoint, 1)
+    }
+
+    /// Attaches a target NIU at `node` on a divided clock.
+    #[must_use]
+    pub fn target_clocked(
+        mut self,
+        name: &str,
+        node: u16,
+        endpoint: Box<dyn NocEndpoint>,
+        clock_divisor: u64,
+    ) -> Self {
+        self.endpoints.push(Endpoint {
+            name: name.to_owned(),
+            node,
+            is_initiator: false,
+            clock_divisor,
+            inner: endpoint,
+        });
+        self
+    }
+
+    /// Assembles the SoC: two fabrics (request + response) over the
+    /// topology, endpoints verified against attachments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for unknown/duplicate nodes or routing
+    /// failures.
+    pub fn build(self) -> Result<Soc, BuildError> {
+        let mut seen = Vec::new();
+        for ep in &self.endpoints {
+            if self.topology.attachment_of(ep.node).is_none() {
+                return Err(BuildError::UnknownNode { node: ep.node });
+            }
+            if seen.contains(&ep.node) {
+                return Err(BuildError::DuplicateNode { node: ep.node });
+            }
+            seen.push(ep.node);
+        }
+        let divisors: Vec<(u16, u64)> = self
+            .endpoints
+            .iter()
+            .map(|e| (e.node, e.clock_divisor))
+            .collect();
+        let clock_of = move |node: u16| -> u64 {
+            divisors
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|&(_, d)| d)
+                .unwrap_or(1)
+        };
+        let request = Fabric::new(
+            &self.topology,
+            self.config.mode,
+            self.config.buffer_depth,
+            self.config.link,
+            self.config.routing,
+            &clock_of,
+        )?;
+        let response = Fabric::new(
+            &self.topology,
+            self.config.mode,
+            self.config.buffer_depth,
+            self.config.link,
+            self.config.routing,
+            &clock_of,
+        )?;
+        Ok(Soc {
+            endpoints: self.endpoints,
+            request,
+            response,
+            now: 0,
+        })
+    }
+}
+
+/// A running SoC: endpoints plus request/response fabrics.
+pub struct Soc {
+    endpoints: Vec<Endpoint>,
+    request: Fabric,
+    response: Fabric,
+    now: u64,
+}
+
+impl Soc {
+    /// Current base cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the whole system one base cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // 1. Endpoint compute on their clock edges.
+        for ep in &mut self.endpoints {
+            if now % ep.clock_divisor == 0 {
+                ep.inner.tick(now);
+            }
+        }
+        // 2. Injection: initiators feed the request network, targets the
+        //    response network (one flit per endpoint per local cycle).
+        for ep in &mut self.endpoints {
+            if now % ep.clock_divisor != 0 {
+                continue;
+            }
+            let fabric = if ep.is_initiator {
+                &mut self.request
+            } else {
+                &mut self.response
+            };
+            if fabric.can_inject(ep.node, now) {
+                if let Some(flit) = ep.inner.pull_flit() {
+                    fabric.inject(ep.node, flit, now);
+                }
+            }
+        }
+        // 3. Fabric cycles; ejections are delivered immediately.
+        for (node, flit) in self.request.tick(now) {
+            let ep = self
+                .endpoints
+                .iter_mut()
+                .find(|e| e.node == node && !e.is_initiator)
+                .expect("request network ejects at targets");
+            ep.inner.push_flit(flit);
+        }
+        for (node, flit) in self.response.tick(now) {
+            let ep = self
+                .endpoints
+                .iter_mut()
+                .find(|e| e.node == node && e.is_initiator)
+                .expect("response network ejects at initiators");
+            ep.inner.push_flit(flit);
+        }
+        self.now += 1;
+    }
+
+    /// Returns `true` when every endpoint is done and both fabrics idle.
+    pub fn is_done(&self) -> bool {
+        self.endpoints.iter().all(|e| e.inner.is_done())
+            && self.request.is_idle()
+            && self.response.is_idle()
+    }
+
+    /// Runs until done or `max_cycles`, then reports.
+    pub fn run(&mut self, max_cycles: u64) -> SocReport {
+        while self.now < max_cycles && !self.is_done() {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Named completion logs of all initiator endpoints (build order).
+    pub fn completion_logs(&self) -> Vec<(&str, &noc_protocols::CompletionLog)> {
+        self.endpoints
+            .iter()
+            .filter(|e| e.is_initiator)
+            .filter_map(|e| e.inner.completion_log().map(|l| (e.name.as_str(), l)))
+            .collect()
+    }
+
+    /// Builds a report from the current state.
+    pub fn report(&self) -> SocReport {
+        let mut masters = Vec::new();
+        for ep in &self.endpoints {
+            if !ep.is_initiator {
+                continue;
+            }
+            let Some(log) = ep.inner.completion_log() else {
+                continue;
+            };
+            let mut latency = Histogram::new();
+            for r in log.records() {
+                latency.record(r.latency());
+            }
+            masters.push(MasterReport {
+                name: ep.name.clone(),
+                node: ep.node,
+                completions: log.len(),
+                errors: log.errors(),
+                mean_latency: log.mean_latency(),
+                latency,
+                fingerprint: log.fingerprint(),
+            });
+        }
+        let req = self.request.stats();
+        let resp = self.response.stats();
+        SocReport {
+            cycles: self.now,
+            all_done: self.is_done(),
+            masters,
+            fabric: FabricReport {
+                request_flits: self.request.delivered_flits(),
+                response_flits: self.response.delivered_flits(),
+                flits_forwarded: req.flits_forwarded + resp.flits_forwarded,
+                packets_forwarded: req.packets_forwarded + resp.packets_forwarded,
+                credit_stalls: req.credit_stalls + resp.credit_stalls,
+                arbitration_conflicts: req.arbitration_conflicts + resp.arbitration_conflicts,
+                lock_idle_cycles: req.lock_idle_cycles + resp.lock_idle_cycles,
+                mean_link_latency: (self.request.mean_link_latency()
+                    + self.response.mean_link_latency())
+                    / 2.0,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Soc")
+            .field("now", &self.now)
+            .field("endpoints", &self.endpoints.len())
+            .field("done", &self.is_done())
+            .finish()
+    }
+}

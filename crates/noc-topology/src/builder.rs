@@ -1,0 +1,169 @@
+//! General topology construction with automatic port numbering.
+
+use crate::{Attachment, Edge, PortCount, Topology, TopologyError};
+
+/// Incrementally builds a [`Topology`], allocating switch ports in call
+/// order: ports added by earlier `connect`/`attach` calls get lower
+/// numbers.
+///
+/// # Examples
+///
+/// An irregular three-switch fabric:
+///
+/// ```
+/// use noc_topology::TopologyBuilder;
+/// let mut b = TopologyBuilder::new(3);
+/// b.connect_bidir(0, 1);
+/// b.connect_bidir(1, 2);
+/// b.attach(0, 0)?;   // node 0 on switch 0
+/// b.attach(1, 2)?;   // node 1 on switch 2
+/// let topo = b.build();
+/// assert_eq!(topo.num_switches(), 3);
+/// assert_eq!(topo.num_endpoints(), 2);
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    num_switches: usize,
+    edges: Vec<Edge>,
+    attachments: Vec<Attachment>,
+    ports: Vec<PortCount>,
+}
+
+impl TopologyBuilder {
+    /// Starts a topology with `num_switches` unconnected switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_switches` is zero.
+    pub fn new(num_switches: usize) -> Self {
+        assert!(num_switches > 0, "topology needs at least one switch");
+        TopologyBuilder {
+            num_switches,
+            edges: Vec::new(),
+            attachments: Vec::new(),
+            ports: vec![PortCount::default(); num_switches],
+        }
+    }
+
+    fn alloc_out(&mut self, switch: usize) -> u8 {
+        let p = self.ports[switch].outputs;
+        self.ports[switch].outputs += 1;
+        p
+    }
+
+    fn alloc_in(&mut self, switch: usize) -> u8 {
+        let p = self.ports[switch].inputs;
+        self.ports[switch].inputs += 1;
+        p
+    }
+
+    /// Adds a unidirectional link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch index is out of range.
+    pub fn connect(&mut self, from: usize, to: usize) -> &mut Self {
+        assert!(from < self.num_switches && to < self.num_switches);
+        let from_port = self.alloc_out(from);
+        let to_port = self.alloc_in(to);
+        self.edges.push(Edge {
+            from,
+            from_port,
+            to,
+            to_port,
+        });
+        self
+    }
+
+    /// Adds links in both directions between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch index is out of range.
+    pub fn connect_bidir(&mut self, a: usize, b: usize) -> &mut Self {
+        self.connect(a, b);
+        self.connect(b, a);
+        self
+    }
+
+    /// Attaches endpoint `node` to `switch`, allocating an injection
+    /// input port and an ejection output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadSwitch`] or
+    /// [`TopologyError::DuplicateNode`].
+    pub fn attach(&mut self, node: u16, switch: usize) -> Result<&mut Self, TopologyError> {
+        if switch >= self.num_switches {
+            return Err(TopologyError::BadSwitch { switch });
+        }
+        if self.attachments.iter().any(|a| a.node == node) {
+            return Err(TopologyError::DuplicateNode { node });
+        }
+        let in_port = self.alloc_in(switch);
+        let out_port = self.alloc_out(switch);
+        self.attachments.push(Attachment {
+            node,
+            switch,
+            in_port,
+            out_port,
+        });
+        Ok(self)
+    }
+
+    /// Finalises the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            num_switches: self.num_switches,
+            edges: self.edges,
+            attachments: self.attachments,
+            ports: self.ports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_numbering_is_sequential() {
+        let mut b = TopologyBuilder::new(2);
+        b.connect(0, 1); // out 0 on sw0, in 0 on sw1
+        b.connect(0, 1); // out 1 on sw0, in 1 on sw1
+        b.attach(7, 0).unwrap(); // in 0 / out 2 on sw0
+        let t = b.build();
+        assert_eq!(t.edges()[0].from_port, 0);
+        assert_eq!(t.edges()[1].from_port, 1);
+        assert_eq!(t.edges()[1].to_port, 1);
+        let a = t.attachment_of(7).unwrap();
+        assert_eq!(a.in_port, 0);
+        assert_eq!(a.out_port, 2);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut b = TopologyBuilder::new(1);
+        b.attach(0, 0).unwrap();
+        assert_eq!(
+            b.attach(0, 0).unwrap_err(),
+            TopologyError::DuplicateNode { node: 0 }
+        );
+    }
+
+    #[test]
+    fn bad_switch_rejected() {
+        let mut b = TopologyBuilder::new(1);
+        assert_eq!(
+            b.attach(0, 5).unwrap_err(),
+            TopologyError::BadSwitch { switch: 5 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn connect_out_of_range_panics() {
+        TopologyBuilder::new(1).connect(0, 3);
+    }
+}

@@ -1,0 +1,409 @@
+//! System addresses and the initiator-side address decoder.
+//!
+//! The initiator NIU turns a socket address into a packet destination
+//! ([`crate::SlvAddr`]) by looking it up in an [`AddressMap`]. Addresses
+//! that no target claims produce [`DecodeError::Unmapped`], which NIUs
+//! convert into a [`crate::RespStatus::DecErr`] response without ever
+//! touching the fabric.
+
+use crate::node::SlvAddr;
+use std::fmt;
+
+/// A byte address in the system address space.
+///
+/// # Examples
+///
+/// ```
+/// use noc_transaction::Addr;
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a.raw(), 0x1000);
+/// assert_eq!(a.align_down(0x100).raw(), 0x1000);
+/// assert_eq!(Addr::new(0x1234).align_down(0x100).raw(), 0x1200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw address value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Aligns down to a power-of-two `granule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule` is not a power of two.
+    pub fn align_down(self, granule: u64) -> Addr {
+        assert!(granule.is_power_of_two(), "granule must be a power of two");
+        Addr(self.0 & !(granule - 1))
+    }
+
+    /// Adds a byte offset.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+/// A half-open address range `[start, end)`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_transaction::AddressRange;
+/// let r = AddressRange::new(0x1000, 0x2000)?;
+/// assert!(r.contains(0x1000));
+/// assert!(!r.contains(0x2000));
+/// assert_eq!(r.len(), 0x1000);
+/// # Ok::<(), noc_transaction::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressRange {
+    start: u64,
+    end: u64,
+}
+
+impl AddressRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::EmptyRange`] if `start >= end`.
+    pub fn new(start: u64, end: u64) -> Result<Self, DecodeError> {
+        if start >= end {
+            return Err(DecodeError::EmptyRange { start, end });
+        }
+        Ok(AddressRange { start, end })
+    }
+
+    /// Range start (inclusive).
+    pub const fn start(self) -> u64 {
+        self.start
+    }
+
+    /// Range end (exclusive).
+    pub const fn end(self) -> u64 {
+        self.end
+    }
+
+    /// Number of bytes covered.
+    pub const fn len(self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Always `false`: empty ranges cannot be constructed.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `addr` falls inside the range.
+    pub const fn contains(self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Returns `true` if the two ranges share any address.
+    pub const fn overlaps(self, other: AddressRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for AddressRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// Errors from address map construction or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// `start >= end` when constructing a range.
+    EmptyRange {
+        /// Requested start.
+        start: u64,
+        /// Requested end.
+        end: u64,
+    },
+    /// A new entry overlaps an existing one.
+    Overlap {
+        /// The conflicting existing range.
+        existing: AddressRange,
+        /// The range being added.
+        added: AddressRange,
+    },
+    /// No entry covers the address (becomes `DECERR` at the socket).
+    Unmapped {
+        /// The address that failed to decode.
+        addr: u64,
+    },
+    /// A burst crosses out of the decoded target's range.
+    CrossesBoundary {
+        /// First address of the burst.
+        addr: u64,
+        /// Last address of the burst.
+        last: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::EmptyRange { start, end } => {
+                write!(f, "empty address range [{start:#x}, {end:#x})")
+            }
+            DecodeError::Overlap { existing, added } => {
+                write!(f, "address range {added} overlaps existing {existing}")
+            }
+            DecodeError::Unmapped { addr } => write!(f, "address {addr:#x} is unmapped"),
+            DecodeError::CrossesBoundary { addr, last } => {
+                write!(f, "burst {addr:#x}..={last:#x} crosses a target boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The system address map: an ordered set of non-overlapping ranges, each
+/// owned by one target ([`SlvAddr`]).
+///
+/// # Examples
+///
+/// ```
+/// use noc_transaction::{AddressMap, SlvAddr};
+/// let mut map = AddressMap::new();
+/// map.add(0x0000_0000, 0x1000_0000, SlvAddr::new(0))?; // DRAM
+/// map.add(0x2000_0000, 0x2000_1000, SlvAddr::new(1))?; // UART
+/// assert_eq!(map.decode(0x0800_0000)?, SlvAddr::new(0));
+/// assert!(map.decode(0x3000_0000).is_err());
+/// # Ok::<(), noc_transaction::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    entries: Vec<(AddressRange, SlvAddr)>,
+}
+
+impl AddressMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AddressMap::default()
+    }
+
+    /// Adds the range `[start, end)` for `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::EmptyRange`] or [`DecodeError::Overlap`].
+    pub fn add(&mut self, start: u64, end: u64, target: SlvAddr) -> Result<(), DecodeError> {
+        let range = AddressRange::new(start, end)?;
+        for (existing, _) in &self.entries {
+            if existing.overlaps(range) {
+                return Err(DecodeError::Overlap {
+                    existing: *existing,
+                    added: range,
+                });
+            }
+        }
+        self.entries.push((range, target));
+        self.entries.sort_by_key(|(r, _)| r.start());
+        Ok(())
+    }
+
+    /// Decodes a single address to its target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Unmapped`] if no range covers `addr`.
+    pub fn decode(&self, addr: u64) -> Result<SlvAddr, DecodeError> {
+        // Binary search over sorted, non-overlapping ranges.
+        let idx = self.entries.partition_point(|(r, _)| r.start() <= addr);
+        if idx > 0 {
+            let (range, target) = self.entries[idx - 1];
+            if range.contains(addr) {
+                return Ok(target);
+            }
+        }
+        Err(DecodeError::Unmapped { addr })
+    }
+
+    /// Decodes a whole burst footprint `[addr, last]`, requiring both ends
+    /// in the same target (NIUs chop bursts so this holds; bridges that
+    /// fail to are caught here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Unmapped`] or [`DecodeError::CrossesBoundary`].
+    pub fn decode_span(&self, addr: u64, last: u64) -> Result<SlvAddr, DecodeError> {
+        let first = self.decode(addr)?;
+        let end = self.decode(last)?;
+        if first != end {
+            return Err(DecodeError::CrossesBoundary { addr, last });
+        }
+        Ok(first)
+    }
+
+    /// Iterates over `(range, target)` entries in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (AddressRange, SlvAddr)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distinct targets appearing in the map, in first-range order.
+    pub fn targets(&self) -> Vec<SlvAddr> {
+        let mut out: Vec<SlvAddr> = Vec::new();
+        for (_, t) in &self.entries {
+            if !out.contains(t) {
+                out.push(*t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map3() -> AddressMap {
+        let mut m = AddressMap::new();
+        m.add(0x0, 0x1000, SlvAddr::new(0)).unwrap();
+        m.add(0x1000, 0x2000, SlvAddr::new(1)).unwrap();
+        m.add(0x8000, 0x9000, SlvAddr::new(2)).unwrap();
+        m
+    }
+
+    #[test]
+    fn decode_hits_correct_target() {
+        let m = map3();
+        assert_eq!(m.decode(0x0).unwrap(), SlvAddr::new(0));
+        assert_eq!(m.decode(0xFFF).unwrap(), SlvAddr::new(0));
+        assert_eq!(m.decode(0x1000).unwrap(), SlvAddr::new(1));
+        assert_eq!(m.decode(0x8FFF).unwrap(), SlvAddr::new(2));
+    }
+
+    #[test]
+    fn decode_unmapped_hole() {
+        let m = map3();
+        assert_eq!(m.decode(0x5000), Err(DecodeError::Unmapped { addr: 0x5000 }));
+        assert_eq!(m.decode(0x9000), Err(DecodeError::Unmapped { addr: 0x9000 }));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = map3();
+        let err = m.add(0x800, 0x1800, SlvAddr::new(3)).unwrap_err();
+        assert!(matches!(err, DecodeError::Overlap { .. }));
+        // map unchanged
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn adjacent_ranges_allowed() {
+        let mut m = AddressMap::new();
+        m.add(0x0, 0x100, SlvAddr::new(0)).unwrap();
+        m.add(0x100, 0x200, SlvAddr::new(1)).unwrap();
+        assert_eq!(m.decode(0xFF).unwrap(), SlvAddr::new(0));
+        assert_eq!(m.decode(0x100).unwrap(), SlvAddr::new(1));
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let mut m = AddressMap::new();
+        assert!(matches!(
+            m.add(0x100, 0x100, SlvAddr::new(0)),
+            Err(DecodeError::EmptyRange { .. })
+        ));
+        assert!(matches!(
+            AddressRange::new(5, 3),
+            Err(DecodeError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_span_same_target() {
+        let m = map3();
+        assert_eq!(m.decode_span(0x1000, 0x1FFF).unwrap(), SlvAddr::new(1));
+    }
+
+    #[test]
+    fn decode_span_crossing_fails() {
+        let m = map3();
+        assert_eq!(
+            m.decode_span(0xF00, 0x10FF),
+            Err(DecodeError::CrossesBoundary {
+                addr: 0xF00,
+                last: 0x10FF
+            })
+        );
+    }
+
+    #[test]
+    fn targets_deduplicated() {
+        let mut m = AddressMap::new();
+        m.add(0x0, 0x100, SlvAddr::new(5)).unwrap();
+        m.add(0x200, 0x300, SlvAddr::new(5)).unwrap();
+        m.add(0x400, 0x500, SlvAddr::new(1)).unwrap();
+        assert_eq!(m.targets(), vec![SlvAddr::new(5), SlvAddr::new(1)]);
+    }
+
+    #[test]
+    fn range_accessors() {
+        let r = AddressRange::new(0x10, 0x20).unwrap();
+        assert_eq!(r.start(), 0x10);
+        assert_eq!(r.end(), 0x20);
+        assert_eq!(r.len(), 0x10);
+        assert!(!r.is_empty());
+        assert!(r.overlaps(AddressRange::new(0x1F, 0x30).unwrap()));
+        assert!(!r.overlaps(AddressRange::new(0x20, 0x30).unwrap()));
+    }
+
+    #[test]
+    fn addr_alignment() {
+        assert_eq!(Addr::new(0x1234).align_down(16).raw(), 0x1230);
+        assert_eq!(Addr::new(0x1234).offset(4).raw(), 0x1238);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Addr::new(0xFF).to_string(), "0xff");
+        assert_eq!(
+            AddressRange::new(0, 0x100).unwrap().to_string(),
+            "[0x0, 0x100)"
+        );
+        assert!(DecodeError::Unmapped { addr: 0x42 }
+            .to_string()
+            .contains("0x42"));
+    }
+}

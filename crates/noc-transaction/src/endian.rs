@@ -1,0 +1,110 @@
+//! Endianness conversion.
+//!
+//! Paper §3 lists endianness among the basic VC incompatibilities the
+//! transaction layer must absorb. The NoC canonical data representation is
+//! little-endian byte lanes; an NIU fronting a big-endian IP swaps lanes
+//! word-by-word on the way in and out.
+
+use std::fmt;
+
+/// Byte-lane ordering of a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endianness {
+    /// Little-endian: matches the NoC canonical form; conversion is a
+    /// no-op.
+    #[default]
+    Little,
+    /// Big-endian: byte lanes are swapped within each beat word.
+    Big,
+}
+
+impl Endianness {
+    /// Converts `data` between socket and canonical form in place, using
+    /// `word_bytes` as the swap unit (the socket data-bus width).
+    ///
+    /// The conversion is an involution: applying it twice restores the
+    /// original. Trailing bytes beyond the last full word are swapped as a
+    /// shorter group (matching how narrow transfers present on wide buses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes` is zero or not a power of two.
+    pub fn convert(self, data: &mut [u8], word_bytes: usize) {
+        assert!(
+            word_bytes > 0 && word_bytes.is_power_of_two(),
+            "word size must be a non-zero power of two"
+        );
+        if self == Endianness::Little {
+            return;
+        }
+        for chunk in data.chunks_mut(word_bytes) {
+            chunk.reverse();
+        }
+    }
+
+    /// Returns converted copy of `data` (see [`Endianness::convert`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes` is zero or not a power of two.
+    pub fn converted(self, data: &[u8], word_bytes: usize) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.convert(&mut out, word_bytes);
+        out
+    }
+}
+
+impl fmt::Display for Endianness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endianness::Little => write!(f, "little-endian"),
+            Endianness::Big => write!(f, "big-endian"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_is_identity() {
+        let mut data = vec![1, 2, 3, 4];
+        Endianness::Little.convert(&mut data, 4);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn big_endian_swaps_words() {
+        let data = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let out = Endianness::Big.converted(&data, 4);
+        assert_eq!(out, vec![4, 3, 2, 1, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn conversion_is_involution() {
+        let data: Vec<u8> = (0..16).collect();
+        let once = Endianness::Big.converted(&data, 8);
+        let twice = Endianness::Big.converted(&once, 8);
+        assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn trailing_partial_word_swapped_as_group() {
+        let data = vec![1, 2, 3, 4, 5, 6];
+        let out = Endianness::Big.converted(&data, 4);
+        assert_eq!(out, vec![4, 3, 2, 1, 6, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_word_size_panics() {
+        Endianness::Big.converted(&[1, 2, 3], 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Endianness::Little.to_string(), "little-endian");
+        assert_eq!(Endianness::Big.to_string(), "big-endian");
+    }
+}

@@ -1,0 +1,114 @@
+//! NoC node addressing: `MstAddr` (packet source) and `SlvAddr` (packet
+//! destination), the first two of the three fields the Arteris transaction
+//! layer uses to encode every socket ordering model.
+
+use std::fmt;
+
+macro_rules! node_addr_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Creates an address from a raw node number.
+            pub const fn new(raw: u16) -> Self {
+                $name(raw)
+            }
+
+            /// The raw node number.
+            pub const fn raw(self) -> u16 {
+                self.0
+            }
+
+            /// The index form, for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(raw: u16) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<$name> for u16 {
+            fn from(a: $name) -> u16 {
+                a.0
+            }
+        }
+    };
+}
+
+node_addr_type!(
+    /// The packet *source* field: identifies the initiator NIU that issued a
+    /// request (and therefore where the response must return). Called
+    /// `MstAddr` in the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_transaction::MstAddr;
+    /// let m = MstAddr::new(3);
+    /// assert_eq!(m.raw(), 3);
+    /// assert_eq!(m.to_string(), "M3");
+    /// ```
+    MstAddr,
+    "M"
+);
+
+node_addr_type!(
+    /// The packet *destination* field: identifies the target NIU a request
+    /// is routed to. Called `SlvAddr` in the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_transaction::SlvAddr;
+    /// let s = SlvAddr::new(5);
+    /// assert_eq!(s.index(), 5);
+    /// assert_eq!(s.to_string(), "S5");
+    /// ```
+    SlvAddr,
+    "S"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = MstAddr::new(42);
+        assert_eq!(m.raw(), 42);
+        assert_eq!(m.index(), 42);
+        let s = SlvAddr::from(7u16);
+        assert_eq!(u16::from(s), 7);
+    }
+
+    #[test]
+    fn display_distinguishes_master_and_slave() {
+        assert_eq!(MstAddr::new(1).to_string(), "M1");
+        assert_eq!(SlvAddr::new(1).to_string(), "S1");
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        assert!(MstAddr::new(1) < MstAddr::new(2));
+        assert_eq!(SlvAddr::new(3), SlvAddr::new(3));
+        assert_ne!(SlvAddr::new(3), SlvAddr::new(4));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(MstAddr::default().raw(), 0);
+        assert_eq!(SlvAddr::default().raw(), 0);
+    }
+}

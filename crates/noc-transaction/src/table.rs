@@ -1,0 +1,390 @@
+//! The NIU transaction state lookup table.
+//!
+//! Paper §2: *"Does the feature require some specific transaction state to
+//! be stored in the NIU? If yes, add the state to the standard NIU state
+//! lookup tables (which track for example that a Load request is waiting
+//! for a response)."*
+//!
+//! [`TransactionTable`] is that standard table: a fixed-capacity pool of
+//! entries tracking each outstanding request until its response returns.
+//! Its capacity is the dominant NIU area knob (see `noc-area`), which is
+//! how an NIU "scales its gate count to its expected performance".
+
+use crate::node::SlvAddr;
+use crate::opcode::Opcode;
+use crate::ordering::StreamId;
+use crate::tag::Tag;
+use std::fmt;
+
+/// A slot index into a [`TransactionTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(u16);
+
+impl EntryId {
+    /// Raw slot number.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entry {}", self.0)
+    }
+}
+
+/// One outstanding transaction tracked by the NIU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// NoC tag stamped into the request packet.
+    pub tag: Tag,
+    /// Socket-level stream (thread/ID) for response routing back to the IP.
+    pub stream: StreamId,
+    /// Destination target.
+    pub dst: SlvAddr,
+    /// Transaction opcode.
+    pub opcode: Opcode,
+    /// Number of response beats still expected.
+    pub beats_remaining: u32,
+    /// Issue timestamp (base cycles) for latency accounting.
+    pub issued_at: u64,
+    /// Sequence number preserving per-tag issue order (for ordered
+    /// delivery checks and reorder buffers).
+    pub seq: u64,
+    /// Opaque socket-specific sideband preserved across the NoC (e.g. the
+    /// original AXI ID bits not captured by the rename table).
+    pub sideband: u32,
+}
+
+/// Errors from table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// All entries are in use (back-pressure; retry next cycle).
+    Full,
+    /// Lookup/free of a slot that is not allocated.
+    NotAllocated {
+        /// The offending slot.
+        entry: EntryId,
+    },
+    /// A response arrived whose `(tag)` matches no outstanding entry —
+    /// a fabric or protocol corruption.
+    NoMatch {
+        /// Tag of the orphan response.
+        tag: Tag,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Full => write!(f, "transaction table full"),
+            TableError::NotAllocated { entry } => write!(f, "{entry} not allocated"),
+            TableError::NoMatch { tag } => write!(f, "no outstanding entry for {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Fixed-capacity table of outstanding transactions.
+///
+/// Responses are matched by tag in *issue order* (the fabric preserves
+/// same-tag order end to end, so the oldest same-tag entry is always the
+/// one a response belongs to).
+///
+/// # Examples
+///
+/// ```
+/// use noc_transaction::{Opcode, SlvAddr, StreamId, Tag, TransactionTable};
+/// use noc_transaction::table::TableEntry;
+///
+/// let mut t = TransactionTable::new(2);
+/// let id = t.allocate(Tag::ZERO, StreamId::ZERO, SlvAddr::new(1), Opcode::Read, 4, 100, 0)?;
+/// assert_eq!(t.occupancy(), 1);
+/// let entry = t.match_response(Tag::ZERO)?;
+/// assert_eq!(entry, id);
+/// t.free(id)?;
+/// assert_eq!(t.occupancy(), 0);
+/// # Ok::<(), noc_transaction::TableError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransactionTable {
+    slots: Vec<Option<TableEntry>>,
+    next_seq: u64,
+    peak: usize,
+    allocations: u64,
+}
+
+impl TransactionTable {
+    /// Creates a table with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "table capacity must be non-zero");
+        TransactionTable {
+            slots: vec![None; capacity],
+            next_seq: 0,
+            peak: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Table capacity (the gate-count knob).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots currently allocated.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Highest occupancy ever observed (for sizing studies).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total allocations performed.
+    pub fn total_allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Returns `true` if no slot is free.
+    pub fn is_full(&self) -> bool {
+        self.slots.iter().all(|s| s.is_some())
+    }
+
+    /// Allocates a slot for a new outstanding transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::Full`] when no slot is free.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate(
+        &mut self,
+        tag: Tag,
+        stream: StreamId,
+        dst: SlvAddr,
+        opcode: Opcode,
+        beats: u32,
+        issued_at: u64,
+        sideband: u32,
+    ) -> Result<EntryId, TableError> {
+        let free = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(TableError::Full)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots[free] = Some(TableEntry {
+            tag,
+            stream,
+            dst,
+            opcode,
+            beats_remaining: beats,
+            issued_at,
+            seq,
+            sideband,
+        });
+        self.allocations += 1;
+        let occ = self.occupancy();
+        self.peak = self.peak.max(occ);
+        Ok(EntryId(free as u16))
+    }
+
+    /// Finds the oldest outstanding entry with `tag` (the entry an
+    /// incoming same-tag response belongs to).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoMatch`] if nothing with that tag is
+    /// outstanding.
+    pub fn match_response(&self, tag: Tag) -> Result<EntryId, TableError> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+            .filter(|(_, e)| e.tag == tag)
+            .min_by_key(|(_, e)| e.seq)
+            .map(|(i, _)| EntryId(i as u16))
+            .ok_or(TableError::NoMatch { tag })
+    }
+
+    /// Shared access to an allocated entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NotAllocated`] for free slots.
+    pub fn get(&self, id: EntryId) -> Result<&TableEntry, TableError> {
+        self.slots
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .ok_or(TableError::NotAllocated { entry: id })
+    }
+
+    /// Exclusive access to an allocated entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NotAllocated`] for free slots.
+    pub fn get_mut(&mut self, id: EntryId) -> Result<&mut TableEntry, TableError> {
+        self.slots
+            .get_mut(id.index())
+            .and_then(|s| s.as_mut())
+            .ok_or(TableError::NotAllocated { entry: id })
+    }
+
+    /// Frees a slot, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NotAllocated`] for already-free slots.
+    pub fn free(&mut self, id: EntryId) -> Result<TableEntry, TableError> {
+        self.slots
+            .get_mut(id.index())
+            .and_then(|s| s.take())
+            .ok_or(TableError::NotAllocated { entry: id })
+    }
+
+    /// Iterates over allocated entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &TableEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (EntryId(i as u16), e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(t: &mut TransactionTable, tag: u8) -> EntryId {
+        t.allocate(
+            Tag::new(tag),
+            StreamId::ZERO,
+            SlvAddr::new(0),
+            Opcode::Read,
+            1,
+            0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn allocate_free_cycle() {
+        let mut t = TransactionTable::new(2);
+        let a = alloc(&mut t, 0);
+        let b = alloc(&mut t, 1);
+        assert!(t.is_full());
+        assert_eq!(t.allocate(
+            Tag::ZERO,
+            StreamId::ZERO,
+            SlvAddr::new(0),
+            Opcode::Read,
+            1,
+            0,
+            0
+        ), Err(TableError::Full));
+        t.free(a).unwrap();
+        assert!(!t.is_full());
+        t.free(b).unwrap();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.peak_occupancy(), 2);
+        assert_eq!(t.total_allocations(), 2);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut t = TransactionTable::new(1);
+        let a = alloc(&mut t, 0);
+        t.free(a).unwrap();
+        assert_eq!(t.free(a), Err(TableError::NotAllocated { entry: a }));
+    }
+
+    #[test]
+    fn match_response_picks_oldest_same_tag() {
+        let mut t = TransactionTable::new(4);
+        let first = alloc(&mut t, 5);
+        let _other = alloc(&mut t, 6);
+        let second = alloc(&mut t, 5);
+        let hit = t.match_response(Tag::new(5)).unwrap();
+        assert_eq!(hit, first);
+        t.free(first).unwrap();
+        let hit = t.match_response(Tag::new(5)).unwrap();
+        assert_eq!(hit, second);
+    }
+
+    #[test]
+    fn match_response_no_match() {
+        let t = TransactionTable::new(2);
+        assert_eq!(
+            t.match_response(Tag::new(3)),
+            Err(TableError::NoMatch { tag: Tag::new(3) })
+        );
+    }
+
+    #[test]
+    fn slot_reuse_keeps_seq_order() {
+        let mut t = TransactionTable::new(2);
+        let a = alloc(&mut t, 1); // seq 0
+        let _b = alloc(&mut t, 1); // seq 1
+        t.free(a).unwrap();
+        let _c = alloc(&mut t, 1); // seq 2, reuses slot 0
+        // oldest same-tag is seq 1 (slot 1), not the recycled slot 0
+        let hit = t.match_response(Tag::new(1)).unwrap();
+        assert_eq!(hit.index(), 1);
+    }
+
+    #[test]
+    fn get_and_mutate_entry() {
+        let mut t = TransactionTable::new(1);
+        let id = t
+            .allocate(
+                Tag::new(2),
+                StreamId::new(7),
+                SlvAddr::new(3),
+                Opcode::Write,
+                4,
+                123,
+                0xDEAD,
+            )
+            .unwrap();
+        {
+            let e = t.get(id).unwrap();
+            assert_eq!(e.stream, StreamId::new(7));
+            assert_eq!(e.issued_at, 123);
+            assert_eq!(e.sideband, 0xDEAD);
+        }
+        t.get_mut(id).unwrap().beats_remaining -= 1;
+        assert_eq!(t.get(id).unwrap().beats_remaining, 3);
+    }
+
+    #[test]
+    fn iter_lists_allocated_only() {
+        let mut t = TransactionTable::new(3);
+        let a = alloc(&mut t, 0);
+        let b = alloc(&mut t, 1);
+        t.free(a).unwrap();
+        let listed: Vec<EntryId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(listed, vec![b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        TransactionTable::new(0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TableError::Full.to_string().contains("full"));
+        assert!(TableError::NoMatch { tag: Tag::new(1) }
+            .to_string()
+            .contains("T1"));
+    }
+}

@@ -1,0 +1,86 @@
+//! The `Tag` packet field — the third leg of the `(MstAddr, SlvAddr, Tag)`
+//! triple. Tags distinguish independent streams of transactions from one
+//! initiator, which is how the transaction layer absorbs OCP threads and
+//! AXI transaction IDs without the switch fabric knowing anything about
+//! either.
+
+use std::fmt;
+
+/// A transaction tag.
+///
+/// Responses carrying the same `(MstAddr, Tag)` pair must be delivered to
+/// the socket in request order; responses with different tags may be
+/// reordered freely. How socket-level identifiers (AXI IDs, OCP thread IDs)
+/// map onto tags is the NIU's [assignment policy](crate::OrderingPolicy).
+///
+/// # Examples
+///
+/// ```
+/// use noc_transaction::Tag;
+/// let t = Tag::new(3);
+/// assert_eq!(t.raw(), 3);
+/// assert_eq!(t.to_string(), "T3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u8);
+
+impl Tag {
+    /// Tag zero — the only tag a fully-ordered NIU ever uses.
+    pub const ZERO: Tag = Tag(0);
+
+    /// Creates a tag from its raw value.
+    pub const fn new(raw: u8) -> Self {
+        Tag(raw)
+    }
+
+    /// The raw tag value.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The index form, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u8> for Tag {
+    fn from(raw: u8) -> Self {
+        Tag(raw)
+    }
+}
+
+impl From<Tag> for u8 {
+    fn from(t: Tag) -> u8 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let t = Tag::from(9u8);
+        assert_eq!(u8::from(t), 9);
+        assert_eq!(t.index(), 9);
+    }
+
+    #[test]
+    fn zero_constant() {
+        assert_eq!(Tag::ZERO, Tag::new(0));
+        assert_eq!(Tag::default(), Tag::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tag::new(250).to_string(), "T250");
+    }
+}

@@ -1,0 +1,212 @@
+//! Bounded flit FIFOs — the input buffers of switches and NIUs, and the
+//! unit of credit-based flow control.
+
+use crate::flit::Flit;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded FIFO of flits.
+///
+/// Besides capacity it tracks the number of buffered *complete packets*
+/// (tails seen minus tails consumed), which store-and-forward switches use
+/// to forward only whole packets, and a high-water mark for sizing.
+///
+/// # Examples
+///
+/// ```
+/// use noc_transport::{Flit, FlitFifo, Header};
+/// let mut fifo = FlitFifo::new(4);
+/// assert!(fifo.push(Flit::head_tail(0, Header::request(1, 0, 0))));
+/// assert_eq!(fifo.complete_packets(), 1);
+/// assert!(fifo.pop().is_some());
+/// assert!(fifo.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlitFifo {
+    flits: VecDeque<Flit>,
+    capacity: usize,
+    complete_packets: usize,
+    high_water: usize,
+    total_pushed: u64,
+}
+
+impl FlitFifo {
+    /// Creates a FIFO holding at most `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        FlitFifo {
+            flits: VecDeque::with_capacity(capacity),
+            capacity,
+            complete_packets: 0,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Flits currently buffered.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Returns `true` when no flits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Returns `true` when the FIFO cannot accept another flit.
+    pub fn is_full(&self) -> bool {
+        self.flits.len() >= self.capacity
+    }
+
+    /// Free slots (the credits this buffer grants upstream).
+    pub fn free(&self) -> usize {
+        self.capacity - self.flits.len()
+    }
+
+    /// Number of whole packets buffered (tail flits present).
+    pub fn complete_packets(&self) -> usize {
+        self.complete_packets
+    }
+
+    /// Highest occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total flits ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Pushes a flit; returns `false` (and drops nothing) when full —
+    /// callers must only push when credits say there is space, so a
+    /// `false` return indicates a flow-control bug upstream.
+    pub fn push(&mut self, flit: Flit) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        if flit.is_tail() {
+            self.complete_packets += 1;
+        }
+        self.flits.push_back(flit);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.flits.len());
+        true
+    }
+
+    /// The flit at the head, if any.
+    pub fn peek(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Pops the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        let flit = self.flits.pop_front()?;
+        if flit.is_tail() {
+            self.complete_packets -= 1;
+        }
+        Some(flit)
+    }
+}
+
+impl fmt::Display for FlitFifo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fifo {}/{} ({} pkts)",
+            self.flits.len(),
+            self.capacity,
+            self.complete_packets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::Header;
+
+    fn ht(id: u64) -> Flit {
+        Flit::head_tail(id, Header::request(0, 0, 0))
+    }
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut f = FlitFifo::new(3);
+        f.push(ht(1));
+        f.push(ht(2));
+        assert_eq!(f.pop().unwrap().packet_id(), 1);
+        assert_eq!(f.pop().unwrap().packet_id(), 2);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn full_rejects_push() {
+        let mut f = FlitFifo::new(1);
+        assert!(f.push(ht(1)));
+        assert!(!f.push(ht(2)));
+        assert_eq!(f.len(), 1);
+        assert!(f.is_full());
+        assert_eq!(f.free(), 0);
+    }
+
+    #[test]
+    fn complete_packet_tracking() {
+        let mut f = FlitFifo::new(8);
+        let h = Header::request(0, 0, 0);
+        f.push(Flit::head(1, h));
+        f.push(Flit::body(1, vec![0]));
+        assert_eq!(f.complete_packets(), 0);
+        f.push(Flit::tail(1, vec![0]));
+        assert_eq!(f.complete_packets(), 1);
+        f.push(ht(2));
+        assert_eq!(f.complete_packets(), 2);
+        // draining first packet decrements only at its tail
+        f.pop();
+        f.pop();
+        assert_eq!(f.complete_packets(), 2);
+        f.pop();
+        assert_eq!(f.complete_packets(), 1);
+    }
+
+    #[test]
+    fn high_water_and_totals() {
+        let mut f = FlitFifo::new(4);
+        f.push(ht(1));
+        f.push(ht(2));
+        f.pop();
+        f.push(ht(3));
+        assert_eq!(f.high_water(), 2);
+        assert_eq!(f.total_pushed(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = FlitFifo::new(2);
+        f.push(ht(9));
+        assert_eq!(f.peek().unwrap().packet_id(), 9);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        FlitFifo::new(0);
+    }
+
+    #[test]
+    fn display() {
+        let mut f = FlitFifo::new(2);
+        f.push(ht(0));
+        assert_eq!(f.to_string(), "fifo 1/2 (1 pkts)");
+    }
+}

@@ -1,0 +1,360 @@
+//! Packets and flit-level (dis)assembly.
+
+use crate::flit::{Flit, FlitType, Header};
+use std::fmt;
+
+/// A transport packet: one header plus a byte payload.
+///
+/// # Examples
+///
+/// ```
+/// use noc_transport::{Header, Packet};
+/// let p = Packet::new(Header::request(1, 0, 0), vec![1, 2, 3, 4, 5]);
+/// let flits = p.to_flits(4);
+/// assert_eq!(flits.len(), 3); // head + 4-byte body + 1-byte tail
+/// assert_eq!(Packet::from_flits(&flits).unwrap(), p);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The packet header.
+    pub header: Header,
+    /// Payload bytes (may be empty, e.g. read requests).
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(header: Header, payload: Vec<u8>) -> Self {
+        Packet { header, payload }
+    }
+
+    /// Total flits when serialised with `flit_bytes` payload bytes per
+    /// flit (the physical flit width knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit_bytes` is zero.
+    pub fn flit_count(&self, flit_bytes: usize) -> usize {
+        assert!(flit_bytes > 0, "flit payload width must be non-zero");
+        if self.payload.is_empty() {
+            1
+        } else {
+            1 + self.payload.len().div_ceil(flit_bytes)
+        }
+    }
+
+    /// Serialises into flits: a head flit carrying the header, then
+    /// payload chunks, the last marked tail. Payload-less packets become a
+    /// single head-tail flit.
+    ///
+    /// `packet_id` disambiguation is the header's `(src, …)` plus a source
+    /// sequence number maintained by the sending NIU; here we derive a
+    /// stable id from the header fields for tests, callers may override
+    /// via [`Packet::to_flits_with_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit_bytes` is zero.
+    pub fn to_flits(&self, flit_bytes: usize) -> Vec<Flit> {
+        let id = (self.header.src as u64) << 32
+            | (self.header.dst as u64) << 16
+            | self.header.tag as u64;
+        self.to_flits_with_id(flit_bytes, id)
+    }
+
+    /// Serialises with an explicit packet id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit_bytes` is zero.
+    pub fn to_flits_with_id(&self, flit_bytes: usize, packet_id: u64) -> Vec<Flit> {
+        assert!(flit_bytes > 0, "flit payload width must be non-zero");
+        if self.payload.is_empty() {
+            return vec![Flit::head_tail(packet_id, self.header)];
+        }
+        let mut flits = vec![Flit::head(packet_id, self.header)];
+        let chunks: Vec<&[u8]> = self.payload.chunks(flit_bytes).collect();
+        let last = chunks.len() - 1;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            if i == last {
+                flits.push(Flit::tail(packet_id, chunk.to_vec()));
+            } else {
+                flits.push(Flit::body(packet_id, chunk.to_vec()));
+            }
+        }
+        flits
+    }
+
+    /// Reassembles a packet from a complete, ordered flit sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReassemblyError`] on malformed sequences.
+    pub fn from_flits(flits: &[Flit]) -> Result<Packet, ReassemblyError> {
+        let mut asm = PacketAssembler::new();
+        let mut done = None;
+        for (i, flit) in flits.iter().enumerate() {
+            if done.is_some() {
+                return Err(ReassemblyError::TrailingFlit { index: i });
+            }
+            if let Some(p) = asm.push(flit.clone())? {
+                done = Some(p);
+            }
+        }
+        done.ok_or(ReassemblyError::Incomplete)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt[{} +{}B]", self.header, self.payload.len())
+    }
+}
+
+/// Errors while reassembling flits into packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// A body/tail flit arrived with no packet in progress.
+    OrphanFlit,
+    /// A head flit arrived while another packet was still open.
+    UnexpectedHead,
+    /// A flit of a different packet id interleaved into an open packet
+    /// (cannot happen on a correct single link; indicates a fabric bug).
+    InterleavedPacket {
+        /// The open packet's id.
+        expected: u64,
+        /// The intruding flit's id.
+        got: u64,
+    },
+    /// The flit slice ended before a tail.
+    Incomplete,
+    /// Flits continued after the tail.
+    TrailingFlit {
+        /// Index of the trailing flit.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReassemblyError::OrphanFlit => write!(f, "payload flit with no open packet"),
+            ReassemblyError::UnexpectedHead => write!(f, "head flit while packet open"),
+            ReassemblyError::InterleavedPacket { expected, got } => {
+                write!(f, "flit of packet {got} interleaved into packet {expected}")
+            }
+            ReassemblyError::Incomplete => write!(f, "flit stream ended before tail"),
+            ReassemblyError::TrailingFlit { index } => {
+                write!(f, "unexpected flit at index {index} after tail")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// Incremental packet reassembler for one link endpoint.
+///
+/// NIUs own one assembler per incoming link; since the fabric never
+/// interleaves flits of different packets on a single link (wormhole
+/// allocates per-packet, store-and-forward moves whole packets), a single
+/// open packet suffices.
+///
+/// # Examples
+///
+/// ```
+/// use noc_transport::{Header, Packet, PacketAssembler};
+/// let p = Packet::new(Header::request(1, 0, 0), vec![9; 10]);
+/// let mut asm = PacketAssembler::new();
+/// let mut out = None;
+/// for f in p.to_flits(4) {
+///     out = asm.push(f)?;
+/// }
+/// assert_eq!(out.unwrap(), p);
+/// # Ok::<(), noc_transport::ReassemblyError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PacketAssembler {
+    open: Option<(u64, Header, Vec<u8>)>,
+}
+
+impl PacketAssembler {
+    /// Creates an idle assembler.
+    pub fn new() -> Self {
+        PacketAssembler::default()
+    }
+
+    /// Returns `true` if a packet is partially assembled.
+    pub fn in_progress(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Feeds one flit; returns the completed packet on tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReassemblyError`] on protocol violations.
+    pub fn push(&mut self, flit: Flit) -> Result<Option<Packet>, ReassemblyError> {
+        match flit.kind() {
+            FlitType::HeadTail => {
+                if self.open.is_some() {
+                    return Err(ReassemblyError::UnexpectedHead);
+                }
+                let header = *flit.header().expect("head flit carries header");
+                Ok(Some(Packet::new(header, Vec::new())))
+            }
+            FlitType::Head => {
+                if self.open.is_some() {
+                    return Err(ReassemblyError::UnexpectedHead);
+                }
+                let header = *flit.header().expect("head flit carries header");
+                self.open = Some((flit.packet_id(), header, Vec::new()));
+                Ok(None)
+            }
+            FlitType::Body | FlitType::Tail => {
+                let (id, header, mut payload) =
+                    self.open.take().ok_or(ReassemblyError::OrphanFlit)?;
+                if id != flit.packet_id() {
+                    return Err(ReassemblyError::InterleavedPacket {
+                        expected: id,
+                        got: flit.packet_id(),
+                    });
+                }
+                payload.extend_from_slice(flit.payload());
+                if flit.kind() == FlitType::Tail {
+                    Ok(Some(Packet::new(header, payload)))
+                } else {
+                    self.open = Some((id, header, payload));
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Header {
+        Header::request(3, 1, 0)
+    }
+
+    #[test]
+    fn empty_payload_single_flit() {
+        let p = Packet::new(hdr(), vec![]);
+        let flits = p.to_flits(8);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind(), FlitType::HeadTail);
+        assert_eq!(p.flit_count(8), 1);
+        assert_eq!(Packet::from_flits(&flits).unwrap(), p);
+    }
+
+    #[test]
+    fn exact_multiple_payload() {
+        let p = Packet::new(hdr(), vec![7; 16]);
+        let flits = p.to_flits(8);
+        assert_eq!(flits.len(), 3);
+        assert_eq!(flits[1].kind(), FlitType::Body);
+        assert_eq!(flits[2].kind(), FlitType::Tail);
+        assert_eq!(p.flit_count(8), 3);
+    }
+
+    #[test]
+    fn ragged_payload_last_flit_short() {
+        let p = Packet::new(hdr(), vec![1, 2, 3, 4, 5]);
+        let flits = p.to_flits(4);
+        assert_eq!(flits.len(), 3);
+        assert_eq!(flits[2].payload(), &[5]);
+        assert_eq!(Packet::from_flits(&flits).unwrap(), p);
+    }
+
+    #[test]
+    fn single_payload_flit_is_tail() {
+        let p = Packet::new(hdr(), vec![1, 2]);
+        let flits = p.to_flits(8);
+        assert_eq!(flits.len(), 2);
+        assert_eq!(flits[1].kind(), FlitType::Tail);
+    }
+
+    #[test]
+    fn round_trip_various_widths() {
+        let p = Packet::new(hdr(), (0..37).collect());
+        for w in [1usize, 2, 3, 8, 16, 64] {
+            let flits = p.to_flits(w);
+            assert_eq!(Packet::from_flits(&flits).unwrap(), p, "width {w}");
+        }
+    }
+
+    #[test]
+    fn orphan_flit_rejected() {
+        let mut asm = PacketAssembler::new();
+        let e = asm.push(Flit::body(1, vec![0])).unwrap_err();
+        assert_eq!(e, ReassemblyError::OrphanFlit);
+    }
+
+    #[test]
+    fn double_head_rejected() {
+        let mut asm = PacketAssembler::new();
+        asm.push(Flit::head(1, hdr())).unwrap();
+        let e = asm.push(Flit::head(2, hdr())).unwrap_err();
+        assert_eq!(e, ReassemblyError::UnexpectedHead);
+    }
+
+    #[test]
+    fn interleaved_packet_rejected() {
+        let mut asm = PacketAssembler::new();
+        asm.push(Flit::head(1, hdr())).unwrap();
+        let e = asm.push(Flit::body(9, vec![0])).unwrap_err();
+        assert_eq!(
+            e,
+            ReassemblyError::InterleavedPacket {
+                expected: 1,
+                got: 9
+            }
+        );
+    }
+
+    #[test]
+    fn incomplete_stream_detected() {
+        let p = Packet::new(hdr(), vec![0; 8]);
+        let mut flits = p.to_flits(4);
+        flits.pop();
+        assert_eq!(Packet::from_flits(&flits), Err(ReassemblyError::Incomplete));
+    }
+
+    #[test]
+    fn trailing_flit_detected() {
+        let p = Packet::new(hdr(), vec![0; 4]);
+        let mut flits = p.to_flits(4);
+        flits.push(Flit::body(0, vec![1]));
+        assert!(matches!(
+            Packet::from_flits(&flits),
+            Err(ReassemblyError::TrailingFlit { index: 2 })
+        ));
+    }
+
+    #[test]
+    fn assembler_in_progress_state() {
+        let mut asm = PacketAssembler::new();
+        assert!(!asm.in_progress());
+        asm.push(Flit::head(1, hdr())).unwrap();
+        assert!(asm.in_progress());
+        asm.push(Flit::tail(1, vec![0])).unwrap();
+        assert!(!asm.in_progress());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_flit_width_panics() {
+        Packet::new(hdr(), vec![1]).to_flits(0);
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(ReassemblyError::Incomplete.to_string().contains("tail"));
+        assert!(ReassemblyError::TrailingFlit { index: 4 }
+            .to_string()
+            .contains('4'));
+    }
+}

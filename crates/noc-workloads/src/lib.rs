@@ -1,0 +1,16 @@
+//! Workloads: synthetic traffic programs, IP-block models and the
+//! mixed-protocol "set-top SoC" scenario used throughout the experiments.
+//!
+//! The scenario instantiates the system of the paper's Fig 1: a CPU on
+//! **AHB**, a two-thread video decoder on **OCP**, a multi-ID DMA engine
+//! on **AXI**, a display controller on the proprietary **STRM** socket,
+//! and control masters on **PVCI**/**BVCI**/**AVCI** — all sharing a DRAM,
+//! an SRAM and a register slave. [`scenario::SetTop`] can realise it
+//! three ways from the *same* programs: on the NoC (Fig 1), on the
+//! bridged reference-socket interconnect (Fig 2) and on a shared bus.
+
+pub mod patterns;
+pub mod scenario;
+
+pub use patterns::{hotspot_program, neighbour_program, uniform_program, PatternConfig};
+pub use scenario::{SetTop, SetTopConfig};

@@ -1,0 +1,77 @@
+//! Pressure-based QoS: a latency-critical display stream keeps its
+//! latency under heavy DMA interference thanks to the packet `pressure`
+//! field — transport-layer QoS invisible to the transaction layer.
+//!
+//! Run with: `cargo run -p noc-examples --example qos_streaming`
+
+use noc_niu::fe::StrmInitiator;
+use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
+use noc_protocols::strm::StrmMaster;
+use noc_protocols::{MemoryModel, Program, SocketCommand};
+use noc_system::{NocConfig, SocBuilder};
+use noc_topology::Topology;
+use noc_transaction::{AddressMap, MstAddr, SlvAddr};
+
+fn map() -> AddressMap {
+    let mut m = AddressMap::new();
+    m.add(0x0, 0x10_0000, SlvAddr::new(3)).expect("valid range");
+    m
+}
+
+fn run(display_pressure: u8) -> (f64, u64) {
+    let display: Program = (0..40)
+        .map(|i| {
+            SocketCommand::read(0x1000 + i * 64, 8)
+                .with_burst(noc_transaction::BurstKind::Incr, 8)
+                .with_pressure(display_pressure)
+                .with_delay(2)
+        })
+        .collect();
+    let noise: Program = (0..40)
+        .map(|i| {
+            SocketCommand::write(0x8000 + i * 128, 8, i as u64)
+                .with_burst(noc_transaction::BurstKind::Incr, 16)
+        })
+        .collect();
+    let disp = InitiatorNiu::new(
+        StrmInitiator::new(StrmMaster::new(display, 4)),
+        InitiatorNiuConfig::new(MstAddr::new(0)).with_outstanding(4),
+        map(),
+    );
+    let mk_noise = |node: u16, p: Program| {
+        InitiatorNiu::new(
+            StrmInitiator::new(StrmMaster::new(p, 4)),
+            InitiatorNiuConfig::new(MstAddr::new(node)).with_outstanding(4),
+            map(),
+        )
+    };
+    let mem = TargetNiu::new(
+        MemoryTarget::new(MemoryModel::new(4), 8),
+        TargetNiuConfig::new(SlvAddr::new(3)),
+    );
+    let mut soc = SocBuilder::new(Topology::crossbar(4), NocConfig::new())
+        .initiator("display", 0, Box::new(disp))
+        .initiator("dma1", 1, Box::new(mk_noise(1, noise.clone())))
+        .initiator("dma2", 2, Box::new(mk_noise(2, noise)))
+        .target("mem", 3, Box::new(mem))
+        .build()
+        .expect("valid wiring");
+    let report = soc.run(1_000_000);
+    let disp = report
+        .masters
+        .iter()
+        .find(|m| m.name == "display")
+        .unwrap();
+    (disp.mean_latency, disp.latency_percentile(0.95))
+}
+
+fn main() {
+    println!("display stream under 2x DMA interference:\n");
+    println!("{:>12} | {:>10} | {:>8}", "pressure", "mean (cy)", "p95 (cy)");
+    println!("{:->12}-+-{:->10}-+-{:->8}", "", "", "");
+    for p in 0..=3u8 {
+        let (mean, p95) = run(p);
+        println!("{p:>12} | {mean:>10.1} | {p95:>8}");
+    }
+    println!("\nhigher pressure wins switch arbitration -> lower, tighter latency");
+}

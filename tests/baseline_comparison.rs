@@ -1,0 +1,160 @@
+//! Fig 1 vs Fig 2 vs shared bus: the same mixed-protocol SoC on three
+//! interconnects. The NoC must beat the bus on throughput and beat the
+//! bridged interconnect for concurrency-capable masters, reproducing the
+//! paper's qualitative claims quantitatively.
+
+use noc_area::{bridge_gates, bus_gates, niu_gates, switch_gates, NiuAreaConfig};
+use noc_baseline::Interconnect;
+use noc_protocols::ProtocolKind;
+use noc_workloads::{SetTop, SetTopConfig};
+
+fn mean_latency(logs: &[&noc_protocols::CompletionLog]) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for log in logs {
+        sum += log.mean_latency() * log.len() as f64;
+        n += log.len();
+    }
+    sum / n as f64
+}
+
+#[test]
+fn noc_finishes_before_the_bus() {
+    let cfg = SetTopConfig::new(20, 42);
+    let noc_report = SetTop::new(cfg).build_noc().run(2_000_000);
+    assert!(noc_report.all_done);
+    let mut bus = SetTop::new(cfg).build_bus();
+    assert!(bus.run(5_000_000));
+    assert!(
+        (noc_report.cycles as f64) < bus.now() as f64 * 0.8,
+        "NoC ({}) must clearly beat the bus ({})",
+        noc_report.cycles,
+        bus.now()
+    );
+}
+
+#[test]
+fn noc_latency_beats_bridged_for_concurrent_masters() {
+    let cfg = SetTopConfig::new(20, 43);
+    let noc_report = SetTop::new(cfg).build_noc().run(2_000_000);
+    assert!(noc_report.all_done);
+    let mut bridged = SetTop::new(cfg).build_bridged();
+    assert!(bridged.run(5_000_000));
+    // DMA (AXI, 16 outstanding on the NoC, clamped to 1 behind a bridge)
+    let noc_dma = noc_report
+        .masters
+        .iter()
+        .find(|m| m.name.contains("dma"))
+        .unwrap();
+    let bridged_logs = bridged.logs();
+    let bridged_dma = bridged_logs[2]; // attach order: cpu, video, dma, ...
+    assert!(
+        noc_dma.mean_latency < bridged_dma.mean_latency(),
+        "NoC DMA latency {:.1} must beat bridged {:.1}",
+        noc_dma.mean_latency,
+        bridged_dma.mean_latency()
+    );
+}
+
+#[test]
+fn bridged_is_still_functionally_complete() {
+    let cfg = SetTopConfig::new(15, 44);
+    let mut bridged = SetTop::new(cfg).build_bridged();
+    assert!(bridged.run(5_000_000));
+    for log in bridged.logs() {
+        assert_eq!(log.len(), 15);
+        assert_eq!(log.errors(), 0);
+    }
+}
+
+#[test]
+fn whole_system_end_times_order_noc_bridged_bus() {
+    let cfg = SetTopConfig::new(20, 45);
+    let noc_cycles = {
+        let r = SetTop::new(cfg).build_noc().run(2_000_000);
+        assert!(r.all_done);
+        r.cycles
+    };
+    let bridged_cycles = {
+        let mut ic = SetTop::new(cfg).build_bridged();
+        assert!(ic.run(5_000_000));
+        ic.now()
+    };
+    let bus_cycles = {
+        let mut bus = SetTop::new(cfg).build_bus();
+        assert!(bus.run(5_000_000));
+        bus.now()
+    };
+    assert!(
+        noc_cycles < bridged_cycles && bridged_cycles < bus_cycles,
+        "expected NoC < bridged < bus, got {noc_cycles} / {bridged_cycles} / {bus_cycles}"
+    );
+}
+
+#[test]
+fn bridged_makespan_exceeds_noc_for_concurrent_masters() {
+    // The bridge's latency penalty shows where it clamps concurrency:
+    // the DMA (AXI, 16 outstanding) and video (OCP, 2 threads) masters
+    // finish much later behind serialising bridges than on the NoC, even
+    // though the single-hop crossbar wins on an idle one-shot read.
+    let cfg = SetTopConfig::new(20, 46);
+    let mut noc = SetTop::new(cfg).build_noc();
+    let noc_report = noc.run(2_000_000);
+    assert!(noc_report.all_done);
+    let mut bridged = SetTop::new(cfg).build_bridged();
+    assert!(bridged.run(5_000_000));
+    let makespan = |log: &noc_protocols::CompletionLog| {
+        log.records().iter().map(|r| r.completed_at).max().unwrap()
+    };
+    let noc_logs = noc.completion_logs();
+    let bridged_logs = bridged.logs();
+    for idx in [1usize, 2] {
+        // attach order: cpu=0, video=1, dma=2
+        let (name, noc_log) = noc_logs[idx];
+        assert!(
+            makespan(bridged_logs[idx]) > makespan(noc_log),
+            "{name}: bridged {} must exceed NoC {}",
+            makespan(bridged_logs[idx]),
+            makespan(noc_log)
+        );
+    }
+    let _ = mean_latency(&bridged_logs); // keep helper exercised
+}
+
+#[test]
+fn adaptation_area_noc_vs_bridges() {
+    // Per-socket adaptation logic: NIU (NoC) vs bridge (Fig 2). The
+    // bridge needs two protocol front ends plus packet buffering, so per
+    // socket it costs more than the matching NIU of modest capacity.
+    let sockets = [
+        (ProtocolKind::Ahb, 2u32),
+        (ProtocolKind::Ocp, 8),
+        (ProtocolKind::Axi, 8),
+        (ProtocolKind::Strm, 2),
+        (ProtocolKind::Pvci, 1),
+        (ProtocolKind::Bvci, 2),
+        (ProtocolKind::Avci, 4),
+    ];
+    let mut niu_total = 0u64;
+    let mut bridge_total = 0u64;
+    for (proto, outstanding) in sockets {
+        niu_total += niu_gates(&NiuAreaConfig::new(proto, outstanding)).total();
+        bridge_total += bridge_gates(proto, ProtocolKind::Bvci, 8, 4).total();
+    }
+    // Fabric side: 4 switches (NoC) vs central crossbar + bus glue.
+    let noc_fabric: u64 = (0..4).map(|_| switch_gates(5, 5, 72, 8).total()).sum();
+    let bridged_fabric = switch_gates(7, 3, 72, 8).total() + bus_gates(7, 3, 8).total();
+    let noc_total = niu_total + noc_fabric;
+    let fig2_total = bridge_total + bridged_fabric;
+    // The paper's area claim is about per-socket adaptation: a bridge
+    // (two protocol front ends + store-and-forward buffers) out-costs
+    // the matching NIU for every socket in the mix.
+    assert!(
+        bridge_total > niu_total,
+        "bridges {bridge_total} must out-cost NIUs {niu_total}"
+    );
+    // Whole-system totals depend on fabric sizing (a multi-switch NoC
+    // buys its scalability with switch buffers); both must at least be
+    // plausible, positive and of the same order of magnitude.
+    assert!(noc_total > 0 && fig2_total > 0);
+    assert!(noc_total < fig2_total * 4 && fig2_total < noc_total * 4);
+}

@@ -1,0 +1,216 @@
+//! Paper §3 synchronisation primitives across the fabric: legacy
+//! READEX/LOCK pins transport paths and throttles bystanders; the modern
+//! exclusive service costs one packet bit and leaves the fabric alone.
+
+use noc_niu::fe::{AhbInitiator, AxiInitiator};
+use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
+use noc_protocols::ahb::AhbMaster;
+use noc_protocols::axi::AxiMaster;
+use noc_protocols::{MemoryModel, Program, SocketCommand};
+use noc_system::{NocConfig, Soc, SocBuilder};
+use noc_topology::Topology;
+use noc_transaction::{
+    AddressMap, MstAddr, Opcode, OrderingModel, RespStatus, SlvAddr, StreamId,
+};
+
+const SEM: u64 = 0x40; // semaphore address
+const DATA: (u64, u64) = (0x1000, 0x2000);
+
+fn map() -> AddressMap {
+    let mut m = AddressMap::new();
+    m.add(0x0, 0x2000, SlvAddr::new(2)).unwrap();
+    m
+}
+
+/// Background traffic master: plain reads hammering the shared target.
+fn background(n: usize) -> Program {
+    (0..n)
+        .map(|i| SocketCommand::read(DATA.0 + (i as u64 * 16) % 0xE00, 4))
+        .collect()
+}
+
+fn build(sync_program: Program, bg: Program, sync_is_axi: bool) -> Soc {
+    let topo = Topology::crossbar(3);
+    let sync_ep: Box<dyn noc_niu::NocEndpoint> = if sync_is_axi {
+        Box::new(InitiatorNiu::new(
+            AxiInitiator::new(AxiMaster::new(sync_program, 2, 4)),
+            InitiatorNiuConfig::new(MstAddr::new(0))
+                .with_ordering(OrderingModel::IdBased { tags: 2 })
+                .with_outstanding(4),
+            map(),
+        ))
+    } else {
+        Box::new(InitiatorNiu::new(
+            AhbInitiator::new(AhbMaster::new(sync_program)),
+            InitiatorNiuConfig::new(MstAddr::new(0)).with_outstanding(2),
+            map(),
+        ))
+    };
+    let bg_ep = InitiatorNiu::new(
+        AhbInitiator::new(AhbMaster::new(bg)),
+        InitiatorNiuConfig::new(MstAddr::new(1)).with_outstanding(2),
+        map(),
+    );
+    let mem = TargetNiu::new(
+        MemoryTarget::new(MemoryModel::new(2), 8),
+        TargetNiuConfig::new(SlvAddr::new(2)),
+    );
+    SocBuilder::new(topo, NocConfig::new())
+        .initiator("sync", 0, sync_ep)
+        .initiator("bg", 1, Box::new(bg_ep))
+        .target("mem", 2, Box::new(mem))
+        .build()
+        .expect("valid wiring")
+}
+
+#[test]
+fn exclusive_pair_succeeds_across_fabric() {
+    let sync = vec![
+        SocketCommand::read(SEM, 4)
+            .with_opcode(Opcode::ReadExclusive)
+            .with_stream(StreamId::new(0)),
+        SocketCommand::write(SEM, 4, 1)
+            .with_opcode(Opcode::WriteExclusive)
+            .with_stream(StreamId::new(0))
+            .with_delay(10),
+    ];
+    let mut soc = build(sync, background(5), true);
+    let report = soc.run(500_000);
+    assert!(report.all_done);
+    let (_, log) = soc
+        .completion_logs()
+        .into_iter()
+        .find(|(n, _)| *n == "sync")
+        .unwrap();
+    assert!(
+        log.records().iter().all(|r| r.status == RespStatus::ExOkay),
+        "{:?}",
+        log.records().iter().map(|r| r.status).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn competitor_write_breaks_reservation_across_fabric() {
+    // The background master writes the semaphore granule between the
+    // exclusive read and the exclusive write.
+    let sync = vec![
+        SocketCommand::read(SEM, 4)
+            .with_opcode(Opcode::ReadExclusive)
+            .with_stream(StreamId::new(0)),
+        SocketCommand::write(SEM, 4, 1)
+            .with_opcode(Opcode::WriteExclusive)
+            .with_stream(StreamId::new(0))
+            .with_delay(300),
+    ];
+    let bg = vec![SocketCommand::write(SEM + 4, 4, 9).with_delay(50)]; // same 64B granule
+    let mut soc = build(sync, bg, true);
+    let report = soc.run(500_000);
+    assert!(report.all_done);
+    let (_, log) = soc
+        .completion_logs()
+        .into_iter()
+        .find(|(n, _)| *n == "sync")
+        .unwrap();
+    let wx = log.records().iter().find(|r| r.index == 1).unwrap();
+    assert_eq!(wx.status, RespStatus::ExFail, "reservation must break");
+}
+
+#[test]
+fn exclusive_does_not_slow_bystanders() {
+    // Background latency with an exclusive-using neighbour ≈ background
+    // latency with an idle neighbour (no transport impact).
+    let run_bg_latency = |sync: Program| {
+        let mut soc = build(sync, background(30), true);
+        let report = soc.run(1_000_000);
+        assert!(report.all_done);
+        report
+            .masters
+            .iter()
+            .find(|m| m.name == "bg")
+            .unwrap()
+            .mean_latency
+    };
+    let idle = run_bg_latency(vec![]);
+    let excl: Program = (0..10)
+        .flat_map(|i| {
+            vec![
+                SocketCommand::read(SEM, 4)
+                    .with_opcode(Opcode::ReadExclusive)
+                    .with_stream(StreamId::new(0))
+                    .with_delay(i),
+                SocketCommand::write(SEM, 4, 1)
+                    .with_opcode(Opcode::WriteExclusive)
+                    .with_stream(StreamId::new(0)),
+            ]
+        })
+        .collect();
+    let with_excl = run_bg_latency(excl);
+    assert!(
+        with_excl < idle * 2.0,
+        "exclusive neighbour must not throttle bystanders: {with_excl:.1} vs idle {idle:.1}"
+    );
+}
+
+#[test]
+fn legacy_lock_throttles_bystanders() {
+    // Same comparison but the neighbour uses READEX/LOCK sequences with
+    // long hold times: the pinned path visibly inflates background
+    // latency and the switches record lock-idle cycles.
+    let run = |sync: Program| {
+        let mut soc = build(sync, background(30), false);
+        let report = soc.run(1_000_000);
+        assert!(report.all_done, "{report}");
+        let bg = report
+            .masters
+            .iter()
+            .find(|m| m.name == "bg")
+            .unwrap()
+            .mean_latency;
+        (bg, report.fabric.lock_idle_cycles)
+    };
+    let (idle_lat, _) = run(vec![]);
+    let locks: Program = (0..10)
+        .flat_map(|_| {
+            vec![
+                SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadLocked),
+                // long critical section: unlock delayed
+                SocketCommand::write(SEM, 4, 1)
+                    .with_opcode(Opcode::WriteUnlock)
+                    .with_delay(40),
+            ]
+        })
+        .collect();
+    let (locked_lat, lock_idle) = run(locks);
+    assert!(
+        locked_lat > idle_lat * 1.5,
+        "locking neighbour must throttle bystanders: {locked_lat:.1} vs idle {idle_lat:.1}"
+    );
+    assert!(lock_idle > 0, "switches must report lock-pinned idle cycles");
+}
+
+#[test]
+fn failed_exclusive_write_leaves_memory_untouched_across_fabric() {
+    let sync = vec![
+        // no reservation armed: must fail cleanly
+        SocketCommand::write(SEM, 4, 0xAB)
+            .with_opcode(Opcode::WriteExclusive)
+            .with_stream(StreamId::new(0)),
+        // plain read back: sees background pattern, not 0xAB data
+        SocketCommand::read(SEM, 4)
+            .with_stream(StreamId::new(1))
+            .with_delay(50),
+    ];
+    let mut soc = build(sync, vec![], true);
+    let report = soc.run(500_000);
+    assert!(report.all_done);
+    let (_, log) = soc
+        .completion_logs()
+        .into_iter()
+        .find(|(n, _)| *n == "sync")
+        .unwrap();
+    let wx = log.records().iter().find(|r| r.index == 0).unwrap();
+    assert_eq!(wx.status, RespStatus::ExFail);
+    let rd = log.records().iter().find(|r| r.index == 1).unwrap();
+    let attempted = SocketCommand::write(SEM, 4, 0xAB).payload();
+    assert_ne!(rd.data, attempted, "failed exclusive write must not land");
+}

@@ -1,0 +1,222 @@
+//! Property-based tests over the core data structures and invariants.
+
+use noc_niu::{decode_request, decode_response, encode_request, encode_response};
+use noc_transaction::{
+    AddressMap, Burst, BurstKind, Fingerprint, MstAddr, Opcode, OrderingModel, OrderingPolicy,
+    RespStatus, ServiceBits, SlvAddr, StreamId, Tag, TransactionRequest, TransactionResponse,
+};
+use noc_transport::{Flit, FlitFifo, Header, Packet};
+use proptest::prelude::*;
+
+fn arb_burst() -> impl Strategy<Value = Burst> {
+    (
+        prop_oneof![
+            Just(BurstKind::Incr),
+            Just(BurstKind::Wrap),
+            Just(BurstKind::Fixed),
+            Just(BurstKind::Stream)
+        ],
+        0u32..=7,   // log2 beat bytes
+        1u32..=256, // beats
+    )
+        .prop_filter_map("wrap needs pow2 beats", |(kind, log_bb, beats)| {
+            Burst::new(kind, 1 << log_bb, beats).ok()
+        })
+}
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Read),
+        Just(Opcode::Write),
+        Just(Opcode::WritePosted),
+        Just(Opcode::ReadExclusive),
+        Just(Opcode::WriteExclusive),
+        Just(Opcode::ReadLinked),
+        Just(Opcode::WriteConditional),
+        Just(Opcode::ReadLocked),
+        Just(Opcode::WriteUnlock),
+        Just(Opcode::Broadcast),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn burst_addresses_count_matches_beats(burst in arb_burst(), base in 0u64..1 << 40) {
+        let addrs: Vec<u64> = burst.beat_addresses(base).collect();
+        prop_assert_eq!(addrs.len() as u32, burst.beats());
+        // all addresses beat-aligned
+        for a in &addrs {
+            prop_assert_eq!(a % burst.beat_bytes() as u64, 0);
+        }
+    }
+
+    #[test]
+    fn burst_chop_preserves_address_sequence(
+        burst in arb_burst(),
+        base in 0u64..1 << 32,
+        max in 1u32..32
+    ) {
+        let chunks = burst.chop(base, max);
+        let chopped: Vec<u64> = chunks
+            .iter()
+            .flat_map(|(b, c)| c.beat_addresses(*b))
+            .collect();
+        let original: Vec<u64> = burst.beat_addresses(base).collect();
+        prop_assert_eq!(chopped, original);
+        for (_, c) in &chunks {
+            prop_assert!(c.beats() <= max);
+        }
+    }
+
+    #[test]
+    fn request_codec_round_trips(
+        opcode in arb_opcode(),
+        burst in arb_burst(),
+        addr in 0u64..1 << 40,
+        src in 0u16..64,
+        dst in 0u16..64,
+        tag in 0u8..=255,
+        stream in 0u16..1024,
+        pressure in 0u8..=3,
+    ) {
+        let mut b = TransactionRequest::builder(opcode)
+            .address(addr)
+            .burst(burst)
+            .source(MstAddr::new(src))
+            .destination(SlvAddr::new(dst))
+            .tag(Tag::new(tag))
+            .stream(StreamId::new(stream))
+            .services(ServiceBits::EXCLUSIVE)
+            .pressure(pressure);
+        if opcode.is_write() {
+            b = b.data(vec![0xA5; burst.total_bytes() as usize]);
+        }
+        let req = b.build().expect("valid request");
+        let packet = encode_request(&req);
+        let back = decode_request(&packet).expect("decodes");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_codec_round_trips(
+        dst in 0u16..64,
+        origin in 0u16..64,
+        tag in 0u8..=255,
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        for status in [RespStatus::Okay, RespStatus::ExOkay, RespStatus::ExFail, RespStatus::SlvErr, RespStatus::DecErr] {
+            let resp = TransactionResponse::new(
+                status, MstAddr::new(dst), SlvAddr::new(origin), Tag::new(tag), data.clone());
+            let back = decode_response(&encode_response(&resp, 0)).expect("decodes");
+            prop_assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn packet_flit_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..256), width in 1usize..32) {
+        let pkt = Packet::new(Header::request(1, 2, 3), payload);
+        let back = Packet::from_flits(&pkt.to_flits(width)).expect("reassembles");
+        prop_assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn fingerprint_is_permutation_invariant(
+        mut records in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u8>()), 1..20),
+        swap_a in any::<prop::sample::Index>(),
+        swap_b in any::<prop::sample::Index>(),
+    ) {
+        let mut fp1 = Fingerprint::new();
+        for (op, addr, st) in &records {
+            fp1.record(*op, *addr, &[], *st);
+        }
+        let a = swap_a.index(records.len());
+        let b = swap_b.index(records.len());
+        records.swap(a, b);
+        let mut fp2 = Fingerprint::new();
+        for (op, addr, st) in &records {
+            fp2.record(*op, *addr, &[], *st);
+        }
+        prop_assert_eq!(fp1, fp2);
+    }
+
+    #[test]
+    fn address_map_decode_agrees_with_ranges(
+        cuts in proptest::collection::btree_set(1u64..1 << 20, 1..6),
+        probe in 0u64..1 << 20,
+    ) {
+        // build adjacent ranges [0,c1),[c1,c2)... targets 0,1,2...
+        let mut map = AddressMap::new();
+        let mut bounds: Vec<u64> = cuts.into_iter().collect();
+        bounds.insert(0, 0);
+        for (i, pair) in bounds.windows(2).enumerate() {
+            map.add(pair[0], pair[1], SlvAddr::new(i as u16)).expect("disjoint by construction");
+        }
+        let last = *bounds.last().expect("non-empty");
+        match map.decode(probe) {
+            Ok(target) => {
+                let i = target.index();
+                prop_assert!(probe >= bounds[i] && probe < bounds[i + 1]);
+            }
+            Err(_) => prop_assert!(probe >= last),
+        }
+    }
+
+    #[test]
+    fn ordering_policy_never_exceeds_budget(
+        ops in proptest::collection::vec((0u16..8, 0u16..4, any::<bool>()), 1..200),
+        budget in 1u32..16,
+    ) {
+        let mut policy = OrderingPolicy::new(OrderingModel::IdBased { tags: 4 }, budget)
+            .expect("valid config");
+        let mut live: Vec<Tag> = Vec::new();
+        for (stream, dst, complete) in ops {
+            if complete && !live.is_empty() {
+                let tag = live.remove(0);
+                policy.complete(tag).expect("live tag completes");
+            } else if let Ok(tag) = policy.try_issue(StreamId::new(stream), SlvAddr::new(dst)) {
+                live.push(tag);
+            }
+            prop_assert!(policy.outstanding() <= budget);
+            prop_assert_eq!(policy.outstanding() as usize, live.len());
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_order_and_capacity(
+        pushes in proptest::collection::vec(any::<bool>(), 1..100),
+        capacity in 1usize..16,
+    ) {
+        let mut fifo = FlitFifo::new(capacity);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next_id = 0u64;
+        for push in pushes {
+            if push {
+                let flit = Flit::head_tail(next_id, Header::request(0, 0, 0));
+                let accepted = fifo.push(flit);
+                prop_assert_eq!(accepted, model.len() < capacity);
+                if accepted {
+                    model.push_back(next_id);
+                }
+                next_id += 1;
+            } else if let Some(flit) = fifo.pop() {
+                let expect = model.pop_front().expect("model in sync");
+                prop_assert_eq!(flit.packet_id(), expect);
+            } else {
+                prop_assert!(model.is_empty());
+            }
+            prop_assert_eq!(fifo.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn endianness_is_involution(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        log_w in 0usize..4,
+    ) {
+        use noc_transaction::Endianness;
+        let w = 1usize << log_w;
+        let once = Endianness::Big.converted(&data, w);
+        let twice = Endianness::Big.converted(&once, w);
+        prop_assert_eq!(twice, data);
+    }
+}
