@@ -176,8 +176,7 @@ pub fn niu_gates(cfg: &NiuAreaConfig) -> GateCount {
     }
     // Reorder buffer: one max-size packet per outstanding transaction.
     if cfg.target_rule == TargetRule::Interleave {
-        gates +=
-            cfg.outstanding as u64 * cfg.data_bytes as u64 * 8 * GATES_PER_BUF_BIT as u64;
+        gates += cfg.outstanding as u64 * cfg.data_bytes as u64 * 8 * GATES_PER_BUF_BIT as u64;
     }
     // Packetisation datapath: width-proportional mux/shift network.
     gates += cfg.data_bytes as u64 * 8 * 14;

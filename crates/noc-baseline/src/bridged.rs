@@ -261,9 +261,7 @@ impl Interconnect for BridgedInterconnect {
                     _ => {}
                 }
                 let plain = match opcode {
-                    Opcode::ReadExclusive | Opcode::ReadLinked | Opcode::ReadLocked => {
-                        Opcode::Read
-                    }
+                    Opcode::ReadExclusive | Opcode::ReadLinked | Opcode::ReadLocked => Opcode::Read,
                     Opcode::WriteExclusive | Opcode::WriteConditional | Opcode::WriteUnlock => {
                         Opcode::Write
                     }
@@ -297,8 +295,7 @@ impl Interconnect for BridgedInterconnect {
                     // with target locking the exclusive always succeeds
                     status = RespStatus::ExOkay;
                 }
-                slave.busy_until =
-                    now + slave.mem.latency() as u64 + sub.burst.beats() as u64;
+                slave.busy_until = now + slave.mem.latency() as u64 + sub.burst.beats() as u64;
                 let busy_until = slave.busy_until;
                 let parent = self.bridges[midx].inflight[sub.parent_slot]
                     .as_mut()

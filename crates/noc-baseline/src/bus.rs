@@ -114,27 +114,26 @@ impl Interconnect for SharedBus {
                             Opcode::ReadExclusive | Opcode::ReadLinked => {
                                 self.monitor.arm(master, req.address());
                             }
-                            Opcode::WriteExclusive | Opcode::WriteConditional => {
+                            Opcode::WriteExclusive | Opcode::WriteConditional
                                 if !self
                                     .monitor
                                     .try_exclusive_write(master, req.address())
-                                    .is_success()
-                                {
-                                    let resp = TransactionResponse::new(
-                                        RespStatus::ExFail,
-                                        master,
-                                        req.dst(),
-                                        req.tag(),
-                                        Vec::new(),
-                                    );
-                                    self.masters[midx].fe.push_response(
-                                        req.stream(),
-                                        req.opcode(),
-                                        resp,
-                                    );
-                                    self.now += 1;
-                                    return;
-                                }
+                                    .is_success() =>
+                            {
+                                let resp = TransactionResponse::new(
+                                    RespStatus::ExFail,
+                                    master,
+                                    req.dst(),
+                                    req.tag(),
+                                    Vec::new(),
+                                );
+                                self.masters[midx].fe.push_response(
+                                    req.stream(),
+                                    req.opcode(),
+                                    resp,
+                                );
+                                self.now += 1;
+                                return;
                             }
                             op if op.is_write() => {
                                 for a in req.burst().beat_addresses(req.address()) {
@@ -163,8 +162,7 @@ impl Interconnect for SharedBus {
                                     None,
                                     master,
                                 );
-                                let st = if req.opcode().is_exclusive() && st == RespStatus::Okay
-                                {
+                                let st = if req.opcode().is_exclusive() && st == RespStatus::Okay {
                                     RespStatus::ExOkay
                                 } else {
                                     st
@@ -182,13 +180,7 @@ impl Interconnect for SharedBus {
                     _ => {}
                 }
                 if req.opcode().expects_response() {
-                    let resp = TransactionResponse::new(
-                        status,
-                        master,
-                        req.dst(),
-                        req.tag(),
-                        data,
-                    );
+                    let resp = TransactionResponse::new(status, master, req.dst(), req.tag(), data);
                     self.masters[midx]
                         .fe
                         .push_response(req.stream(), req.opcode(), resp);
@@ -209,9 +201,7 @@ impl Interconnect for SharedBus {
                         .map
                         .decode(req.address())
                         .ok()
-                        .and_then(|_| {
-                            self.slave_for(req.address()).map(|s| s.mem.latency())
-                        })
+                        .and_then(|_| self.slave_for(req.address()).map(|s| s.mem.latency()))
                         .unwrap_or(0);
                     let done_at = now
                         + self.config.arbitration_cycles as u64

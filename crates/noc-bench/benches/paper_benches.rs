@@ -1,66 +1,87 @@
-//! Criterion micro-benchmarks: simulator performance for each subsystem
-//! behind the paper experiments (one group per experiment id).
+//! Micro-benchmarks: simulator performance for each subsystem behind the
+//! paper experiments (one group per experiment id).
+//!
+//! Self-hosted harness (no external bench framework is available in this
+//! build environment): each case is warmed up, then timed over enough
+//! iterations to fill a fixed wall-clock budget, reporting mean ns/iter.
+//! Run with `cargo bench -p noc-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use noc_niu::{encode_request, decode_request};
-use noc_transaction::{Burst, MstAddr, Opcode, OrderingModel, OrderingPolicy, SlvAddr, StreamId, Tag, TransactionRequest};
+use noc_baseline::Interconnect;
+use noc_niu::{decode_request, encode_request};
+use noc_transaction::{
+    Burst, MstAddr, Opcode, OrderingModel, OrderingPolicy, SlvAddr, StreamId, Tag,
+    TransactionRequest,
+};
 use noc_transport::{Flit, Header, Packet, PortId, RoutingTable, Switch, SwitchConfig};
 use noc_workloads::{SetTop, SetTopConfig};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_fig1_soc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_fig1_soc");
-    g.sample_size(10);
-    g.bench_function("set_top_8cmds_full_run", |b| {
-        b.iter(|| {
-            let mut soc = SetTop::new(SetTopConfig::new(8, 1)).build_noc();
-            let report = soc.run(1_000_000);
-            assert!(report.all_done);
-            black_box(report.cycles)
-        })
-    });
-    g.finish();
+/// Times `f` after warm-up, returning (mean ns/iter, iterations).
+fn bench<T>(budget: Duration, mut f: impl FnMut() -> T) -> (f64, u64) {
+    // Warm-up: run until 10% of the budget is spent (at least once).
+    let warm_until = Instant::now() + budget / 10;
+    let mut warm_iters = 0u64;
+    let warm_start = Instant::now();
+    loop {
+        black_box(f());
+        warm_iters += 1;
+        if Instant::now() >= warm_until {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+    // Measure: as many iterations as fit the remaining budget.
+    let iters = ((budget.as_nanos() as f64 / per_iter) as u64).max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed();
+    (total.as_nanos() as f64 / iters as f64, iters)
 }
 
-fn bench_fig2_baselines(c: &mut Criterion) {
-    use noc_baseline::Interconnect;
-    let mut g = c.benchmark_group("exp_fig2_baselines");
-    g.sample_size(10);
-    g.bench_function("bridged_8cmds_full_run", |b| {
-        b.iter(|| {
-            let mut ic = SetTop::new(SetTopConfig::new(8, 1)).build_bridged();
-            assert!(ic.run(2_000_000));
-            black_box(ic.now())
-        })
-    });
-    g.bench_function("bus_8cmds_full_run", |b| {
-        b.iter(|| {
-            let mut bus = SetTop::new(SetTopConfig::new(8, 1)).build_bus();
-            assert!(bus.run(2_000_000));
-            black_box(bus.now())
-        })
-    });
-    g.finish();
+fn case<T>(group: &str, name: &str, budget_ms: u64, f: impl FnMut() -> T) {
+    let (ns, iters) = bench(Duration::from_millis(budget_ms), f);
+    println!("{group:<22} {name:<28} {ns:>14.0} ns/iter  ({iters} iters)");
 }
 
-fn bench_ordering_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_ordering_policy");
-    g.bench_function("id_rename_issue_complete", |b| {
-        b.iter(|| {
+fn main() {
+    println!("{:<22} {:<28} {:>22}", "group", "case", "mean");
+
+    case("exp_fig1_soc", "set_top_8cmds_full_run", 500, || {
+        let mut soc = SetTop::new(SetTopConfig::new(8, 1)).build_noc();
+        let report = soc.run(1_000_000);
+        assert!(report.all_done);
+        report.cycles
+    });
+
+    case("exp_fig2_baselines", "bridged_8cmds_full_run", 500, || {
+        let mut ic = SetTop::new(SetTopConfig::new(8, 1)).build_bridged();
+        assert!(ic.run(2_000_000));
+        ic.now()
+    });
+    case("exp_fig2_baselines", "bus_8cmds_full_run", 500, || {
+        let mut bus = SetTop::new(SetTopConfig::new(8, 1)).build_bus();
+        assert!(bus.run(2_000_000));
+        bus.now()
+    });
+
+    case(
+        "exp_ordering_policy",
+        "id_rename_issue_complete",
+        200,
+        || {
             let mut p = OrderingPolicy::new(OrderingModel::IdBased { tags: 8 }, 16).unwrap();
             for i in 0..64u16 {
                 if let Ok(tag) = p.try_issue(StreamId::new(i % 12), SlvAddr::new(i % 4)) {
                     p.complete(tag).unwrap();
                 }
             }
-            black_box(p.outstanding())
-        })
-    });
-    g.finish();
-}
+            p.outstanding()
+        },
+    );
 
-fn bench_niu_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_services_codec");
     let req = TransactionRequest::builder(Opcode::Write)
         .address(0x1234)
         .burst(Burst::incr(16, 8).unwrap())
@@ -70,65 +91,49 @@ fn bench_niu_codec(c: &mut Criterion) {
         .data(vec![0xAB; 128])
         .build()
         .unwrap();
-    g.bench_function("encode_decode_128B_request", |b| {
-        b.iter(|| {
+    case(
+        "exp_services_codec",
+        "encode_decode_128B_request",
+        200,
+        || {
             let pkt = encode_request(black_box(&req));
-            black_box(decode_request(&pkt).unwrap())
-        })
-    });
-    g.finish();
-}
+            decode_request(&pkt).unwrap()
+        },
+    );
 
-fn bench_switch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_scale_switch");
-    g.bench_function("switch_5x5_tick_loaded", |b| {
-        let mut table = RoutingTable::new(8);
-        for d in 0..8 {
-            table.set(d, PortId((d % 5) as u8));
+    let mut table = RoutingTable::new(8);
+    for d in 0..8 {
+        table.set(d, PortId((d % 5) as u8));
+    }
+    case("exp_scale_switch", "switch_5x5_tick_loaded", 200, || {
+        let mut sw = Switch::new(SwitchConfig::wormhole(5, 5), table.clone());
+        for o in 0..5 {
+            sw.set_output_credits(o, 1000);
         }
-        b.iter(|| {
-            let mut sw = Switch::new(SwitchConfig::wormhole(5, 5), table.clone());
-            for o in 0..5 {
-                sw.set_output_credits(o, 1000);
+        for i in 0..5u16 {
+            let pkt = Packet::new(Header::request(i % 8, i, 0), vec![0; 32]);
+            for f in pkt.to_flits_with_id(8, i as u64) {
+                sw.accept(i as usize, f);
             }
-            for i in 0..5u16 {
-                let pkt = Packet::new(Header::request(i % 8, i, 0), vec![0; 32]);
-                for f in pkt.to_flits_with_id(8, i as u64) {
-                    sw.accept(i as usize, f);
-                }
-            }
-            let mut sent = 0;
-            for _ in 0..40 {
-                sent += sw.tick().sent.len();
-            }
-            black_box(sent)
-        })
+        }
+        let mut sent = 0;
+        for _ in 0..40 {
+            sent += sw.tick().sent.len();
+        }
+        sent
     });
-    g.finish();
-}
 
-fn bench_packetisation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_layering_flits");
     let pkt = Packet::new(Header::request(1, 2, 3), vec![0xCD; 256]);
     for width in [4usize, 8, 16] {
-        g.bench_function(format!("to_flits_256B_w{width}"), |b| {
-            b.iter(|| black_box(pkt.to_flits(black_box(width))).len())
-        });
+        case(
+            "exp_layering_flits",
+            &format!("to_flits_256B_w{width}"),
+            200,
+            || pkt.to_flits(black_box(width)).len(),
+        );
     }
-    g.bench_function("reassemble_256B_w8", |b| {
-        let flits: Vec<Flit> = pkt.to_flits(8);
-        b.iter(|| black_box(Packet::from_flits(&flits).unwrap()))
+    let flits: Vec<Flit> = pkt.to_flits(8);
+    case("exp_layering_flits", "reassemble_256B_w8", 200, || {
+        Packet::from_flits(&flits).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig1_soc,
-    bench_fig2_baselines,
-    bench_ordering_policy,
-    bench_niu_codec,
-    bench_switch,
-    bench_packetisation
-);
-criterion_main!(benches);

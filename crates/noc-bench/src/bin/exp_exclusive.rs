@@ -26,13 +26,18 @@ fn run(sync: Program) -> (f64, u64) {
         InitiatorNiuConfig::new(MstAddr::new(0)),
         map(),
     );
-    let bystander: Program = (0..40).map(|i| SocketCommand::read(0x1000 + i * 16, 4)).collect();
+    let bystander: Program = (0..40)
+        .map(|i| SocketCommand::read(0x1000 + i * 16, 4))
+        .collect();
     let bg = InitiatorNiu::new(
         AhbInitiator::new(AhbMaster::new(bystander)),
         InitiatorNiuConfig::new(MstAddr::new(1)),
         map(),
     );
-    let mem = TargetNiu::new(MemoryTarget::new(MemoryModel::new(2), 8), TargetNiuConfig::new(SlvAddr::new(2)));
+    let mem = TargetNiu::new(
+        MemoryTarget::new(MemoryModel::new(2), 8),
+        TargetNiuConfig::new(SlvAddr::new(2)),
+    );
     let mut soc = SocBuilder::new(Topology::crossbar(3), NocConfig::new())
         .initiator("sync", 0, Box::new(s))
         .initiator("bystander", 1, Box::new(bg))
@@ -41,27 +46,46 @@ fn run(sync: Program) -> (f64, u64) {
         .expect("valid wiring");
     let report = soc.run(2_000_000);
     assert!(report.all_done);
-    let lat = report.masters.iter().find(|m| m.name == "bystander").unwrap().mean_latency;
+    let lat = report
+        .masters
+        .iter()
+        .find(|m| m.name == "bystander")
+        .unwrap()
+        .mean_latency;
     (lat, report.fabric.lock_idle_cycles)
 }
 
 fn main() {
     println!("exp_exclusive: synchronisation schemes vs bystander latency\n");
     let excl: Program = (0..12)
-        .flat_map(|_| vec![
-            SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadExclusive),
-            SocketCommand::write(SEM, 4, 1).with_opcode(Opcode::WriteExclusive),
-        ])
+        .flat_map(|_| {
+            vec![
+                SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadExclusive),
+                SocketCommand::write(SEM, 4, 1).with_opcode(Opcode::WriteExclusive),
+            ]
+        })
         .collect();
     let lock: Program = (0..12)
-        .flat_map(|_| vec![
-            SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadLocked),
-            SocketCommand::write(SEM, 4, 1).with_opcode(Opcode::WriteUnlock).with_delay(40),
-        ])
+        .flat_map(|_| {
+            vec![
+                SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadLocked),
+                SocketCommand::write(SEM, 4, 1)
+                    .with_opcode(Opcode::WriteUnlock)
+                    .with_delay(40),
+            ]
+        })
         .collect();
-    let mut t = Table::new(&["neighbour scheme", "bystander mean (cy)", "lock-idle cycles"]);
+    let mut t = Table::new(&[
+        "neighbour scheme",
+        "bystander mean (cy)",
+        "lock-idle cycles",
+    ]);
     t.numeric();
-    for (label, program) in [("idle", Vec::new()), ("exclusive access", excl), ("READEX/LOCK", lock)] {
+    for (label, program) in [
+        ("idle", Vec::new()),
+        ("exclusive access", excl),
+        ("READEX/LOCK", lock),
+    ] {
         let (lat, idle) = run(program);
         t.row(&[label.to_string(), format!("{lat:.1}"), idle.to_string()]);
     }

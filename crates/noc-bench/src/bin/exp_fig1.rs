@@ -2,16 +2,28 @@
 //! plug directly into the NoC through NIUs. Prints per-socket results
 //! proving seamless coexistence on one fabric.
 
+use noc_scenario::Backend;
 use noc_stats::Table;
 use noc_workloads::{SetTop, SetTopConfig};
 
 fn main() {
-    let mut soc = SetTop::new(SetTopConfig::new(32, 2005)).build_noc();
-    let report = soc.run(5_000_000);
-    assert!(report.all_done, "Fig-1 SoC must drain");
+    let cfg = SetTopConfig::new(32, 2005);
+    let mut sim = SetTop::new(cfg)
+        .spec()
+        .build(&Backend::Noc(cfg.noc))
+        .expect("set-top spec is consistent");
+    assert!(sim.run_until(5_000_000), "Fig-1 SoC must drain");
+    let report = sim.report();
     println!("exp_fig1: mixed-protocol SoC on the NoC (paper Fig 1)");
     println!("7 sockets (AHB/OCP/AXI/STRM/PVCI/BVCI/AVCI), 3 targets, 4-switch fabric\n");
-    let mut t = Table::new(&["master", "completions", "errors", "mean lat (cy)", "p95 (cy)", "fingerprint"]);
+    let mut t = Table::new(&[
+        "master",
+        "completions",
+        "errors",
+        "mean lat (cy)",
+        "p95 (cy)",
+        "fingerprint",
+    ]);
     t.numeric();
     for m in &report.masters {
         t.row(&[
@@ -28,6 +40,6 @@ fn main() {
         "total: {} cycles, {:.4} completions/cycle, fabric moved {} flits",
         report.cycles,
         report.throughput(),
-        report.fabric.flits_forwarded
+        report.fabric.expect("NoC backend").flits_forwarded
     );
 }

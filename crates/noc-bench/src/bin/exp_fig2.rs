@@ -1,65 +1,84 @@
 //! Experiment `exp_fig2` — paper Fig 2: the same SoC forced through a
 //! reference-socket interconnect with per-IP bridges, and through a
 //! shared bus. Quantifies the bridge latency/area/feature penalties.
+//!
+//! All three realisations compile from the one set-top `ScenarioSpec`;
+//! per-master rows are looked up by name, never by log position.
 
 use noc_area::{bridge_gates, niu_gates, NiuAreaConfig};
-use noc_baseline::Interconnect;
-use noc_bench::mean_latency;
 use noc_protocols::ProtocolKind;
+use noc_scenario::{Backend, ScenarioReport, Simulation};
 use noc_stats::Table;
 use noc_workloads::{SetTop, SetTopConfig};
 
 fn main() {
     let cfg = SetTopConfig::new(32, 2005);
-    let noc_report = SetTop::new(cfg).build_noc().run(5_000_000);
-    assert!(noc_report.all_done);
-    let mut bridged = SetTop::new(cfg).build_bridged();
-    assert!(bridged.run(10_000_000));
-    let mut bus = SetTop::new(cfg).build_bus();
-    assert!(bus.run(10_000_000));
+    let spec = SetTop::new(cfg).spec();
+
+    let run = |backend: Backend, budget: u64| -> ScenarioReport {
+        let mut sim = spec.build(&backend).expect("set-top spec is consistent");
+        assert!(sim.run_until(budget), "{backend} must drain");
+        sim.report()
+    };
+    let noc_report = run(Backend::Noc(cfg.noc), 5_000_000);
+    let mut bridged = spec
+        .build_bridged(cfg.bridge)
+        .expect("set-top spec is consistent");
+    assert!(bridged.run_until(10_000_000));
+    let bridged_report = bridged.report();
+    let bus_report = run(Backend::Bus(cfg.bus), 10_000_000);
 
     println!("exp_fig2: Fig 1 (NoC+NIUs) vs Fig 2 (bridged) vs shared bus\n");
-    let mut t = Table::new(&["interconnect", "makespan (cy)", "mean lat (cy)", "dma mean (cy)", "video mean (cy)"]);
+    let mut t = Table::new(&[
+        "interconnect",
+        "makespan (cy)",
+        "mean lat (cy)",
+        "dma mean (cy)",
+        "video mean (cy)",
+    ]);
     t.numeric();
-    let noc_m = |tag: &str| noc_report.masters.iter().find(|m| m.name.contains(tag)).unwrap().mean_latency;
-    t.row(&[
-        "NoC + NIUs (Fig 1)".into(),
-        noc_report.cycles.to_string(),
-        format!("{:.1}", noc_report.mean_latency()),
-        format!("{:.1}", noc_m("dma")),
-        format!("{:.1}", noc_m("video")),
-    ]);
-    let blogs = bridged.logs();
-    t.row(&[
-        "bridged ref-socket (Fig 2)".into(),
-        bridged.now().to_string(),
-        format!("{:.1}", mean_latency(&blogs)),
-        format!("{:.1}", blogs[2].mean_latency()),
-        format!("{:.1}", blogs[1].mean_latency()),
-    ]);
-    let buslogs = bus.logs();
-    t.row(&[
-        "shared bus".into(),
-        bus.now().to_string(),
-        format!("{:.1}", mean_latency(&buslogs)),
-        format!("{:.1}", buslogs[2].mean_latency()),
-        format!("{:.1}", buslogs[1].mean_latency()),
-    ]);
+    let rows = [
+        ("NoC + NIUs (Fig 1)", &noc_report),
+        ("bridged ref-socket (Fig 2)", &bridged_report),
+        ("shared bus", &bus_report),
+    ];
+    for (label, report) in rows {
+        let by_name = |tag: &str| report.master(tag).expect("set-top master").mean_latency;
+        t.row(&[
+            label.into(),
+            report.cycles.to_string(),
+            format!("{:.1}", report.mean_latency()),
+            format!("{:.1}", by_name("dma")),
+            format!("{:.1}", by_name("video")),
+        ]);
+    }
     println!("{t}");
-    println!("bridged interconnect chopped {} long bursts (feature loss)\n", bridged.chopped_bursts());
+    println!(
+        "bridged interconnect chopped {} long bursts (feature loss)\n",
+        bridged.inner().chopped_bursts()
+    );
 
     println!("per-socket adaptation area (NIU vs bridge to reference socket):");
     let mut a = Table::new(&["socket", "NIU gates", "bridge gates", "bridge overhead"]);
     a.numeric();
     let mix = [
-        (ProtocolKind::Ahb, 2u32), (ProtocolKind::Ocp, 8), (ProtocolKind::Axi, 8),
-        (ProtocolKind::Strm, 2), (ProtocolKind::Pvci, 1), (ProtocolKind::Bvci, 2),
+        (ProtocolKind::Ahb, 2u32),
+        (ProtocolKind::Ocp, 8),
+        (ProtocolKind::Axi, 8),
+        (ProtocolKind::Strm, 2),
+        (ProtocolKind::Pvci, 1),
+        (ProtocolKind::Bvci, 2),
         (ProtocolKind::Avci, 4),
     ];
     for (p, out) in mix {
         let n = niu_gates(&NiuAreaConfig::new(p, out)).total();
         let b = bridge_gates(p, ProtocolKind::Bvci, 8, 4).total();
-        a.row(&[p.to_string(), n.to_string(), b.to_string(), format!("{:.2}x", b as f64 / n as f64)]);
+        a.row(&[
+            p.to_string(),
+            n.to_string(),
+            b.to_string(),
+            format!("{:.2}x", b as f64 / n as f64),
+        ]);
     }
     println!("{a}");
 }

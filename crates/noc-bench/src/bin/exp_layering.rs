@@ -1,8 +1,11 @@
 //! Experiment `exp_layering` — paper §1: transport and physical choices
 //! (switching mode, flit width, pipelining) are invisible at the
 //! transaction layer. Identical fingerprints, different timing.
+//!
+//! One set-top spec, one sweep over transport/physical configurations.
 
 use noc_physical::LinkConfig;
+use noc_scenario::{Backend, Sweep};
 use noc_stats::Table;
 use noc_system::NocConfig;
 use noc_topology::RouteAlgorithm;
@@ -11,10 +14,11 @@ use noc_workloads::{SetTop, SetTopConfig};
 
 fn main() {
     println!("exp_layering: transport/physical sweep over the Fig-1 SoC\n");
-    let mut t = Table::new(&["transport/physical config", "makespan (cy)", "mean lat (cy)", "system fingerprint"]);
-    t.numeric();
     let configs: Vec<(&str, NocConfig)> = vec![
-        ("wormhole, full width", NocConfig::new().with_routing(RouteAlgorithm::UpDown)),
+        (
+            "wormhole, full width",
+            NocConfig::new().with_routing(RouteAlgorithm::UpDown),
+        ),
         (
             "store-and-forward",
             NocConfig::new()
@@ -36,20 +40,30 @@ fn main() {
         ),
         (
             "wormhole, deep buffers (32)",
-            NocConfig::new().with_routing(RouteAlgorithm::UpDown).with_buffer_depth(32),
+            NocConfig::new()
+                .with_routing(RouteAlgorithm::UpDown)
+                .with_buffer_depth(32),
         ),
     ];
+    let spec = SetTop::new(SetTopConfig::new(24, 777)).spec();
+    let sweep = Sweep::over(configs, |(label, noc)| {
+        (label.to_string(), spec.clone(), Backend::Noc(noc))
+    });
+
+    let mut t = Table::new(&[
+        "transport/physical config",
+        "makespan (cy)",
+        "mean lat (cy)",
+        "system fingerprint",
+    ]);
+    t.numeric();
     let mut fingerprints = Vec::new();
-    for (label, noc) in configs {
-        let mut cfg = SetTopConfig::new(24, 777);
-        cfg.noc = noc;
-        let report = SetTop::new(cfg).build_noc().run(10_000_000);
-        assert!(report.all_done, "{label} must drain");
-        let fp = report.system_fingerprint();
+    for result in sweep.run().expect("set-top spec is consistent") {
+        let fp = result.report.system_fingerprint();
         t.row(&[
-            label.to_string(),
-            report.cycles.to_string(),
-            format!("{:.1}", report.mean_latency()),
+            result.label,
+            result.report.cycles.to_string(),
+            format!("{:.1}", result.report.mean_latency()),
             format!("{fp}"),
         ]);
         fingerprints.push(fp);

@@ -3,14 +3,10 @@
 //! cycles ("scaling their gate count to their expected performance").
 
 use noc_area::{niu_gates, NiuAreaConfig};
-use noc_niu::fe::AxiInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::axi::AxiMaster;
-use noc_protocols::{MemoryModel, Program, ProtocolKind, SocketCommand};
+use noc_protocols::{Program, ProtocolKind, SocketCommand};
+use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, Sweep};
 use noc_stats::Table;
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::Topology;
-use noc_transaction::{AddressMap, MstAddr, OrderingModel, SlvAddr, StreamId};
+use noc_transaction::StreamId;
 
 fn workload(n: usize) -> Program {
     (0..n)
@@ -21,41 +17,48 @@ fn workload(n: usize) -> Program {
         .collect()
 }
 
-fn run(outstanding: u32) -> u64 {
-    let mut map = AddressMap::new();
-    map.add(0x0, 0x1000, SlvAddr::new(1)).unwrap();
-    map.add(0x1000, 0x2000, SlvAddr::new(2)).unwrap();
-    let niu = InitiatorNiu::new(
-        AxiInitiator::new(AxiMaster::new(workload(48), outstanding, outstanding)),
-        InitiatorNiuConfig::new(MstAddr::new(0))
-            .with_ordering(OrderingModel::IdBased { tags: 4 })
+fn spec(outstanding: u32) -> ScenarioSpec {
+    ScenarioSpec::new()
+        .initiator(
+            InitiatorSpec::new(
+                "axi",
+                SocketSpec::Axi {
+                    tags: 4,
+                    per_id: outstanding,
+                    total: outstanding,
+                },
+                workload(48),
+            )
             .with_outstanding(outstanding),
-        map,
-    );
-    let fast = TargetNiu::new(MemoryTarget::new(MemoryModel::new(1), 8), TargetNiuConfig::new(SlvAddr::new(1)));
-    let slow = TargetNiu::new(MemoryTarget::new(MemoryModel::new(30), 8), TargetNiuConfig::new(SlvAddr::new(2)));
-    let mut soc = SocBuilder::new(Topology::crossbar(3), NocConfig::new())
-        .initiator("axi", 0, Box::new(niu))
-        .target("fast", 1, Box::new(fast))
-        .target("slow", 2, Box::new(slow))
-        .build()
-        .expect("valid wiring");
-    let report = soc.run(2_000_000);
-    assert!(report.all_done);
-    report.cycles
+        )
+        .memory(MemorySpec::new("fast", 0x0, 0x1000, 1))
+        .memory(MemorySpec::new("slow", 0x1000, 0x2000, 30))
 }
 
 fn main() {
     println!("exp_ordering: outstanding-capacity sweep (AXI master, fast+slow targets)\n");
-    let mut t = Table::new(&["outstanding", "makespan (cy)", "speedup", "NIU gates", "gates vs 1"]);
+    let sweep = Sweep::over([1u32, 2, 4, 8, 16], |outstanding| {
+        (outstanding.to_string(), spec(outstanding), Backend::noc())
+    })
+    .with_max_cycles(2_000_000);
+    let results = sweep.run().expect("specs are consistent");
+
+    let mut t = Table::new(&[
+        "outstanding",
+        "makespan (cy)",
+        "speedup",
+        "NIU gates",
+        "gates vs 1",
+    ]);
     t.numeric();
-    let base_cycles = run(1);
+    let base_cycles = results[0].report.cycles;
     let base_gates = niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, 1)).total();
-    for outstanding in [1u32, 2, 4, 8, 16] {
-        let cycles = run(outstanding);
+    for result in &results {
+        let outstanding: u32 = result.label.parse().expect("label is the parameter");
+        let cycles = result.report.cycles;
         let gates = niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, outstanding)).total();
         t.row(&[
-            outstanding.to_string(),
+            result.label.clone(),
             cycles.to_string(),
             format!("{:.2}x", base_cycles as f64 / cycles as f64),
             gates.to_string(),

@@ -1,19 +1,14 @@
 //! Experiment `exp_qos` — transport-layer QoS: pressure classes under
 //! hotspot congestion.
 
-use noc_niu::fe::StrmInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::strm::StrmMaster;
-use noc_protocols::{MemoryModel, Program, SocketCommand};
+use noc_protocols::{Program, SocketCommand};
+use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec};
 use noc_stats::Table;
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::Topology;
-use noc_transaction::{AddressMap, BurstKind, MstAddr, SlvAddr};
+use noc_transaction::BurstKind;
 
-fn run(pressures: [u8; 3]) -> Vec<(f64, u64)> {
-    let mut map = AddressMap::new();
-    map.add(0x0, 0x10_0000, SlvAddr::new(3)).unwrap();
-    let mk = |node: u16, pressure: u8| {
+fn spec(pressures: [u8; 3]) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new();
+    for (node, pressure) in pressures.into_iter().enumerate() {
         let program: Program = (0..40)
             .map(|i| {
                 SocketCommand::read(0x1000 * (node as u64 + 1) + i * 64, 8)
@@ -21,23 +16,20 @@ fn run(pressures: [u8; 3]) -> Vec<(f64, u64)> {
                     .with_pressure(pressure)
             })
             .collect();
-        InitiatorNiu::new(
-            StrmInitiator::new(StrmMaster::new(program, 4)),
-            InitiatorNiuConfig::new(MstAddr::new(node)).with_outstanding(4),
-            map.clone(),
-        )
-    };
-    let mem = TargetNiu::new(MemoryTarget::new(MemoryModel::new(4), 8), TargetNiuConfig::new(SlvAddr::new(3)));
-    let mut soc = SocBuilder::new(Topology::crossbar(4), NocConfig::new())
-        .initiator("class0", 0, Box::new(mk(0, pressures[0])))
-        .initiator("class1", 1, Box::new(mk(1, pressures[1])))
-        .initiator("class2", 2, Box::new(mk(2, pressures[2])))
-        .target("mem", 3, Box::new(mem))
-        .build()
-        .expect("valid wiring");
-    let report = soc.run(2_000_000);
-    assert!(report.all_done);
-    report
+        spec = spec.initiator(
+            InitiatorSpec::new(&format!("class{node}"), SocketSpec::strm(), program)
+                .with_outstanding(4),
+        );
+    }
+    spec.memory(MemorySpec::new("mem", 0x0, 0x10_0000, 4))
+}
+
+fn run(pressures: [u8; 3]) -> Vec<(f64, u64)> {
+    let mut sim = spec(pressures)
+        .build(&Backend::noc())
+        .expect("valid scenario");
+    assert!(sim.run_until(2_000_000));
+    sim.report()
         .masters
         .iter()
         .map(|m| (m.mean_latency, m.latency_percentile(0.95)))
@@ -50,7 +42,12 @@ fn main() {
     let mut t = Table::new(&["class", "pressure", "mean (cy)", "p95 (cy)"]);
     t.numeric();
     for (i, (mean, p95)) in run([0, 0, 0]).iter().enumerate() {
-        t.row(&[format!("class{i}"), "0".into(), format!("{mean:.1}"), p95.to_string()]);
+        t.row(&[
+            format!("class{i}"),
+            "0".into(),
+            format!("{mean:.1}"),
+            p95.to_string(),
+        ]);
     }
     println!("{t}");
     println!("scenario B: differentiated pressure 3/1/0");
@@ -58,7 +55,12 @@ fn main() {
     t.numeric();
     let pressures = [3u8, 1, 0];
     for (i, (mean, p95)) in run(pressures).iter().enumerate() {
-        t.row(&[format!("class{i}"), pressures[i].to_string(), format!("{mean:.1}"), p95.to_string()]);
+        t.row(&[
+            format!("class{i}"),
+            pressures[i].to_string(),
+            format!("{mean:.1}"),
+            p95.to_string(),
+        ]);
     }
     println!("{t}");
     println!("higher pressure -> lower latency under contention; QoS lives in transport only");

@@ -1,79 +1,137 @@
 //! Experiment `exp_scale` — transport-layer scalability: mesh size sweep
 //! under uniform random traffic (the property the paper assigns to the
 //! transport layer, which the transaction layer never sees).
+//!
+//! Each mesh size is one declarative scenario; the sweep runner expands
+//! the grid and batches the runs.
 
-use noc_niu::fe::AxiInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::axi::AxiMaster;
-use noc_protocols::{MemoryModel, Program, SocketCommand};
+use noc_protocols::{Program, SocketCommand};
+use noc_scenario::{
+    Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, Sweep, TopologySpec,
+};
 use noc_stats::Table;
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::{RouteAlgorithm, Topology};
-use noc_transaction::{AddressMap, MstAddr, OrderingModel, SlvAddr, StreamId};
+use noc_system::NocConfig;
+use noc_topology::RouteAlgorithm;
+use noc_transaction::StreamId;
 
-/// Builds a w x w mesh: even nodes are masters, odd nodes memories.
-fn run_mesh(w: usize, commands: usize) -> (u64, f64, usize) {
+const SLICE: u64 = 0x1_0000;
+
+/// A w x w mesh: masters on even switches, memories on odd switches,
+/// uniform random reads over all memory slices.
+fn mesh_spec(w: usize, commands: usize) -> ScenarioSpec {
     let n = w * w;
-    let slice = 0x1_0000u64;
-    let mut map = AddressMap::new();
-    let targets: Vec<u16> = (0..n as u16).filter(|i| i % 2 == 1).collect();
-    for (k, t) in targets.iter().enumerate() {
-        map.add(k as u64 * slice, (k as u64 + 1) * slice, SlvAddr::new(*t)).unwrap();
+    let masters: Vec<usize> = (0..n).filter(|s| s % 2 == 0).collect();
+    let memories: Vec<usize> = (0..n).filter(|s| s % 2 == 1).collect();
+    let mut spec = ScenarioSpec::new();
+    for &switch in &masters {
+        // uniform random reads over all slices, seeded per master switch
+        let program: Program = (0..commands)
+            .map(|i| {
+                let mut x = (switch as u64) << 32 | i as u64;
+                x ^= x >> 12;
+                x = x.wrapping_mul(0x2545F4914F6CDD1D);
+                x ^= x >> 27;
+                let slice_idx = x % memories.len() as u64;
+                let addr = slice_idx * SLICE + (x >> 8) % (SLICE - 64);
+                SocketCommand::read(addr & !7, 8).with_stream(StreamId::new(i as u16 % 4))
+            })
+            .collect();
+        spec = spec.initiator(
+            InitiatorSpec::new(
+                &format!("m{switch}"),
+                SocketSpec::Axi {
+                    tags: 4,
+                    per_id: 4,
+                    total: 8,
+                },
+                program,
+            )
+            .with_outstanding(8),
+        );
     }
-    let mut builder = SocBuilder::new(
-        Topology::mesh(w, w),
-        NocConfig::new().with_routing(RouteAlgorithm::XyMesh { width: w, height: w }),
-    );
-    let mut masters = 0;
-    for node in 0..n as u16 {
-        if node % 2 == 1 {
-            let tgt = TargetNiu::new(
-                MemoryTarget::new(MemoryModel::new(2), 8),
-                TargetNiuConfig::new(SlvAddr::new(node)),
-            );
-            builder = builder.target(&format!("mem{node}"), node, Box::new(tgt));
-        } else {
-            masters += 1;
-            // uniform random reads over all slices, seeded per node
-            let program: Program = (0..commands)
-                .map(|i| {
-                    let mut x = (node as u64) << 32 | i as u64;
-                    x ^= x >> 12; x = x.wrapping_mul(0x2545F4914F6CDD1D); x ^= x >> 27;
-                    let slice_idx = x % targets.len() as u64;
-                    let addr = slice_idx * slice + (x >> 8) % (slice - 64);
-                    SocketCommand::read(addr & !7, 8).with_stream(StreamId::new(i as u16 % 4))
-                })
-                .collect();
-            let niu = InitiatorNiu::new(
-                AxiInitiator::new(AxiMaster::new(program, 4, 8)),
-                InitiatorNiuConfig::new(MstAddr::new(node))
-                    .with_ordering(OrderingModel::IdBased { tags: 4 })
-                    .with_outstanding(8),
-                map.clone(),
-            );
-            builder = builder.initiator(&format!("m{node}"), node, Box::new(niu));
+    for (k, &switch) in memories.iter().enumerate() {
+        spec = spec.memory(
+            MemorySpec::new(
+                &format!("mem{switch}"),
+                k as u64 * SLICE,
+                (k as u64 + 1) * SLICE,
+                2,
+            )
+            .with_queue(8),
+        );
+    }
+    // Row-major mesh links; masters first then memories, each on its own
+    // switch, so XY routing stays deadlock-free.
+    let placement: Vec<usize> = masters.iter().chain(memories.iter()).copied().collect();
+    let links = mesh_links(w, w);
+    spec.with_topology(TopologySpec::Custom {
+        switches: n,
+        links,
+        placement,
+    })
+}
+
+fn mesh_links(width: usize, height: usize) -> Vec<(usize, usize)> {
+    let mut links = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let s = y * width + x;
+            if x + 1 < width {
+                links.push((s, s + 1));
+            }
+            if y + 1 < height {
+                links.push((s, s + width));
+            }
         }
     }
-    let mut soc = builder.build().expect("valid wiring");
-    let report = soc.run(20_000_000);
-    assert!(report.all_done, "mesh {w}x{w} must drain");
-    (report.cycles, report.mean_latency(), masters)
+    links
 }
 
 fn main() {
-    println!("exp_scale: mesh sweep, uniform random AXI traffic, 24 reads/master\n");
-    let mut t = Table::new(&["mesh", "masters", "makespan (cy)", "mean lat (cy)", "aggregate reads/cy"]);
-    t.numeric();
-    for w in [2usize, 3, 4, 6] {
-        let (cycles, lat, masters) = run_mesh(w, 24);
-        t.row(&[
+    const COMMANDS: usize = 24;
+    println!("exp_scale: mesh sweep, uniform random AXI traffic, {COMMANDS} reads/master\n");
+    let sweep = Sweep::over([2usize, 3, 4, 6], |w| {
+        (
             format!("{w}x{w}"),
+            mesh_spec(w, COMMANDS),
+            Backend::Noc(NocConfig::new().with_routing(RouteAlgorithm::XyMesh {
+                width: w,
+                height: w,
+            })),
+        )
+    })
+    .with_max_cycles(20_000_000);
+    let masters_per_point: Vec<usize> = sweep
+        .points()
+        .iter()
+        .map(|p| p.spec.initiators.len())
+        .collect();
+
+    let mut t = Table::new(&[
+        "mesh",
+        "masters",
+        "makespan (cy)",
+        "mean lat (cy)",
+        "aggregate reads/cy",
+    ]);
+    t.numeric();
+    for (result, masters) in sweep
+        .run()
+        .expect("mesh specs are consistent")
+        .iter()
+        .zip(masters_per_point)
+    {
+        let r = &result.report;
+        t.row(&[
+            result.label.clone(),
             masters.to_string(),
-            cycles.to_string(),
-            format!("{lat:.1}"),
-            format!("{:.4}", (masters * 24) as f64 / cycles as f64),
+            r.cycles.to_string(),
+            format!("{:.1}", r.mean_latency()),
+            format!("{:.4}", r.throughput()),
         ]);
     }
     println!("{t}");
-    println!("aggregate throughput grows with fabric size: transport scales, transactions unchanged");
+    println!(
+        "aggregate throughput grows with fabric size: transport scales, transactions unchanged"
+    );
 }

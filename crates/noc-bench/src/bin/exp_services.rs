@@ -9,15 +9,25 @@ use noc_transport::Header;
 
 fn main() {
     println!("exp_services: cost of activating optional NoC services\n");
-    let mut t = Table::new(&["configuration", "header bits", "NIU gates (AXI,8)", "switch gates (5x5)"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "header bits",
+        "NIU gates (AXI,8)",
+        "switch gates (5x5)",
+    ]);
     t.numeric();
     let switch = switch_gates(5, 5, 72, 8).total(); // constant on purpose
     let steps: Vec<(&str, ServiceConfig)> = vec![
         ("no services", ServiceConfig::new()),
-        ("+ exclusive", ServiceConfig::new().enable(ServiceBits::EXCLUSIVE)),
+        (
+            "+ exclusive",
+            ServiceConfig::new().enable(ServiceBits::EXCLUSIVE),
+        ),
         (
             "+ exclusive + secure",
-            ServiceConfig::new().enable(ServiceBits::EXCLUSIVE).enable(ServiceBits::SECURE),
+            ServiceConfig::new()
+                .enable(ServiceBits::EXCLUSIVE)
+                .enable(ServiceBits::SECURE),
         ),
         (
             "+ exclusive + secure + user0/1",
@@ -29,7 +39,9 @@ fn main() {
         ),
     ];
     for (label, cfg) in steps {
-        let niu = niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, 8).with_service_bits(cfg.header_bits()));
+        let niu = niu_gates(
+            &NiuAreaConfig::new(ProtocolKind::Axi, 8).with_service_bits(cfg.header_bits()),
+        );
         t.row(&[
             label.to_string(),
             Header::wire_bits(cfg.header_bits()).to_string(),

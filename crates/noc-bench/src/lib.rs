@@ -1,24 +1,7 @@
-//! Shared helpers for the experiment binaries that regenerate every
-//! paper figure/claim table. See EXPERIMENTS.md for the index.
-
-use noc_baseline::Interconnect;
-use noc_protocols::CompletionLog;
-
-/// Mean latency across a set of completion logs.
-pub fn mean_latency(logs: &[&CompletionLog]) -> f64 {
-    let (mut sum, mut n) = (0.0, 0usize);
-    for log in logs {
-        sum += log.mean_latency() * log.len() as f64;
-        n += log.len();
-    }
-    if n == 0 {
-        0.0
-    } else {
-        sum / n as f64
-    }
-}
-
-/// Runs a baseline interconnect to completion, panicking on timeout.
-pub fn run_baseline<I: Interconnect>(ic: &mut I, max: u64, label: &str) {
-    assert!(ic.run(max), "{label} failed to drain in {max} cycles");
-}
+//! Host crate for the experiment binaries (`src/bin/exp_*`) that
+//! regenerate every paper figure/claim table, and the subsystem
+//! micro-benchmarks in `benches/`.
+//!
+//! The binaries drive scenarios through [`noc_scenario`] — per-master
+//! results come from [`noc_scenario::ScenarioReport`], so there are no
+//! shared latency helpers here anymore.

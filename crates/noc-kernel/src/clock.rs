@@ -187,11 +187,7 @@ impl ClockSet {
     /// The least common multiple of all divisors — the hyperperiod after
     /// which the activation pattern repeats.
     pub fn hyperperiod(&self) -> u64 {
-        self.domains
-            .iter()
-            .map(|d| d.divisor)
-            .fold(1, lcm)
-            .max(1)
+        self.domains.iter().map(|d| d.divisor).fold(1, lcm).max(1)
     }
 
     /// The next base cycle at or after `base_cycle` (inclusive) where time

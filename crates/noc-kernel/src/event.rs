@@ -70,9 +70,12 @@ where
 /// Events cannot touch the kernel's queue directly (it is mid-iteration);
 /// instead they deposit follow-up events here and the kernel merges them
 /// after the event returns.
+/// Events pending in a [`Scheduler`], paired with their fire times.
+type PendingEvents<W> = Vec<(SimTime, Box<dyn Event<W>>)>;
+
 pub struct Scheduler<W> {
     now: SimTime,
-    pending: Vec<(SimTime, Box<dyn Event<W>>)>,
+    pending: PendingEvents<W>,
     stop: bool,
 }
 
@@ -140,7 +143,7 @@ impl<W> Scheduler<W> {
         self.stop = true;
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<(SimTime, Box<dyn Event<W>>)>, bool) {
+    pub(crate) fn into_parts(self) -> (PendingEvents<W>, bool) {
         (self.pending, self.stop)
     }
 }

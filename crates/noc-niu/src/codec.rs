@@ -36,7 +36,10 @@ impl fmt::Display for CodecError {
             CodecError::BadStatus(x) => write!(f, "unassigned status bits {x:#x}"),
             CodecError::BadBurst(x) => write!(f, "malformed burst descriptor {x:#x}"),
             CodecError::PayloadMismatch { expected, got } => {
-                write!(f, "payload of {got} bytes does not match burst ({expected})")
+                write!(
+                    f,
+                    "payload of {got} bytes does not match burst ({expected})"
+                )
             }
         }
     }
@@ -199,7 +202,12 @@ mod tests {
 
     #[test]
     fn burst_packing_all_shapes() {
-        for kind in [BurstKind::Incr, BurstKind::Wrap, BurstKind::Fixed, BurstKind::Stream] {
+        for kind in [
+            BurstKind::Incr,
+            BurstKind::Wrap,
+            BurstKind::Fixed,
+            BurstKind::Stream,
+        ] {
             for beat_bytes in [1u32, 4, 8, 128] {
                 for beats in [1u32, 2, 16, 256] {
                     let Ok(b) = Burst::new(kind, beat_bytes, beats) else {
@@ -237,8 +245,13 @@ mod tests {
 
     #[test]
     fn corrupt_status_detected() {
-        let resp =
-            TransactionResponse::new(RespStatus::Okay, MstAddr::new(0), SlvAddr::new(0), Tag::ZERO, vec![]);
+        let resp = TransactionResponse::new(
+            RespStatus::Okay,
+            MstAddr::new(0),
+            SlvAddr::new(0),
+            Tag::ZERO,
+            vec![],
+        );
         let mut pkt = encode_response(&resp, 0);
         pkt.header.status = 7;
         assert_eq!(decode_response(&pkt), Err(CodecError::BadStatus(7)));
@@ -267,8 +280,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(CodecError::BadOpcode(0xF).to_string().contains("0xf"));
-        assert!(CodecError::PayloadMismatch { expected: 4, got: 2 }
-            .to_string()
-            .contains('4'));
+        assert!(CodecError::PayloadMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains('4'));
     }
 }

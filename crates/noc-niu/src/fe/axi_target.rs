@@ -12,12 +12,15 @@ use std::collections::{HashMap, VecDeque};
 /// `(MstAddr, Tag)` pair, so same-tag NoC order becomes same-ID AXI
 /// order — preserving the transaction layer's ordering contract through
 /// the socket.
+/// Return-path bookkeeping for one AXI ID: (src, origin, tag) per beat.
+type PendingFifo = VecDeque<(MstAddr, SlvAddr, Tag)>;
+
 #[derive(Debug)]
 pub struct AxiTargetFe {
     slave: AxiSlave,
     port: AxiPort,
     /// (Local AXI ID, is-read) → pending (src, origin, tag) FIFOs.
-    pending: HashMap<(u16, bool), VecDeque<(MstAddr, SlvAddr, Tag)>>,
+    pending: HashMap<(u16, bool), PendingFifo>,
     out: VecDeque<TransactionResponse>,
     retry: Option<TransactionRequest>,
 }
@@ -98,8 +101,13 @@ impl SocketTarget for AxiTargetFe {
                 .get_mut(&(b.id, false))
                 .and_then(|q| q.pop_front())
                 .expect("B beat for an issued request");
-            self.out
-                .push_back(TransactionResponse::new(b.status, src, origin, tag, Vec::new()));
+            self.out.push_back(TransactionResponse::new(
+                b.status,
+                src,
+                origin,
+                tag,
+                Vec::new(),
+            ));
         }
     }
 

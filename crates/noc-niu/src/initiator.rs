@@ -4,8 +4,7 @@ use crate::codec::{decode_response, encode_request};
 use noc_protocols::CompletionLog;
 use noc_transaction::{
     AddressMap, MstAddr, Opcode, OrderingModel, OrderingPolicy, RespStatus, ServiceBits,
-    ServiceConfig, StreamId, TargetRule, TransactionRequest, TransactionResponse,
-    TransactionTable,
+    ServiceConfig, StreamId, TargetRule, TransactionRequest, TransactionResponse, TransactionTable,
 };
 use noc_transport::{Flit, PacketAssembler};
 use std::collections::VecDeque;

@@ -161,25 +161,24 @@ impl<T: SocketTarget> TargetNiu<T> {
                 Opcode::ReadExclusive | Opcode::ReadLinked => {
                     self.monitor.arm(master, req.address());
                 }
-                Opcode::WriteExclusive | Opcode::WriteConditional => {
+                Opcode::WriteExclusive | Opcode::WriteConditional
                     if !self
                         .monitor
                         .try_exclusive_write(master, req.address())
-                        .is_success()
-                    {
-                        // Fail locally: no IP interaction, no side effect.
-                        let req = self.ingress.pop_front().expect("head exists");
-                        self.exclusive_fails += 1;
-                        self.requests_served += 1;
-                        self.respond(TransactionResponse::new(
-                            RespStatus::ExFail,
-                            req.src(),
-                            self.config.node,
-                            req.tag(),
-                            Vec::new(),
-                        ));
-                        return;
-                    }
+                        .is_success() =>
+                {
+                    // Fail locally: no IP interaction, no side effect.
+                    let req = self.ingress.pop_front().expect("head exists");
+                    self.exclusive_fails += 1;
+                    self.requests_served += 1;
+                    self.respond(TransactionResponse::new(
+                        RespStatus::ExFail,
+                        req.src(),
+                        self.config.node,
+                        req.tag(),
+                        Vec::new(),
+                    ));
+                    return;
                 }
                 Opcode::Write | Opcode::WritePosted | Opcode::Broadcast | Opcode::WriteUnlock => {
                     for a in req.burst().beat_addresses(req.address()) {
@@ -383,9 +382,7 @@ impl SocketTarget for MemoryTarget {
 
     fn pull_response(&mut self) -> Option<TransactionResponse> {
         match self.pending.front() {
-            Some(&(ready, _)) if ready <= self.now => {
-                self.pending.pop_front().map(|(_, r)| r)
-            }
+            Some(&(ready, _)) if ready <= self.now => self.pending.pop_front().map(|(_, r)| r),
             _ => None,
         }
     }

@@ -2,9 +2,11 @@
 //! (a zero-switch NoC), proving the conversion machinery end to end for
 //! every socket protocol.
 
-use crate::fe::{AhbInitiator, AxiInitiator, AxiTargetFe, OcpInitiator, StrmInitiator, VciInitiator};
+use crate::fe::{
+    AhbInitiator, AxiInitiator, AxiTargetFe, OcpInitiator, StrmInitiator, VciInitiator,
+};
 use crate::initiator::{InitiatorNiu, InitiatorNiuConfig, SocketInitiator};
-use crate::target::{MemoryTarget, SocketTarget, TargetNiu, TargetNiuConfig};
+use crate::target::{MemoryTarget, TargetNiu, TargetNiuConfig};
 use noc_protocols::ahb::AhbMaster;
 use noc_protocols::axi::{AxiMaster, AxiSlave};
 use noc_protocols::checker::{check_ahb_order, check_axi_order, check_ocp_order};
@@ -94,9 +96,7 @@ fn ocp_threads_through_noc() {
 #[test]
 fn axi_ids_through_noc() {
     let program: Program = (0..8)
-        .map(|i| {
-            SocketCommand::read(0x100 * i, 4).with_stream(StreamId::new((i % 4) as u16))
-        })
+        .map(|i| SocketCommand::read(0x100 * i, 4).with_stream(StreamId::new((i % 4) as u16)))
         .collect();
     let fe = AxiInitiator::new(AxiMaster::new(program, 2, 8));
     let cfg = InitiatorNiuConfig::new(MstAddr::new(0))
@@ -204,7 +204,11 @@ fn strm_posted_stream_and_urgent_reads() {
     let recs = ini.fe().log().records();
     assert_eq!(recs.len(), 2);
     let read = recs.iter().find(|r| r.index == 1).unwrap();
-    assert_eq!(read.data, program[0].payload(), "stream data written then read");
+    assert_eq!(
+        read.data,
+        program[0].payload(),
+        "stream data written then read"
+    );
     assert_eq!(ini.stats().posted_writes, 1);
 }
 
@@ -276,7 +280,10 @@ fn axi_target_fe_serves_noc_requests() {
     assert!(ini.is_done(), "AHB→NoC→AXI bridge path must drain");
     let recs = ini.fe().log().records();
     assert_eq!(recs.len(), 2);
-    assert_eq!(recs[0].data, recs[1].data, "data integrity across protocols");
+    assert_eq!(
+        recs[0].data, recs[1].data,
+        "data integrity across protocols"
+    );
 }
 
 #[test]
@@ -296,8 +303,7 @@ fn cross_protocol_same_memory_coherent_values() {
     let fe = AxiInitiator::new(AxiMaster::new(read_prog, 1, 1));
     let ini = InitiatorNiu::new(
         fe,
-        InitiatorNiuConfig::new(MstAddr::new(1))
-            .with_ordering(OrderingModel::IdBased { tags: 1 }),
+        InitiatorNiuConfig::new(MstAddr::new(1)).with_ordering(OrderingModel::IdBased { tags: 1 }),
         map_one(),
     );
     let (ini, _) = loopback(ini, tgt, 2000);

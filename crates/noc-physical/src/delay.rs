@@ -63,7 +63,12 @@ impl<T> DelayLine<T> {
 
 impl<T> fmt::Display for DelayLine<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "delay({}) [{} in flight]", self.latency, self.items.len())
+        write!(
+            f,
+            "delay({}) [{} in flight]",
+            self.latency,
+            self.items.len()
+        )
     }
 }
 

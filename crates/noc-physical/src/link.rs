@@ -67,7 +67,10 @@ impl LinkConfig {
     /// Panics if either divisor is zero.
     #[must_use]
     pub fn with_clocks(mut self, src_divisor: u64, dst_divisor: u64) -> Self {
-        assert!(src_divisor > 0 && dst_divisor > 0, "divisors must be non-zero");
+        assert!(
+            src_divisor > 0 && dst_divisor > 0,
+            "divisors must be non-zero"
+        );
         self.src_divisor = src_divisor;
         self.dst_divisor = dst_divisor;
         self
@@ -241,7 +244,7 @@ impl<T> Link<T> {
     /// Delivers the next flit if one has arrived by base cycle `now`.
     /// At most one flit per destination-clock edge.
     pub fn deliver(&mut self, now: u64) -> Option<T> {
-        if now % self.config.dst_divisor != 0 {
+        if !now.is_multiple_of(self.config.dst_divisor) {
             return None;
         }
         if self.last_delivery == Some(now) {

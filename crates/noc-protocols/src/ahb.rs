@@ -315,7 +315,11 @@ mod tests {
         let program: Program = (0..3).map(|i| SocketCommand::read(i * 4, 4)).collect();
         let (m, _) = run(program, 10, 500);
         let last = m.log().records().last().unwrap();
-        assert!(last.completed_at >= 33, "completed at {}", last.completed_at);
+        assert!(
+            last.completed_at >= 33,
+            "completed at {}",
+            last.completed_at
+        );
     }
 
     #[test]

@@ -144,7 +144,10 @@ impl AxiMaster {
     ///
     /// Panics if either limit is zero.
     pub fn new(program: Program, per_id_limit: u32, total_limit: u32) -> Self {
-        assert!(per_id_limit > 0 && total_limit > 0, "limits must be non-zero");
+        assert!(
+            per_id_limit > 0 && total_limit > 0,
+            "limits must be non-zero"
+        );
         AxiMaster {
             program,
             pc: 0,
@@ -168,9 +171,20 @@ impl AxiMaster {
         &self.log
     }
 
-    fn retire(&mut self, idx: usize, issued_at: u64, status: RespStatus, data: Vec<u8>, cycle: u64) {
+    fn retire(
+        &mut self,
+        idx: usize,
+        issued_at: u64,
+        status: RespStatus,
+        data: Vec<u8>,
+        cycle: u64,
+    ) {
         let cmd = &self.program[idx];
-        let data = if cmd.opcode.is_read() { data } else { cmd.payload() };
+        let data = if cmd.opcode.is_read() {
+            data
+        } else {
+            cmd.payload()
+        };
         self.log.push(CompletionRecord {
             index: idx,
             opcode: cmd.opcode,
@@ -436,7 +450,10 @@ mod tests {
         let m = run(program, 2, 8, 30, 1000);
         assert!(m.done());
         assert!(check_axi_order(m.log()).is_ok());
-        assert!(check_ahb_order(m.log()).is_err(), "cross-ID reorder expected");
+        assert!(
+            check_ahb_order(m.log()).is_err(),
+            "cross-ID reorder expected"
+        );
     }
 
     #[test]
@@ -504,7 +521,12 @@ mod tests {
         let slow = run(program.clone(), 1, 8, 0, 2000);
         let fast = run(program, 8, 8, 0, 2000);
         let finish = |m: &AxiMaster| {
-            m.log().records().iter().map(|r| r.completed_at).max().unwrap()
+            m.log()
+                .records()
+                .iter()
+                .map(|r| r.completed_at)
+                .max()
+                .unwrap()
         };
         assert!(finish(&fast) < finish(&slow));
     }

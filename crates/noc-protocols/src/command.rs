@@ -340,7 +340,11 @@ mod tests {
                 index: i,
                 opcode: Opcode::Read,
                 addr: i as u64,
-                status: if i == 1 { RespStatus::SlvErr } else { RespStatus::Okay },
+                status: if i == 1 {
+                    RespStatus::SlvErr
+                } else {
+                    RespStatus::Okay
+                },
                 data: vec![],
                 stream: StreamId::ZERO,
                 issued_at: 0,

@@ -57,7 +57,10 @@ impl MemoryModel {
         (0..len as u64)
             .map(|i| {
                 let a = addr + i;
-                self.bytes.get(&a).copied().unwrap_or_else(|| Self::background(a))
+                self.bytes
+                    .get(&a)
+                    .copied()
+                    .unwrap_or_else(|| Self::background(a))
             })
             .collect()
     }
@@ -245,9 +248,25 @@ mod tests {
         fn write_then_read_burst() {
             let mut mem = MemoryModel::new(1);
             let data: Vec<u8> = (0..8).collect();
-            let (st, _) = access(&mut mem, Opcode::Write, 0x20, b(2), &data, None, MstAddr::new(0));
+            let (st, _) = access(
+                &mut mem,
+                Opcode::Write,
+                0x20,
+                b(2),
+                &data,
+                None,
+                MstAddr::new(0),
+            );
             assert_eq!(st, RespStatus::Okay);
-            let (st, rd) = access(&mut mem, Opcode::Read, 0x20, b(2), &[], None, MstAddr::new(0));
+            let (st, rd) = access(
+                &mut mem,
+                Opcode::Read,
+                0x20,
+                b(2),
+                &[],
+                None,
+                MstAddr::new(0),
+            );
             assert_eq!(st, RespStatus::Okay);
             assert_eq!(rd, data);
         }
@@ -260,7 +279,15 @@ mod tests {
             mem.write(0x28, &[3, 3, 3, 3]);
             mem.write(0x2C, &[4, 4, 4, 4]);
             let wrap = Burst::wrap(4, 4).unwrap();
-            let (_, rd) = access(&mut mem, Opcode::Read, 0x28, wrap, &[], None, MstAddr::new(0));
+            let (_, rd) = access(
+                &mut mem,
+                Opcode::Read,
+                0x28,
+                wrap,
+                &[],
+                None,
+                MstAddr::new(0),
+            );
             assert_eq!(rd, vec![3, 3, 3, 3, 4, 4, 4, 4, 1, 1, 1, 1, 2, 2, 2, 2]);
         }
 
@@ -269,9 +296,25 @@ mod tests {
             let mut mem = MemoryModel::new(1);
             let mut mon = ExclusiveMonitor::new(64, 4);
             let m0 = MstAddr::new(0);
-            let (st, _) = access(&mut mem, Opcode::ReadExclusive, 0x40, b(1), &[], Some(&mut mon), m0);
+            let (st, _) = access(
+                &mut mem,
+                Opcode::ReadExclusive,
+                0x40,
+                b(1),
+                &[],
+                Some(&mut mon),
+                m0,
+            );
             assert_eq!(st, RespStatus::ExOkay);
-            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x40, b(1), &[9, 9, 9, 9], Some(&mut mon), m0);
+            let (st, _) = access(
+                &mut mem,
+                Opcode::WriteExclusive,
+                0x40,
+                b(1),
+                &[9, 9, 9, 9],
+                Some(&mut mon),
+                m0,
+            );
             assert_eq!(st, RespStatus::ExOkay);
             assert_eq!(mem.read(0x40, 4), vec![9, 9, 9, 9]);
         }
@@ -281,7 +324,15 @@ mod tests {
             let mut mem = MemoryModel::new(1);
             let mut mon = ExclusiveMonitor::new(64, 4);
             mem.write(0x40, &[5, 5, 5, 5]);
-            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x40, b(1), &[9, 9, 9, 9], Some(&mut mon), MstAddr::new(1));
+            let (st, _) = access(
+                &mut mem,
+                Opcode::WriteExclusive,
+                0x40,
+                b(1),
+                &[9, 9, 9, 9],
+                Some(&mut mon),
+                MstAddr::new(1),
+            );
             assert_eq!(st, RespStatus::ExFail);
             assert_eq!(mem.read(0x40, 4), vec![5, 5, 5, 5]);
         }
@@ -291,18 +342,58 @@ mod tests {
             let mut mem = MemoryModel::new(1);
             let mut mon = ExclusiveMonitor::new(64, 4);
             let (a, b_) = (MstAddr::new(0), MstAddr::new(1));
-            access(&mut mem, Opcode::ReadExclusive, 0x80, b(1), &[], Some(&mut mon), a);
-            access(&mut mem, Opcode::Write, 0x80, b(1), &[0; 4], Some(&mut mon), b_);
-            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x80, b(1), &[1; 4], Some(&mut mon), a);
+            access(
+                &mut mem,
+                Opcode::ReadExclusive,
+                0x80,
+                b(1),
+                &[],
+                Some(&mut mon),
+                a,
+            );
+            access(
+                &mut mem,
+                Opcode::Write,
+                0x80,
+                b(1),
+                &[0; 4],
+                Some(&mut mon),
+                b_,
+            );
+            let (st, _) = access(
+                &mut mem,
+                Opcode::WriteExclusive,
+                0x80,
+                b(1),
+                &[1; 4],
+                Some(&mut mon),
+                a,
+            );
             assert_eq!(st, RespStatus::ExFail);
         }
 
         #[test]
         fn no_monitor_degrades_gracefully() {
             let mut mem = MemoryModel::new(1);
-            let (st, _) = access(&mut mem, Opcode::ReadExclusive, 0x0, b(1), &[], None, MstAddr::new(0));
+            let (st, _) = access(
+                &mut mem,
+                Opcode::ReadExclusive,
+                0x0,
+                b(1),
+                &[],
+                None,
+                MstAddr::new(0),
+            );
             assert_eq!(st, RespStatus::Okay);
-            let (st, _) = access(&mut mem, Opcode::WriteExclusive, 0x0, b(1), &[0; 4], None, MstAddr::new(0));
+            let (st, _) = access(
+                &mut mem,
+                Opcode::WriteExclusive,
+                0x0,
+                b(1),
+                &[0; 4],
+                None,
+                MstAddr::new(0),
+            );
             assert_eq!(st, RespStatus::ExFail);
         }
     }

@@ -286,8 +286,7 @@ impl OcpSlave {
         if let Some(req) = port.req.take() {
             self.accepts += 1;
             let extra = ((req.addr >> 8) % 4) as u32 * self.bank_stagger;
-            let ready =
-                cycle + self.mem.latency() as u64 + req.burst.beats() as u64 + extra as u64;
+            let ready = cycle + self.mem.latency() as u64 + req.burst.beats() as u64 + extra as u64;
             // Perform the access at accept time (memory state is
             // sequentially consistent at the socket).
             let (status, data) = access(
@@ -356,13 +355,7 @@ mod tests {
     use crate::command::SocketCommand;
     use noc_transaction::StreamId;
 
-    fn run(
-        program: Program,
-        threads: u8,
-        limit: u32,
-        stagger: u32,
-        cycles: u64,
-    ) -> OcpMaster {
+    fn run(program: Program, threads: u8, limit: u32, stagger: u32, cycles: u64) -> OcpMaster {
         let mut master = OcpMaster::new(program, threads, limit);
         let mut slave = OcpSlave::new(MemoryModel::new(2), stagger);
         let mut port = OcpPort::new();
@@ -410,7 +403,10 @@ mod tests {
         let m = run(program, 1, 1, 0, 50);
         assert!(m.done());
         let rec = &m.log().records()[0];
-        assert_eq!(rec.issued_at, rec.completed_at, "posted = zero socket latency");
+        assert_eq!(
+            rec.issued_at, rec.completed_at,
+            "posted = zero socket latency"
+        );
     }
 
     #[test]
@@ -449,7 +445,11 @@ mod tests {
         assert!(m.done());
         let recs = m.log().records();
         assert_eq!(recs[0].status, RespStatus::ExOkay);
-        assert_eq!(recs[1].status, RespStatus::ExOkay, "uncontended WRC succeeds");
+        assert_eq!(
+            recs[1].status,
+            RespStatus::ExOkay,
+            "uncontended WRC succeeds"
+        );
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl StrmMaster {
         assert!(read_limit > 0, "read limit must be non-zero");
         for (i, cmd) in program.iter().enumerate() {
             assert!(
-                matches!(cmd.opcode, Opcode::Read | Opcode::WritePosted | Opcode::Write),
+                matches!(
+                    cmd.opcode,
+                    Opcode::Read | Opcode::WritePosted | Opcode::Write
+                ),
                 "STRM cannot express {:?} (command {i})",
                 cmd.opcode
             );
@@ -269,7 +272,8 @@ impl StrmSlave {
                 None,
                 MstAddr::new(0),
             );
-            self.pending.push_back((ready, StrmReadData { data, status }));
+            self.pending
+                .push_back((ready, StrmReadData { data, status }));
         }
         if port.rdata.ready() {
             if let Some(&(ready, _)) = self.pending.front() {
@@ -349,10 +353,7 @@ mod tests {
 
     #[test]
     fn urgency_is_carried() {
-        let mut master = StrmMaster::new(
-            vec![SocketCommand::read(0, 4).with_pressure(3)],
-            4,
-        );
+        let mut master = StrmMaster::new(vec![SocketCommand::read(0, 4).with_pressure(3)], 4);
         let mut port = StrmPort::new();
         master.tick(0, &mut port);
         assert_eq!(port.rreq.peek().unwrap().urgency, 3);

@@ -154,7 +154,11 @@ impl VciMaster {
                     "PVCI supports single-beat transfers only (command {i})"
                 );
             }
-            let t = if threads == 1 { 0 } else { cmd.stream.raw() as usize };
+            let t = if threads == 1 {
+                0
+            } else {
+                cmd.stream.raw() as usize
+            };
             assert!(t < threads, "stream {t} exceeds {threads} threads");
             queues[t].push_back(i);
         }
@@ -182,8 +186,7 @@ impl VciMaster {
 
     /// Returns `true` when every command has completed.
     pub fn done(&self) -> bool {
-        self.queues.iter().all(|q| q.is_empty())
-            && self.outstanding.iter().all(|o| o.is_empty())
+        self.queues.iter().all(|q| q.is_empty()) && self.outstanding.iter().all(|o| o.is_empty())
     }
 
     /// The completion log.
@@ -304,8 +307,7 @@ impl VciSlave {
             } else {
                 0
             };
-            let ready =
-                cycle + self.mem.latency() as u64 + req.burst.beats() as u64 + extra as u64;
+            let ready = cycle + self.mem.latency() as u64 + req.burst.beats() as u64 + extra as u64;
             let (status, data) = access(
                 &mut self.mem,
                 req.opcode,
@@ -374,7 +376,13 @@ mod tests {
     use crate::command::SocketCommand;
     use noc_transaction::{BurstKind, Opcode, StreamId};
 
-    fn run(program: Program, flavor: VciFlavor, depth: u32, stagger: u32, cycles: u64) -> VciMaster {
+    fn run(
+        program: Program,
+        flavor: VciFlavor,
+        depth: u32,
+        stagger: u32,
+        cycles: u64,
+    ) -> VciMaster {
         let mut master = VciMaster::new(program, flavor, depth);
         let mut slave = VciSlave::new(MemoryModel::new(2), flavor, stagger);
         let mut port = VciPort::new();
@@ -428,7 +436,14 @@ mod tests {
         let program: Program = (0..4).map(|i| SocketCommand::read(i * 4, 4)).collect();
         let serial = run(program.clone(), VciFlavor::Basic, 1, 0, 1000);
         let piped = run(program, VciFlavor::Basic, 4, 0, 1000);
-        let fin = |m: &VciMaster| m.log().records().iter().map(|r| r.completed_at).max().unwrap();
+        let fin = |m: &VciMaster| {
+            m.log()
+                .records()
+                .iter()
+                .map(|r| r.completed_at)
+                .max()
+                .unwrap()
+        };
         assert!(fin(&piped) <= fin(&serial));
     }
 
@@ -441,7 +456,10 @@ mod tests {
         let m = run(program, VciFlavor::Advanced { threads: 2 }, 2, 30, 1000);
         assert!(m.done());
         assert!(check_ocp_order(m.log()).is_ok());
-        assert!(check_ahb_order(m.log()).is_err(), "cross-thread reorder expected");
+        assert!(
+            check_ahb_order(m.log()).is_err(),
+            "cross-thread reorder expected"
+        );
     }
 
     #[test]
@@ -455,7 +473,11 @@ mod tests {
         ];
         let m = run(program, VciFlavor::Advanced { threads: 1 }, 2, 0, 500);
         assert!(m.done());
-        assert!(m.log().records().iter().all(|r| r.status == RespStatus::ExOkay));
+        assert!(m
+            .log()
+            .records()
+            .iter()
+            .all(|r| r.status == RespStatus::ExOkay));
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The common simulation surface every backend realisation exposes.
+
+use noc_baseline::{BridgedInterconnect, Interconnect, SharedBus};
+use noc_protocols::CompletionLog;
+use noc_stats::Histogram;
+use noc_system::{FabricReport, MasterReport, Soc, SocReport};
+use noc_transaction::Fingerprint;
+use std::fmt;
+
+/// A runnable realisation of a scenario, independent of the backend.
+///
+/// All three interconnects — NoC, bridged, bus — implement this, so
+/// experiment code written against the trait runs unchanged on any of
+/// them: the paper's VC-neutrality claim, restated as an API.
+pub trait Simulation {
+    /// Advances the whole system one base cycle.
+    fn step(&mut self);
+    /// The current base cycle.
+    fn now(&self) -> u64;
+    /// Returns `true` when every master drained and the interconnect is
+    /// idle.
+    fn is_done(&self) -> bool;
+    /// Named per-master completion logs, in declaration order.
+    fn logs(&self) -> Vec<(&str, &CompletionLog)>;
+    /// A backend-neutral report of the current state.
+    fn report(&self) -> ScenarioReport;
+
+    /// Runs until done or `max_cycles`; returns whether it drained.
+    fn run_until(&mut self, max_cycles: u64) -> bool {
+        while self.now() < max_cycles && !self.is_done() {
+            self.step();
+        }
+        self.is_done()
+    }
+}
+
+/// A backend-neutral simulation report: per-master results plus fabric
+/// aggregates when the backend has a fabric.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Backend label ("noc", "bridged", "bus").
+    pub backend: &'static str,
+    /// Base cycles simulated.
+    pub cycles: u64,
+    /// Whether every master drained.
+    pub all_done: bool,
+    /// Per-master reports, in declaration order.
+    pub masters: Vec<MasterReport>,
+    /// Fabric aggregates (NoC backend only).
+    pub fabric: Option<FabricReport>,
+}
+
+impl ScenarioReport {
+    /// Finds a master report whose name contains `fragment`.
+    pub fn master(&self, fragment: &str) -> Option<&MasterReport> {
+        self.masters.iter().find(|m| m.name.contains(fragment))
+    }
+
+    /// Total completions across masters.
+    pub fn total_completions(&self) -> usize {
+        self.masters.iter().map(|m| m.completions).sum()
+    }
+
+    /// Completions per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_completions() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean latency across all masters, weighted by completions.
+    pub fn mean_latency(&self) -> f64 {
+        let total = self.total_completions();
+        if total == 0 {
+            return 0.0;
+        }
+        self.masters
+            .iter()
+            .map(|m| m.mean_latency * m.completions as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Merged functional fingerprint over all masters.
+    pub fn system_fingerprint(&self) -> Fingerprint {
+        let mut fp = Fingerprint::new();
+        for m in &self.masters {
+            fp.merge(&m.fingerprint);
+        }
+        fp
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} report: {} cycles, done={}, {} completions ({:.4}/cy), mean latency {:.1}cy",
+            self.backend,
+            self.cycles,
+            self.all_done,
+            self.total_completions(),
+            self.throughput(),
+            self.mean_latency()
+        )?;
+        for m in &self.masters {
+            writeln!(f, "  {m}")?;
+        }
+        if let Some(fab) = &self.fabric {
+            write!(
+                f,
+                "  fabric: {} flits, {} pkts, {} credit stalls, {} conflicts, {} lock-idle",
+                fab.flits_forwarded,
+                fab.packets_forwarded,
+                fab.credit_stalls,
+                fab.arbitration_conflicts,
+                fab.lock_idle_cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn master_report_from_log(name: &str, node: u16, log: &CompletionLog) -> MasterReport {
+    let mut latency = Histogram::new();
+    for r in log.records() {
+        latency.record(r.latency());
+    }
+    MasterReport {
+        name: name.to_owned(),
+        node,
+        completions: log.len(),
+        errors: log.errors(),
+        mean_latency: log.mean_latency(),
+        latency,
+        fingerprint: log.fingerprint(),
+    }
+}
+
+/// The NoC realisation of a scenario (paper Fig 1).
+pub struct NocSim {
+    soc: Soc,
+}
+
+impl NocSim {
+    pub(crate) fn new(soc: Soc) -> Self {
+        NocSim { soc }
+    }
+
+    /// The underlying SoC, for fabric-level inspection.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Unwraps into the lower-layer [`Soc`].
+    pub fn into_inner(self) -> Soc {
+        self.soc
+    }
+
+    /// The full NoC-native report (fabric counters included).
+    pub fn soc_report(&self) -> SocReport {
+        self.soc.report()
+    }
+}
+
+impl Simulation for NocSim {
+    fn step(&mut self) {
+        self.soc.step();
+    }
+    fn now(&self) -> u64 {
+        self.soc.now()
+    }
+    fn is_done(&self) -> bool {
+        self.soc.is_done()
+    }
+    fn logs(&self) -> Vec<(&str, &CompletionLog)> {
+        self.soc.completion_logs()
+    }
+    fn report(&self) -> ScenarioReport {
+        let r = self.soc.report();
+        ScenarioReport {
+            backend: "noc",
+            cycles: r.cycles,
+            all_done: r.all_done,
+            masters: r.masters,
+            fabric: Some(r.fabric),
+        }
+    }
+}
+
+impl fmt::Debug for NocSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NocSim").field("soc", &self.soc).finish()
+    }
+}
+
+fn baseline_report<I: Interconnect>(
+    backend: &'static str,
+    ic: &I,
+    names: &[String],
+) -> ScenarioReport {
+    let masters = names
+        .iter()
+        .zip(ic.logs())
+        .enumerate()
+        .map(|(i, (name, log))| master_report_from_log(name, i as u16, log))
+        .collect();
+    ScenarioReport {
+        backend,
+        cycles: ic.now(),
+        all_done: ic.is_done(),
+        masters,
+        fabric: None,
+    }
+}
+
+fn baseline_logs<'a, I: Interconnect>(
+    ic: &'a I,
+    names: &'a [String],
+) -> Vec<(&'a str, &'a CompletionLog)> {
+    names.iter().map(String::as_str).zip(ic.logs()).collect()
+}
+
+/// The Fig-2 bridged reference-socket realisation of a scenario.
+#[derive(Debug)]
+pub struct BridgedSim {
+    ic: BridgedInterconnect,
+    names: Vec<String>,
+}
+
+impl BridgedSim {
+    pub(crate) fn new(ic: BridgedInterconnect, names: Vec<String>) -> Self {
+        BridgedSim { ic, names }
+    }
+
+    /// The underlying interconnect, for bridge-specific counters such as
+    /// [`BridgedInterconnect::chopped_bursts`].
+    pub fn inner(&self) -> &BridgedInterconnect {
+        &self.ic
+    }
+
+    /// Unwraps into the lower-layer interconnect.
+    pub fn into_inner(self) -> BridgedInterconnect {
+        self.ic
+    }
+}
+
+impl Simulation for BridgedSim {
+    fn step(&mut self) {
+        Interconnect::step(&mut self.ic);
+    }
+    fn now(&self) -> u64 {
+        Interconnect::now(&self.ic)
+    }
+    fn is_done(&self) -> bool {
+        Interconnect::is_done(&self.ic)
+    }
+    fn logs(&self) -> Vec<(&str, &CompletionLog)> {
+        baseline_logs(&self.ic, &self.names)
+    }
+    fn report(&self) -> ScenarioReport {
+        baseline_report("bridged", &self.ic, &self.names)
+    }
+}
+
+/// The shared-bus realisation of a scenario.
+#[derive(Debug)]
+pub struct BusSim {
+    bus: SharedBus,
+    names: Vec<String>,
+}
+
+impl BusSim {
+    pub(crate) fn new(bus: SharedBus, names: Vec<String>) -> Self {
+        BusSim { bus, names }
+    }
+
+    /// The underlying bus, for bus-specific counters such as
+    /// [`SharedBus::grants`].
+    pub fn inner(&self) -> &SharedBus {
+        &self.bus
+    }
+
+    /// Unwraps into the lower-layer bus.
+    pub fn into_inner(self) -> SharedBus {
+        self.bus
+    }
+}
+
+impl Simulation for BusSim {
+    fn step(&mut self) {
+        Interconnect::step(&mut self.bus);
+    }
+    fn now(&self) -> u64 {
+        Interconnect::now(&self.bus)
+    }
+    fn is_done(&self) -> bool {
+        Interconnect::is_done(&self.bus)
+    }
+    fn logs(&self) -> Vec<(&str, &CompletionLog)> {
+        baseline_logs(&self.bus, &self.names)
+    }
+    fn report(&self) -> ScenarioReport {
+        baseline_report("bus", &self.bus, &self.names)
+    }
+}

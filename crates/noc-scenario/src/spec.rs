@@ -1,0 +1,858 @@
+//! The declarative scenario description and its compilers.
+
+use crate::sim::{BridgedSim, BusSim, NocSim, Simulation};
+use noc_baseline::{AttachedMaster, BridgeConfig, BridgedInterconnect, BusConfig, SharedBus};
+use noc_niu::fe::{AhbInitiator, AxiInitiator, OcpInitiator, StrmInitiator, VciInitiator};
+use noc_niu::{
+    InitiatorNiu, InitiatorNiuConfig, MemoryTarget, SocketInitiator, TargetNiu, TargetNiuConfig,
+};
+use noc_protocols::ahb::AhbMaster;
+use noc_protocols::axi::AxiMaster;
+use noc_protocols::ocp::OcpMaster;
+use noc_protocols::strm::StrmMaster;
+use noc_protocols::vci::{VciFlavor, VciMaster};
+use noc_protocols::{MemoryModel, Program, ProtocolKind};
+use noc_system::{NocConfig, SocBuilder};
+use noc_topology::{RouteAlgorithm, Topology, TopologyBuilder};
+use noc_transaction::{AddressMap, MstAddr, Opcode, OrderingModel, SlvAddr};
+use std::fmt;
+
+/// Which interconnect a [`ScenarioSpec`] compiles to.
+#[derive(Debug, Clone, Copy)]
+pub enum Backend {
+    /// The layered NoC of paper Fig 1 (sockets behind NIUs).
+    Noc(NocConfig),
+    /// The Fig-2 reference-socket interconnect with per-master bridges.
+    Bridged(BridgeConfig),
+    /// An AHB-style shared bus.
+    Bus(BusConfig),
+}
+
+impl Backend {
+    /// The NoC backend with default transport/physical configuration.
+    pub fn noc() -> Self {
+        Backend::Noc(NocConfig::new())
+    }
+
+    /// The bridged backend with default bridge parameters.
+    pub fn bridged() -> Self {
+        Backend::Bridged(BridgeConfig::default())
+    }
+
+    /// The bus backend with default timing.
+    pub fn bus() -> Self {
+        Backend::Bus(BusConfig::default())
+    }
+
+    /// A short label for tables and sweep rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Noc(_) => "noc",
+            Backend::Bridged(_) => "bridged",
+            Backend::Bus(_) => "bus",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The socket protocol (and protocol-specific agent parameters) of a
+/// declared initiator.
+#[derive(Debug, Clone, Copy)]
+pub enum SocketSpec {
+    /// AHB master: fully ordered, single outstanding stream.
+    Ahb,
+    /// OCP master with `threads` threads, each allowing `per_thread`
+    /// outstanding requests.
+    Ocp {
+        /// Socket thread count.
+        threads: u8,
+        /// Per-thread outstanding budget of the master agent.
+        per_thread: u32,
+    },
+    /// AXI master using `tags` transaction IDs, `per_id` outstanding per
+    /// ID and `total` outstanding overall.
+    Axi {
+        /// NoC tag pool size for ID renaming.
+        tags: u8,
+        /// Per-ID outstanding budget of the master agent.
+        per_id: u32,
+        /// Total outstanding budget of the master agent.
+        total: u32,
+    },
+    /// Proprietary streaming socket with `read_limit` outstanding reads.
+    Strm {
+        /// Outstanding read budget of the master agent.
+        read_limit: u32,
+    },
+    /// A VCI master of the given flavor with `pipeline` request depth.
+    Vci {
+        /// PVCI, BVCI or AVCI.
+        flavor: VciFlavor,
+        /// Request pipeline depth of the master agent.
+        pipeline: u32,
+    },
+}
+
+impl SocketSpec {
+    /// OCP with 2 threads, 4 outstanding per thread.
+    pub fn ocp() -> Self {
+        SocketSpec::Ocp {
+            threads: 2,
+            per_thread: 4,
+        }
+    }
+
+    /// AXI with 4 IDs, 4 outstanding per ID, 16 total.
+    pub fn axi() -> Self {
+        SocketSpec::Axi {
+            tags: 4,
+            per_id: 4,
+            total: 16,
+        }
+    }
+
+    /// STRM with 4 outstanding reads.
+    pub fn strm() -> Self {
+        SocketSpec::Strm { read_limit: 4 }
+    }
+
+    /// Peripheral VCI (single outstanding, single beat).
+    pub fn pvci() -> Self {
+        SocketSpec::Vci {
+            flavor: VciFlavor::Peripheral,
+            pipeline: 1,
+        }
+    }
+
+    /// Basic VCI with a 2-deep request pipeline.
+    pub fn bvci() -> Self {
+        SocketSpec::Vci {
+            flavor: VciFlavor::Basic,
+            pipeline: 2,
+        }
+    }
+
+    /// Advanced VCI with 2 threads and a 2-deep request pipeline.
+    pub fn avci() -> Self {
+        SocketSpec::Vci {
+            flavor: VciFlavor::Advanced { threads: 2 },
+            pipeline: 2,
+        }
+    }
+
+    /// The protocol this socket speaks (drives area models and defaults).
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            SocketSpec::Ahb => ProtocolKind::Ahb,
+            SocketSpec::Ocp { .. } => ProtocolKind::Ocp,
+            SocketSpec::Axi { .. } => ProtocolKind::Axi,
+            SocketSpec::Strm { .. } => ProtocolKind::Strm,
+            SocketSpec::Vci { flavor, .. } => match flavor {
+                VciFlavor::Peripheral => ProtocolKind::Pvci,
+                VciFlavor::Basic => ProtocolKind::Bvci,
+                VciFlavor::Advanced { .. } => ProtocolKind::Avci,
+            },
+        }
+    }
+
+    /// The NIU ordering model matching this socket (paper §3).
+    pub fn default_ordering(&self) -> OrderingModel {
+        match self {
+            SocketSpec::Ahb | SocketSpec::Strm { .. } => OrderingModel::FullyOrdered,
+            SocketSpec::Ocp { threads, .. } => OrderingModel::Threaded { threads: *threads },
+            SocketSpec::Axi { tags, .. } => OrderingModel::IdBased { tags: *tags },
+            SocketSpec::Vci { flavor, .. } => match flavor {
+                VciFlavor::Advanced { threads } => OrderingModel::Threaded { threads: *threads },
+                _ => OrderingModel::FullyOrdered,
+            },
+        }
+    }
+
+    /// The default NIU outstanding budget — scaled to the socket's
+    /// expected performance, as the paper prescribes.
+    pub fn default_outstanding(&self) -> u32 {
+        match self.kind() {
+            ProtocolKind::Ocp | ProtocolKind::Axi => 8,
+            ProtocolKind::Avci => 4,
+            _ => 2,
+        }
+    }
+
+    /// Instantiates the socket master agent plus its NIU front end over
+    /// `program`.
+    pub fn build_fe(&self, program: Program) -> Box<dyn SocketInitiator> {
+        match *self {
+            SocketSpec::Ahb => Box::new(AhbInitiator::new(AhbMaster::new(program))),
+            SocketSpec::Ocp {
+                threads,
+                per_thread,
+            } => Box::new(OcpInitiator::new(OcpMaster::new(
+                program, threads, per_thread,
+            ))),
+            SocketSpec::Axi { per_id, total, .. } => {
+                Box::new(AxiInitiator::new(AxiMaster::new(program, per_id, total)))
+            }
+            SocketSpec::Strm { read_limit } => {
+                Box::new(StrmInitiator::new(StrmMaster::new(program, read_limit)))
+            }
+            SocketSpec::Vci { flavor, pipeline } => {
+                Box::new(VciInitiator::new(VciMaster::new(program, flavor, pipeline)))
+            }
+        }
+    }
+}
+
+/// A declared initiator: a socket, its traffic program and NIU knobs.
+///
+/// The node number is *not* part of the declaration — the spec assigns
+/// nodes automatically (initiators first, then memories, in declaration
+/// order).
+#[derive(Debug, Clone)]
+pub struct InitiatorSpec {
+    /// Display name (must be unique in the scenario).
+    pub name: String,
+    /// Socket protocol and agent parameters.
+    pub socket: SocketSpec,
+    /// The deterministic command program this initiator issues.
+    pub program: Program,
+    /// NIU ordering override; defaults to the socket's natural model.
+    pub ordering: Option<OrderingModel>,
+    /// NIU outstanding budget override.
+    pub outstanding: Option<u32>,
+    /// Default packet pressure (QoS class) override.
+    pub pressure: Option<u8>,
+    /// Flit payload bytes override (packetisation width).
+    pub flit_bytes: Option<usize>,
+    /// Local clock divisor relative to the base clock.
+    pub clock_divisor: u64,
+}
+
+impl InitiatorSpec {
+    /// Declares an initiator.
+    pub fn new(name: &str, socket: SocketSpec, program: Program) -> Self {
+        InitiatorSpec {
+            name: name.to_owned(),
+            socket,
+            program,
+            ordering: None,
+            outstanding: None,
+            pressure: None,
+            flit_bytes: None,
+            clock_divisor: 1,
+        }
+    }
+
+    /// Overrides the NIU ordering model.
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: OrderingModel) -> Self {
+        self.ordering = Some(ordering);
+        self
+    }
+
+    /// Overrides the NIU outstanding budget.
+    #[must_use]
+    pub fn with_outstanding(mut self, outstanding: u32) -> Self {
+        self.outstanding = Some(outstanding);
+        self
+    }
+
+    /// Sets the default packet pressure (QoS class).
+    #[must_use]
+    pub fn with_pressure(mut self, pressure: u8) -> Self {
+        self.pressure = Some(pressure);
+        self
+    }
+
+    /// Sets the flit payload width used for packetisation.
+    #[must_use]
+    pub fn with_flit_bytes(mut self, bytes: usize) -> Self {
+        self.flit_bytes = Some(bytes);
+        self
+    }
+
+    /// Runs this initiator on a divided clock.
+    #[must_use]
+    pub fn with_clock_divisor(mut self, divisor: u64) -> Self {
+        self.clock_divisor = divisor.max(1);
+        self
+    }
+
+    fn niu_config(&self, node: u16) -> InitiatorNiuConfig {
+        let mut cfg = InitiatorNiuConfig::new(MstAddr::new(node))
+            .with_ordering(
+                self.ordering
+                    .unwrap_or_else(|| self.socket.default_ordering()),
+            )
+            .with_outstanding(
+                self.outstanding
+                    .unwrap_or_else(|| self.socket.default_outstanding()),
+            );
+        if let Some(bytes) = self.flit_bytes {
+            cfg = cfg.with_flit_bytes(bytes);
+        }
+        if let Some(p) = self.pressure {
+            cfg = cfg.with_pressure(p);
+        }
+        cfg
+    }
+}
+
+/// A declared memory: a named address region with a latency model.
+///
+/// The owning `SlvAddr` and the scenario [`AddressMap`] entry are derived
+/// from the declaration — this is the paper's address decoder table, now
+/// computed instead of hand-maintained.
+#[derive(Debug, Clone)]
+pub struct MemorySpec {
+    /// Display name (must be unique in the scenario).
+    pub name: String,
+    /// First byte of the region.
+    pub base: u64,
+    /// One past the last byte of the region.
+    pub end: u64,
+    /// Access latency of the memory model in cycles.
+    pub latency: u32,
+    /// Target NIU request queue capacity.
+    pub queue: usize,
+    /// Local clock divisor relative to the base clock.
+    pub clock_divisor: u64,
+}
+
+impl MemorySpec {
+    /// Declares a memory serving `[base, end)` with the given latency.
+    pub fn new(name: &str, base: u64, end: u64, latency: u32) -> Self {
+        MemorySpec {
+            name: name.to_owned(),
+            base,
+            end,
+            latency,
+            queue: 8,
+            clock_divisor: 1,
+        }
+    }
+
+    /// Declares a memory over a `(base, end)` range tuple.
+    pub fn over(name: &str, range: (u64, u64), latency: u32) -> Self {
+        Self::new(name, range.0, range.1, latency)
+    }
+
+    /// Sets the target NIU queue capacity.
+    #[must_use]
+    pub fn with_queue(mut self, queue: usize) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Runs this memory on a divided clock.
+    #[must_use]
+    pub fn with_clock_divisor(mut self, divisor: u64) -> Self {
+        self.clock_divisor = divisor.max(1);
+        self
+    }
+}
+
+/// How scenario endpoints map onto a switching fabric (NoC backend only —
+/// the baselines have their structure fixed by definition).
+#[derive(Debug, Clone, Default)]
+pub enum TopologySpec {
+    /// One switch, every endpoint attached to it (the degenerate NoC).
+    #[default]
+    Crossbar,
+    /// A bidirectional ring of `switches`; endpoints are spread
+    /// round-robin.
+    Ring {
+        /// Switch count (≥ 2).
+        switches: usize,
+    },
+    /// A `width` × `height` mesh; endpoints are spread round-robin in
+    /// row-major switch order.
+    Mesh {
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+    },
+    /// An explicit fabric: `links` are bidirectional switch pairs and
+    /// `placement[i]` is the switch of the `i`-th endpoint (initiators
+    /// first, then memories, in declaration order).
+    Custom {
+        /// Switch count.
+        switches: usize,
+        /// Bidirectional links between switches.
+        links: Vec<(usize, usize)>,
+        /// Per-endpoint switch assignment.
+        placement: Vec<usize>,
+    },
+}
+
+impl TopologySpec {
+    fn switch_count(&self) -> usize {
+        match self {
+            TopologySpec::Crossbar => 1,
+            TopologySpec::Ring { switches } => *switches,
+            TopologySpec::Mesh { width, height } => width * height,
+            TopologySpec::Custom { switches, .. } => *switches,
+        }
+    }
+
+    /// The deadlock-safe routing algorithm for this fabric shape, used
+    /// when the [`NocConfig`] still carries the default
+    /// (`ShortestPath`) choice.
+    pub fn recommended_routing(&self) -> RouteAlgorithm {
+        match self {
+            TopologySpec::Crossbar => RouteAlgorithm::ShortestPath,
+            TopologySpec::Ring { .. } | TopologySpec::Custom { .. } => RouteAlgorithm::UpDown,
+            TopologySpec::Mesh { width, height } => RouteAlgorithm::XyMesh {
+                width: *width,
+                height: *height,
+            },
+        }
+    }
+
+    fn build(&self, endpoints: usize) -> Result<Topology, ScenarioError> {
+        let switches = self.switch_count();
+        if switches == 0 {
+            return Err(ScenarioError::BadTopology {
+                reason: "topology needs at least one switch".into(),
+            });
+        }
+        let mut b = TopologyBuilder::new(switches);
+        match self {
+            TopologySpec::Crossbar => {}
+            TopologySpec::Ring { switches } => {
+                if *switches < 2 {
+                    return Err(ScenarioError::BadTopology {
+                        reason: "ring needs at least two switches".into(),
+                    });
+                }
+                for s in 0..*switches {
+                    b.connect_bidir(s, (s + 1) % switches);
+                }
+            }
+            TopologySpec::Mesh { width, height } => {
+                for y in 0..*height {
+                    for x in 0..*width {
+                        let s = y * width + x;
+                        if x + 1 < *width {
+                            b.connect_bidir(s, s + 1);
+                        }
+                        if y + 1 < *height {
+                            b.connect_bidir(s, s + width);
+                        }
+                    }
+                }
+            }
+            TopologySpec::Custom { links, .. } => {
+                for (a, z) in links {
+                    if *a >= switches || *z >= switches {
+                        return Err(ScenarioError::BadTopology {
+                            reason: format!("link ({a},{z}) references a missing switch"),
+                        });
+                    }
+                    b.connect_bidir(*a, *z);
+                }
+            }
+        }
+        for (endpoint, switch) in self.placement(endpoints)?.into_iter().enumerate() {
+            b.attach(endpoint as u16, switch)
+                .map_err(|e| ScenarioError::BadTopology {
+                    reason: format!("attaching node {endpoint}: {e}"),
+                })?;
+        }
+        Ok(b.build())
+    }
+
+    fn placement(&self, endpoints: usize) -> Result<Vec<usize>, ScenarioError> {
+        match self {
+            TopologySpec::Custom {
+                switches,
+                placement,
+                ..
+            } => {
+                if placement.len() != endpoints {
+                    return Err(ScenarioError::BadTopology {
+                        reason: format!(
+                            "placement lists {} endpoints, scenario declares {endpoints}",
+                            placement.len()
+                        ),
+                    });
+                }
+                if let Some(bad) = placement.iter().find(|s| **s >= *switches) {
+                    return Err(ScenarioError::BadTopology {
+                        reason: format!("placement references missing switch {bad}"),
+                    });
+                }
+                Ok(placement.clone())
+            }
+            _ => {
+                let switches = self.switch_count();
+                Ok((0..endpoints).map(|i| i % switches).collect())
+            }
+        }
+    }
+}
+
+/// Errors in a scenario declaration, caught before anything is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The scenario declares no initiators or no memories.
+    Empty,
+    /// Two endpoints share a display name.
+    DuplicateName {
+        /// The contested name.
+        name: String,
+    },
+    /// Two memory regions overlap.
+    OverlappingRegions {
+        /// First region's name.
+        a: String,
+        /// Second region's name.
+        b: String,
+    },
+    /// A memory region is empty or inverted.
+    EmptyRegion {
+        /// The offending region's name.
+        name: String,
+    },
+    /// A command addresses bytes outside every declared memory region.
+    UnmappedAddress {
+        /// The issuing initiator.
+        initiator: String,
+        /// The unmapped address.
+        addr: u64,
+    },
+    /// The topology cannot host the declared endpoints.
+    BadTopology {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Empty => {
+                write!(f, "scenario needs at least one initiator and one memory")
+            }
+            ScenarioError::DuplicateName { name } => {
+                write!(f, "endpoint name {name:?} declared twice")
+            }
+            ScenarioError::OverlappingRegions { a, b } => {
+                write!(f, "memory regions {a:?} and {b:?} overlap")
+            }
+            ScenarioError::EmptyRegion { name } => {
+                write!(f, "memory region {name:?} is empty")
+            }
+            ScenarioError::UnmappedAddress { initiator, addr } => {
+                write!(
+                    f,
+                    "{initiator:?} addresses {addr:#x} outside every memory region"
+                )
+            }
+            ScenarioError::BadTopology { reason } => write!(f, "bad topology: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A complete, interconnect-neutral scenario description.
+///
+/// See the crate-level example. Construction is fluent and infallible;
+/// every consistency rule is checked by [`ScenarioSpec::validate`], which
+/// all compilers call first.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSpec {
+    /// Declared initiators, in node order.
+    pub initiators: Vec<InitiatorSpec>,
+    /// Declared memories, in node order after the initiators.
+    pub memories: Vec<MemorySpec>,
+    /// Fabric shape for the NoC backend.
+    pub topology: TopologySpec,
+    /// Explicit routing choice; `None` derives it from the topology.
+    pub routing: Option<RouteAlgorithm>,
+}
+
+impl ScenarioSpec {
+    /// An empty scenario on a crossbar fabric.
+    pub fn new() -> Self {
+        ScenarioSpec {
+            initiators: Vec::new(),
+            memories: Vec::new(),
+            topology: TopologySpec::Crossbar,
+            routing: None,
+        }
+    }
+
+    /// Adds an initiator (assigned the next initiator node).
+    #[must_use]
+    pub fn initiator(mut self, spec: InitiatorSpec) -> Self {
+        self.initiators.push(spec);
+        self
+    }
+
+    /// Adds a memory (assigned the next node after all initiators).
+    #[must_use]
+    pub fn memory(mut self, spec: MemorySpec) -> Self {
+        self.memories.push(spec);
+        self
+    }
+
+    /// Sets the NoC fabric shape.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Forces a routing algorithm, overriding both the [`NocConfig`]
+    /// passed to [`ScenarioSpec::build_noc`] and the topology-derived
+    /// default — the escape hatch for running e.g. `ShortestPath` on a
+    /// fabric the spec would otherwise route conservatively.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RouteAlgorithm) -> Self {
+        self.routing = Some(routing);
+        self
+    }
+
+    /// The node number the spec assigns to the `i`-th initiator.
+    pub fn initiator_node(&self, i: usize) -> u16 {
+        i as u16
+    }
+
+    /// The node number the spec assigns to the `i`-th memory.
+    pub fn memory_node(&self, i: usize) -> u16 {
+        (self.initiators.len() + i) as u16
+    }
+
+    /// Total endpoint count.
+    pub fn num_endpoints(&self) -> usize {
+        self.initiators.len() + self.memories.len()
+    }
+
+    /// Checks every consistency rule of the declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] found: an empty scenario,
+    /// duplicate endpoint names, empty or overlapping memory regions,
+    /// commands addressing unmapped bytes, or an unusable topology.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.initiators.is_empty() || self.memories.is_empty() {
+            return Err(ScenarioError::Empty);
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for name in self
+            .initiators
+            .iter()
+            .map(|i| i.name.as_str())
+            .chain(self.memories.iter().map(|m| m.name.as_str()))
+        {
+            if names.contains(&name) {
+                return Err(ScenarioError::DuplicateName {
+                    name: name.to_owned(),
+                });
+            }
+            names.push(name);
+        }
+        for m in &self.memories {
+            if m.base >= m.end {
+                return Err(ScenarioError::EmptyRegion {
+                    name: m.name.clone(),
+                });
+            }
+        }
+        for (i, a) in self.memories.iter().enumerate() {
+            for b in &self.memories[i + 1..] {
+                if a.base < b.end && b.base < a.end {
+                    return Err(ScenarioError::OverlappingRegions {
+                        a: a.name.clone(),
+                        b: b.name.clone(),
+                    });
+                }
+            }
+        }
+        for ini in &self.initiators {
+            for cmd in &ini.program {
+                // Every beat of the burst must land in one declared
+                // region (bursts never cross region boundaries).
+                let region = self
+                    .memories
+                    .iter()
+                    .find(|m| cmd.addr >= m.base && cmd.addr < m.end);
+                let contained = region.is_some_and(|m| {
+                    cmd.burst()
+                        .beat_addresses(cmd.addr)
+                        .all(|a| a >= m.base && a + cmd.beat_bytes as u64 <= m.end)
+                });
+                if !contained {
+                    return Err(ScenarioError::UnmappedAddress {
+                        initiator: ini.name.clone(),
+                        addr: cmd.addr,
+                    });
+                }
+            }
+        }
+        self.topology.placement(self.num_endpoints())?;
+        Ok(())
+    }
+
+    /// The address map derived from the declared memory regions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures (overlaps, empty regions, …).
+    pub fn address_map(&self) -> Result<AddressMap, ScenarioError> {
+        self.validate()?;
+        let mut map = AddressMap::new();
+        for (i, m) in self.memories.iter().enumerate() {
+            map.add(m.base, m.end, SlvAddr::new(self.memory_node(i)))
+                .expect("regions validated disjoint");
+        }
+        Ok(map)
+    }
+
+    /// Names of all masters in node order (= log order on every backend).
+    pub fn master_names(&self) -> Vec<String> {
+        self.initiators.iter().map(|i| i.name.clone()).collect()
+    }
+
+    /// Compiles the spec for the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the declaration is inconsistent.
+    pub fn build(&self, backend: &Backend) -> Result<Box<dyn Simulation>, ScenarioError> {
+        Ok(match backend {
+            Backend::Noc(cfg) => Box::new(self.build_noc(*cfg)?),
+            Backend::Bridged(cfg) => Box::new(self.build_bridged(*cfg)?),
+            Backend::Bus(cfg) => Box::new(self.build_bus(*cfg)?),
+        })
+    }
+
+    /// Compiles the spec onto the NoC (paper Fig 1): every socket behind
+    /// its NIU on the declared fabric.
+    ///
+    /// Routing resolution, most explicit wins:
+    /// [`ScenarioSpec::with_routing`] if set; otherwise a non-default
+    /// algorithm carried by `config`; otherwise — since the config
+    /// default (`ShortestPath`) is indistinguishable from "unspecified"
+    /// and can deadlock on non-crossbar fabrics — the topology's
+    /// [recommended](TopologySpec::recommended_routing) deadlock-safe
+    /// algorithm. To force `ShortestPath` on a non-crossbar fabric, use
+    /// `with_routing`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the declaration is inconsistent.
+    pub fn build_noc(&self, mut config: NocConfig) -> Result<NocSim, ScenarioError> {
+        let map = self.address_map()?;
+        if let Some(routing) = self.routing {
+            config.routing = routing;
+        } else if matches!(config.routing, RouteAlgorithm::ShortestPath)
+            && !matches!(self.topology, TopologySpec::Crossbar)
+        {
+            config.routing = self.topology.recommended_routing();
+        }
+        let topology = self.topology.build(self.num_endpoints())?;
+        let mut builder = SocBuilder::new(topology, config);
+        for (i, ini) in self.initiators.iter().enumerate() {
+            let node = self.initiator_node(i);
+            let niu = InitiatorNiu::new(
+                BoxedFe(ini.socket.build_fe(ini.program.clone())),
+                ini.niu_config(node),
+                map.clone(),
+            );
+            builder = builder.initiator_clocked(&ini.name, node, Box::new(niu), ini.clock_divisor);
+        }
+        for (i, mem) in self.memories.iter().enumerate() {
+            let node = self.memory_node(i);
+            let tgt = TargetNiu::new(
+                MemoryTarget::new(MemoryModel::new(mem.latency), mem.queue),
+                TargetNiuConfig::new(SlvAddr::new(node)),
+            );
+            builder = builder.target_clocked(&mem.name, node, Box::new(tgt), mem.clock_divisor);
+        }
+        let soc = builder.build().map_err(|e| ScenarioError::BadTopology {
+            reason: e.to_string(),
+        })?;
+        Ok(NocSim::new(soc))
+    }
+
+    /// Compiles the spec onto the Fig-2 bridged reference-socket
+    /// interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the declaration is inconsistent.
+    pub fn build_bridged(&self, config: BridgeConfig) -> Result<BridgedSim, ScenarioError> {
+        let map = self.address_map()?;
+        let mut ic = BridgedInterconnect::new(config, map);
+        for ini in &self.initiators {
+            ic.add_master(AttachedMaster::new(
+                &ini.name,
+                ini.socket.build_fe(ini.program.clone()),
+            ));
+        }
+        for (i, mem) in self.memories.iter().enumerate() {
+            ic.add_slave(
+                SlvAddr::new(self.memory_node(i)),
+                mem.base,
+                MemoryModel::new(mem.latency),
+            );
+        }
+        Ok(BridgedSim::new(ic, self.master_names()))
+    }
+
+    /// Compiles the spec onto the shared-bus baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the declaration is inconsistent.
+    pub fn build_bus(&self, config: BusConfig) -> Result<BusSim, ScenarioError> {
+        let map = self.address_map()?;
+        let mut bus = SharedBus::new(config, map);
+        for ini in &self.initiators {
+            bus.add_master(AttachedMaster::new(
+                &ini.name,
+                ini.socket.build_fe(ini.program.clone()),
+            ));
+        }
+        for mem in &self.memories {
+            bus.add_slave(mem.base, MemoryModel::new(mem.latency));
+        }
+        Ok(BusSim::new(bus, self.master_names()))
+    }
+}
+
+/// Adapter: a boxed front end is itself a front end, letting one code
+/// path build heterogeneous NIUs.
+struct BoxedFe(Box<dyn SocketInitiator>);
+
+impl SocketInitiator for BoxedFe {
+    fn tick(&mut self, cycle: u64) {
+        self.0.tick(cycle)
+    }
+    fn pull_request(&mut self) -> Option<noc_transaction::TransactionRequest> {
+        self.0.pull_request()
+    }
+    fn push_response(
+        &mut self,
+        stream: noc_transaction::StreamId,
+        opcode: Opcode,
+        resp: noc_transaction::TransactionResponse,
+    ) {
+        self.0.push_response(stream, opcode, resp)
+    }
+    fn done(&self) -> bool {
+        self.0.done()
+    }
+    fn log(&self) -> &noc_protocols::CompletionLog {
+        self.0.log()
+    }
+}

@@ -1,0 +1,134 @@
+//! Batched simulation sweeps over parameter grids.
+//!
+//! The experiment binaries all share one shape: build N scenario
+//! variants (different command counts, seeds, buffer depths, topologies
+//! or backends), run each to completion, and tabulate the reports.
+//! [`Sweep`] captures that shape once.
+
+use crate::sim::ScenarioReport;
+use crate::spec::{Backend, ScenarioError, ScenarioSpec};
+
+/// One cell of a sweep: a labelled spec/backend pair.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Row label for tables.
+    pub label: String,
+    /// The scenario variant.
+    pub spec: ScenarioSpec,
+    /// The interconnect to compile it to.
+    pub backend: Backend,
+}
+
+/// The result of one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The point's label.
+    pub label: String,
+    /// Its report after running.
+    pub report: ScenarioReport,
+}
+
+/// A batch of scenario simulations expanded from a parameter grid.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+    max_cycles: u64,
+}
+
+impl Sweep {
+    /// An empty sweep with a 10M-cycle per-point budget.
+    pub fn new() -> Self {
+        Sweep {
+            points: Vec::new(),
+            max_cycles: 10_000_000,
+        }
+    }
+
+    /// Expands one parameter axis: one point per item.
+    pub fn over<T>(
+        items: impl IntoIterator<Item = T>,
+        mut point: impl FnMut(T) -> (String, ScenarioSpec, Backend),
+    ) -> Self {
+        let mut sweep = Sweep::new();
+        for item in items {
+            let (label, spec, backend) = point(item);
+            sweep = sweep.point(&label, spec, backend);
+        }
+        sweep
+    }
+
+    /// Expands the cartesian product of two parameter axes.
+    pub fn grid<A: Clone, B: Clone>(
+        xs: impl IntoIterator<Item = A>,
+        ys: impl IntoIterator<Item = B> + Clone,
+        mut point: impl FnMut(A, B) -> (String, ScenarioSpec, Backend),
+    ) -> Self {
+        let mut sweep = Sweep::new();
+        for x in xs {
+            for y in ys.clone() {
+                let (label, spec, backend) = point(x.clone(), y);
+                sweep = sweep.point(&label, spec, backend);
+            }
+        }
+        sweep
+    }
+
+    /// Adds one labelled point.
+    #[must_use]
+    pub fn point(mut self, label: &str, spec: ScenarioSpec, backend: Backend) -> Self {
+        self.points.push(SweepPoint {
+            label: label.to_owned(),
+            spec,
+            backend,
+        });
+        self
+    }
+
+    /// Sets the per-point cycle budget.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// The expanded points.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Builds and runs every point, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] hit while compiling a point
+    /// (nothing after it is run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point fails to drain within the cycle budget — a
+    /// sweep result with missing completions would silently skew every
+    /// downstream table.
+    pub fn run(&self) -> Result<Vec<SweepResult>, ScenarioError> {
+        let mut results = Vec::with_capacity(self.points.len());
+        for p in &self.points {
+            let mut sim = p.spec.build(&p.backend)?;
+            assert!(
+                sim.run_until(self.max_cycles),
+                "sweep point {:?} failed to drain in {} cycles",
+                p.label,
+                self.max_cycles
+            );
+            results.push(SweepResult {
+                label: p.label.clone(),
+                report: sim.report(),
+            });
+        }
+        Ok(results)
+    }
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}

@@ -107,7 +107,13 @@ impl RateMeter {
 
 impl fmt::Display for RateMeter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.4}/cycle ({} in {})", self.rate(), self.events, self.cycles)
+        write!(
+            f,
+            "{:.4}/cycle ({} in {})",
+            self.rate(),
+            self.events,
+            self.cycles
+        )
     }
 }
 

@@ -153,7 +153,9 @@ impl Fabric {
                 },
             });
             fabric.in_wire[a.switch][a.in_port as usize] = Some(inj_idx);
-            fabric.injection.push((a.node, inj_idx, buffer_depth as u32));
+            fabric
+                .injection
+                .push((a.node, inj_idx, buffer_depth as u32));
             let ej_idx = fabric.links.len();
             fabric.links.push(FabricLink {
                 link: Link::new(ej_cfg),

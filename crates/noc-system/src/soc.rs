@@ -267,14 +267,14 @@ impl Soc {
         let now = self.now;
         // 1. Endpoint compute on their clock edges.
         for ep in &mut self.endpoints {
-            if now % ep.clock_divisor == 0 {
+            if now.is_multiple_of(ep.clock_divisor) {
                 ep.inner.tick(now);
             }
         }
         // 2. Injection: initiators feed the request network, targets the
         //    response network (one flit per endpoint per local cycle).
         for ep in &mut self.endpoints {
-            if now % ep.clock_divisor != 0 {
+            if !now.is_multiple_of(ep.clock_divisor) {
                 continue;
             }
             let fabric = if ep.is_initiator {

@@ -145,7 +145,12 @@ mod tests {
     #[test]
     fn xy_mesh_is_deadlock_free() {
         let t = Topology::mesh(4, 4);
-        let tables = t.compute_routes(RA::XyMesh { width: 4, height: 4 }).unwrap();
+        let tables = t
+            .compute_routes(RA::XyMesh {
+                width: 4,
+                height: 4,
+            })
+            .unwrap();
         let report = t.deadlock_report(&tables);
         assert!(report.is_deadlock_free(), "{report}");
         assert!(!report.dependencies.is_empty());

@@ -257,9 +257,9 @@ impl Topology {
         let mut b = TopologyBuilder::new(total);
         // Connect parents to children.
         let mut level_start = 0usize;
-        for l in 0..levels - 1 {
-            let next_start = level_start + counts[l];
-            for p in 0..counts[l] {
+        for &count in counts.iter().take(levels - 1) {
+            let next_start = level_start + count;
+            for p in 0..count {
                 let parent = level_start + p;
                 for c in 0..arity {
                     let child = next_start + p * arity + c;

@@ -176,7 +176,10 @@ impl Topology {
             if let Some(s) = (0..self.num_switches)
                 .find(|&s| dist[s][0] == usize::MAX && dist[s][1] == usize::MAX)
             {
-                return Err(TopologyError::Disconnected { from: s, to: a.switch });
+                return Err(TopologyError::Disconnected {
+                    from: s,
+                    to: a.switch,
+                });
             }
         }
         Ok(SwitchTables { tables })
@@ -212,6 +215,7 @@ impl Topology {
         let mut tables = vec![vec![None; num_nodes]; self.num_switches];
         for a in &self.attachments {
             let (dx, dy) = (a.switch % width, a.switch / width);
+            #[allow(clippy::needless_range_loop)] // s is also arithmetic, not just an index
             for s in 0..self.num_switches {
                 let (sx, sy) = (s % width, s / width);
                 let entry = if s == a.switch {
@@ -273,7 +277,12 @@ mod tests {
     #[test]
     fn xy_routes_x_first() {
         let t = Topology::mesh(3, 3);
-        let tables = t.compute_routes(RA::XyMesh { width: 3, height: 3 }).unwrap();
+        let tables = t
+            .compute_routes(RA::XyMesh {
+                width: 3,
+                height: 3,
+            })
+            .unwrap();
         let path = walk(&t, &tables, 0, 8);
         assert_eq!(path, vec![0, 1, 2, 5, 8], "X first, then Y");
     }
@@ -281,7 +290,14 @@ mod tests {
     #[test]
     fn all_pairs_reach_destination_on_mesh() {
         let t = Topology::mesh(3, 2);
-        for algo in [RA::ShortestPath, RA::XyMesh { width: 3, height: 2 }, RA::UpDown] {
+        for algo in [
+            RA::ShortestPath,
+            RA::XyMesh {
+                width: 3,
+                height: 2,
+            },
+            RA::UpDown,
+        ] {
             let tables = t.compute_routes(algo).unwrap();
             for start in 0..t.num_switches() {
                 for node in 0..6u16 {
@@ -329,7 +345,10 @@ mod tests {
     fn xy_on_non_mesh_rejected() {
         let t = Topology::ring(4);
         assert!(matches!(
-            t.compute_routes(RA::XyMesh { width: 2, height: 3 }),
+            t.compute_routes(RA::XyMesh {
+                width: 2,
+                height: 3
+            }),
             Err(TopologyError::AlgorithmMismatch { .. })
         ));
     }

@@ -316,8 +316,14 @@ mod tests {
     #[test]
     fn decode_unmapped_hole() {
         let m = map3();
-        assert_eq!(m.decode(0x5000), Err(DecodeError::Unmapped { addr: 0x5000 }));
-        assert_eq!(m.decode(0x9000), Err(DecodeError::Unmapped { addr: 0x9000 }));
+        assert_eq!(
+            m.decode(0x5000),
+            Err(DecodeError::Unmapped { addr: 0x5000 })
+        );
+        assert_eq!(
+            m.decode(0x9000),
+            Err(DecodeError::Unmapped { addr: 0x9000 })
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl fmt::Display for BurstError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BurstError::InvalidBeatSize(s) => {
-                write!(f, "invalid beat size {s}: must be a power of two in 1..=128")
+                write!(
+                    f,
+                    "invalid beat size {s}: must be a power of two in 1..=128"
+                )
             }
             BurstError::InvalidBeatCount(n) => {
                 write!(f, "invalid beat count {n}: must be in 1..=256")

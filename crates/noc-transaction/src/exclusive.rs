@@ -286,7 +286,10 @@ mod tests {
         let mut mon = ExclusiveMonitor::new(64, 4);
         mon.arm(m(0), 0x100);
         assert!(mon.is_armed(m(0), 0x100));
-        assert_eq!(mon.try_exclusive_write(m(0), 0x100), ExclusiveOutcome::Success);
+        assert_eq!(
+            mon.try_exclusive_write(m(0), 0x100),
+            ExclusiveOutcome::Success
+        );
         // consumed
         assert!(!mon.is_armed(m(0), 0x100));
         assert_eq!(mon.successes(), 1);
@@ -322,7 +325,10 @@ mod tests {
         let mut mon = ExclusiveMonitor::new(64, 4);
         mon.arm(m(0), 0x100);
         mon.observe_write(0x200);
-        assert_eq!(mon.try_exclusive_write(m(0), 0x100), ExclusiveOutcome::Success);
+        assert_eq!(
+            mon.try_exclusive_write(m(0), 0x100),
+            ExclusiveOutcome::Success
+        );
     }
 
     #[test]
@@ -330,7 +336,10 @@ mod tests {
         let mut mon = ExclusiveMonitor::new(64, 4);
         mon.arm(m(0), 0x40);
         mon.arm(m(1), 0x40);
-        assert_eq!(mon.try_exclusive_write(m(1), 0x40), ExclusiveOutcome::Success);
+        assert_eq!(
+            mon.try_exclusive_write(m(1), 0x40),
+            ExclusiveOutcome::Success
+        );
         assert_eq!(mon.try_exclusive_write(m(0), 0x40), ExclusiveOutcome::Fail);
     }
 

@@ -253,7 +253,12 @@ impl OrderingPolicy {
     /// Returns [`PolicyError::ZeroTags`] or [`PolicyError::ZeroOutstanding`]
     /// on degenerate configurations.
     pub fn new(model: OrderingModel, max_outstanding: u32) -> Result<Self, PolicyError> {
-        Self::with_rules(model, max_outstanding, max_outstanding, TargetRule::default())
+        Self::with_rules(
+            model,
+            max_outstanding,
+            max_outstanding,
+            TargetRule::default(),
+        )
     }
 
     /// Full-control constructor.
@@ -439,13 +444,9 @@ mod tests {
 
     #[test]
     fn interleave_rule_permits_target_switch() {
-        let mut p = OrderingPolicy::with_rules(
-            OrderingModel::FullyOrdered,
-            4,
-            4,
-            TargetRule::Interleave,
-        )
-        .unwrap();
+        let mut p =
+            OrderingPolicy::with_rules(OrderingModel::FullyOrdered, 4, 4, TargetRule::Interleave)
+                .unwrap();
         p.try_issue(s(0), d(1)).unwrap();
         assert!(p.try_issue(s(0), d(2)).is_ok());
     }

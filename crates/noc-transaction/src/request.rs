@@ -30,7 +30,10 @@ impl fmt::Display for TransactionError {
         match self {
             TransactionError::Burst(e) => write!(f, "invalid burst: {e}"),
             TransactionError::DataLengthMismatch { expected, got } => {
-                write!(f, "write data length {got} does not match burst ({expected} bytes)")
+                write!(
+                    f,
+                    "write data length {got} does not match burst ({expected} bytes)"
+                )
             }
             TransactionError::UnexpectedData => write!(f, "read transaction carries write data"),
         }
@@ -341,13 +344,7 @@ pub struct TransactionResponse {
 impl TransactionResponse {
     /// Creates a response routed back to initiator `dst` from target
     /// `origin`, carrying read `data` (empty for writes).
-    pub fn new(
-        status: RespStatus,
-        dst: MstAddr,
-        origin: SlvAddr,
-        tag: Tag,
-        data: Vec<u8>,
-    ) -> Self {
+    pub fn new(status: RespStatus, dst: MstAddr, origin: SlvAddr, tag: Tag, data: Vec<u8>) -> Self {
         TransactionResponse {
             status,
             dst,
@@ -460,7 +457,12 @@ impl Fingerprint {
         } else {
             req.data()
         };
-        self.record(req.opcode().encode(), req.address(), data, resp.status().encode());
+        self.record(
+            req.opcode().encode(),
+            req.address(),
+            data,
+            resp.status().encode(),
+        );
     }
 
     /// Number of records folded in.

@@ -169,7 +169,11 @@ pub struct ServiceDisabled {
 
 impl fmt::Display for ServiceDisabled {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "service(s) [{}] not enabled in this NoC configuration", self.missing)
+        write!(
+            f,
+            "service(s) [{}] not enabled in this NoC configuration",
+            self.missing
+        )
     }
 }
 

@@ -281,15 +281,18 @@ mod tests {
         let a = alloc(&mut t, 0);
         let b = alloc(&mut t, 1);
         assert!(t.is_full());
-        assert_eq!(t.allocate(
-            Tag::ZERO,
-            StreamId::ZERO,
-            SlvAddr::new(0),
-            Opcode::Read,
-            1,
-            0,
-            0
-        ), Err(TableError::Full));
+        assert_eq!(
+            t.allocate(
+                Tag::ZERO,
+                StreamId::ZERO,
+                SlvAddr::new(0),
+                Opcode::Read,
+                1,
+                0,
+                0
+            ),
+            Err(TableError::Full)
+        );
         t.free(a).unwrap();
         assert!(!t.is_full());
         t.free(b).unwrap();
@@ -335,7 +338,7 @@ mod tests {
         let _b = alloc(&mut t, 1); // seq 1
         t.free(a).unwrap();
         let _c = alloc(&mut t, 1); // seq 2, reuses slot 0
-        // oldest same-tag is seq 1 (slot 1), not the recycled slot 0
+                                   // oldest same-tag is seq 1 (slot 1), not the recycled slot 0
         let hit = t.match_response(Tag::new(1)).unwrap();
         assert_eq!(hit.index(), 1);
     }

@@ -122,9 +122,9 @@ impl Header {
     /// Header size in bits for a NoC configuration spending
     /// `service_bits` optional bits — used by the area/overhead models.
     ///
-    /// Fixed fields: dst(16) + src(16) + tag(8) + direction(1) + opcode(4)
-    /// + status(3) + address(40, covering a 1 TB space) + burst(13) +
-    /// pressure(2) + lock-release(1) + sideband(8 architected).
+    /// Fixed fields: dst(16) + src(16) + tag(8) + direction(1) +
+    /// opcode(4) + status(3) + address(40, covering a 1 TB space) +
+    /// burst(13) + pressure(2) + lock-release(1) + sideband(8 architected).
     pub fn wire_bits(service_bits: u32) -> u32 {
         16 + 16 + 8 + 1 + 4 + 3 + 40 + 13 + 2 + 1 + 8 + service_bits
     }

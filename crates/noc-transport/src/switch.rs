@@ -167,10 +167,12 @@ impl Switch {
             out_owner: vec![None; config.outputs],
             out_lock: vec![None; config.outputs],
             out_credits: vec![0; config.outputs],
-            arbiters: (0..config.outputs).map(|_| RoundRobinArbiter::new()).collect(),
+            arbiters: (0..config.outputs)
+                .map(|_| RoundRobinArbiter::new())
+                .collect(),
             config,
             table,
-        stats: SwitchStats::default(),
+            stats: SwitchStats::default(),
         }
     }
 
@@ -247,6 +249,7 @@ impl Switch {
             }
             // Candidates: idle inputs whose head flit routes to o.
             let mut requests: Vec<Option<u8>> = vec![None; self.config.inputs];
+            #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
             for i in 0..self.config.inputs {
                 if self.in_alloc[i].is_some() {
                     continue;
@@ -455,7 +458,7 @@ mod tests {
     fn store_and_forward_waits_for_full_packet() {
         let mut sw = switch2x2(SwitchMode::StoreAndForward);
         let flits = packet(0, 1, 8, 0); // head + 2 payload
-        // Inject only the head: nothing may move.
+                                        // Inject only the head: nothing may move.
         sw.accept(0, flits[0].clone());
         assert!(sw.tick().sent.is_empty());
         sw.accept(0, flits[1].clone());
@@ -514,10 +517,7 @@ mod tests {
             inject(&mut sw, 1, &packet(0, 2, 0, 0));
         }
         let sent = drain(&mut sw, 10);
-        let srcs: Vec<u16> = sent
-            .iter()
-            .map(|(_, f)| f.header().unwrap().src)
-            .collect();
+        let srcs: Vec<u16> = sent.iter().map(|(_, f)| f.header().unwrap().src).collect();
         assert_eq!(srcs.len(), 6);
         // strict alternation under round-robin
         for pair in srcs.windows(2) {

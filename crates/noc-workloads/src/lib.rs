@@ -5,12 +5,16 @@
 //! **AHB**, a two-thread video decoder on **OCP**, a multi-ID DMA engine
 //! on **AXI**, a display controller on the proprietary **STRM** socket,
 //! and control masters on **PVCI**/**BVCI**/**AVCI** — all sharing a DRAM,
-//! an SRAM and a register slave. [`scenario::SetTop`] can realise it
-//! three ways from the *same* programs: on the NoC (Fig 1), on the
-//! bridged reference-socket interconnect (Fig 2) and on a shared bus.
+//! an SRAM and a register slave. [`scenario::SetTop`] declares it *once*
+//! as a [`noc_scenario::ScenarioSpec`] ([`SetTop::spec`]), from which the
+//! same programs compile to the NoC (Fig 1), the bridged reference-socket
+//! interconnect (Fig 2) and a shared bus.
 
 pub mod patterns;
 pub mod scenario;
 
 pub use patterns::{hotspot_program, neighbour_program, uniform_program, PatternConfig};
 pub use scenario::{SetTop, SetTopConfig};
+
+// Convenience: workload consumers almost always want the scenario API too.
+pub use noc_scenario::{Backend, ScenarioSpec, Simulation};

@@ -156,9 +156,13 @@ mod tests {
     fn read_fraction_respected() {
         let mut cfg = PatternConfig::new(1000, 11);
         cfg.read_fraction = 1.0;
-        assert!(uniform_program(&cfg, &R).iter().all(|c| c.opcode == Opcode::Read));
+        assert!(uniform_program(&cfg, &R)
+            .iter()
+            .all(|c| c.opcode == Opcode::Read));
         cfg.read_fraction = 0.0;
-        assert!(uniform_program(&cfg, &R).iter().all(|c| c.opcode == Opcode::Write));
+        assert!(uniform_program(&cfg, &R)
+            .iter()
+            .all(|c| c.opcode == Opcode::Write));
     }
 
     #[test]

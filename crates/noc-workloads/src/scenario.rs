@@ -1,22 +1,20 @@
 //! The mixed-protocol "set-top SoC" scenario (the paper's Fig 1 system),
 //! realisable on the NoC, on the Fig-2 bridged interconnect, and on a
 //! shared bus — all from identical programs.
+//!
+//! Since the declarative scenario API landed, this module is a thin
+//! factory: [`SetTop::spec`] declares the system once as a
+//! [`ScenarioSpec`] and every realisation — including the legacy
+//! `build_*` constructors kept for existing callers — compiles from that
+//! single description.
 
 use crate::patterns::{uniform_program, PatternConfig};
-use noc_baseline::{AttachedMaster, BridgeConfig, BridgedInterconnect, BusConfig, SharedBus};
-use noc_niu::fe::{AhbInitiator, AxiInitiator, OcpInitiator, StrmInitiator, VciInitiator};
-use noc_niu::{
-    InitiatorNiu, InitiatorNiuConfig, MemoryTarget, SocketInitiator, TargetNiu, TargetNiuConfig,
-};
-use noc_protocols::ahb::AhbMaster;
-use noc_protocols::axi::AxiMaster;
-use noc_protocols::ocp::OcpMaster;
-use noc_protocols::strm::StrmMaster;
-use noc_protocols::vci::{VciFlavor, VciMaster};
-use noc_protocols::{MemoryModel, Program, ProtocolKind};
-use noc_system::{NocConfig, Soc, SocBuilder};
+use noc_baseline::{BridgeConfig, BridgedInterconnect, BusConfig, SharedBus};
+use noc_protocols::Program;
+use noc_scenario::{InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, TopologySpec};
+use noc_system::{NocConfig, Soc};
 use noc_topology::{RouteAlgorithm, Topology, TopologyBuilder};
-use noc_transaction::{AddressMap, MstAddr, Opcode, OrderingModel, SlvAddr};
+use noc_transaction::{AddressMap, Opcode, SlvAddr};
 
 /// DRAM range.
 pub const DRAM: (u64, u64) = (0x0000_0000, 0x0100_0000);
@@ -25,7 +23,8 @@ pub const SRAM: (u64, u64) = (0x1000_0000, 0x1010_0000);
 /// Register/peripheral range.
 pub const REG: (u64, u64) = (0x2000_0000, 0x2000_1000);
 
-/// Node numbers of the scenario's endpoints.
+/// Node numbers of the scenario's endpoints, as assigned by the spec
+/// (initiators in declaration order, then memories).
 pub mod nodes {
     /// AHB CPU.
     pub const CPU: u16 = 0;
@@ -111,7 +110,9 @@ impl SetTop {
         SetTop { config }
     }
 
-    /// The scenario's address map (shared by all realisations).
+    /// The scenario's address map (shared by all realisations; the spec
+    /// derives the identical map from the memory declarations, asserted
+    /// in the tests below).
     pub fn address_map() -> AddressMap {
         let mut map = AddressMap::new();
         map.add(DRAM.0, DRAM.1, SlvAddr::new(nodes::DRAM))
@@ -128,7 +129,9 @@ impl SetTop {
         let n = self.config.commands;
         let seed = self.config.seed;
         let cpu = uniform_program(
-            &PatternConfig::new(n, seed ^ 0x1).with_burst(4, 4).with_gap(6),
+            &PatternConfig::new(n, seed ^ 0x1)
+                .with_burst(4, 4)
+                .with_gap(6),
             &[DRAM, REG],
         );
         let video = uniform_program(
@@ -147,7 +150,9 @@ impl SetTop {
         );
         // Display: urgent frame-buffer reads.
         let mut display = uniform_program(
-            &PatternConfig::new(n, seed ^ 0x4).with_burst(8, 8).with_gap(2),
+            &PatternConfig::new(n, seed ^ 0x4)
+                .with_burst(8, 8)
+                .with_gap(2),
             &[SRAM],
         );
         for c in &mut display {
@@ -156,11 +161,15 @@ impl SetTop {
         }
         // Control: single-beat register accesses (PVCI restriction).
         let ctrl = uniform_program(
-            &PatternConfig::new(n, seed ^ 0x5).with_burst(1, 4).with_gap(8),
+            &PatternConfig::new(n, seed ^ 0x5)
+                .with_burst(1, 4)
+                .with_gap(8),
             &[REG],
         );
         let io = uniform_program(
-            &PatternConfig::new(n, seed ^ 0x6).with_burst(4, 4).with_gap(4),
+            &PatternConfig::new(n, seed ^ 0x6)
+                .with_burst(4, 4)
+                .with_gap(4),
             &[DRAM],
         );
         let acc = uniform_program(
@@ -181,8 +190,19 @@ impl SetTop {
         }
     }
 
-    /// The NoC topology: four switches in a bidirectional ring, endpoints
-    /// spread across them.
+    /// The NoC fabric shape: four switches in a bidirectional ring,
+    /// endpoints spread across them.
+    pub fn topology_spec() -> TopologySpec {
+        TopologySpec::Custom {
+            switches: 4,
+            links: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            // cpu video dma display ctrl io acc | dram sram reg
+            placement: vec![0, 0, 1, 1, 0, 3, 3, 2, 2, 3],
+        }
+    }
+
+    /// The NoC topology (compat shim for callers that want the concrete
+    /// [`Topology`]; the spec builds its own copy).
     pub fn topology() -> Topology {
         let mut b = TopologyBuilder::new(4);
         b.connect_bidir(0, 1);
@@ -202,163 +222,63 @@ impl SetTop {
         b.build()
     }
 
-    fn initiator_fes(&self, p: &SetTopPrograms) -> Vec<(u16, &'static str, ProtocolKind, Box<dyn SocketInitiator>)> {
-        vec![
-            (
-                nodes::CPU,
-                "cpu(AHB)",
-                ProtocolKind::Ahb,
-                Box::new(AhbInitiator::new(AhbMaster::new(p.cpu.clone()))),
-            ),
-            (
-                nodes::VIDEO,
-                "video(OCP)",
-                ProtocolKind::Ocp,
-                Box::new(OcpInitiator::new(OcpMaster::new(p.video.clone(), 2, 4))),
-            ),
-            (
-                nodes::DMA,
-                "dma(AXI)",
-                ProtocolKind::Axi,
-                Box::new(AxiInitiator::new(AxiMaster::new(p.dma.clone(), 4, 16))),
-            ),
-            (
-                nodes::DISPLAY,
-                "display(STRM)",
-                ProtocolKind::Strm,
-                Box::new(StrmInitiator::new(StrmMaster::new(p.display.clone(), 4))),
-            ),
-            (
-                nodes::CTRL,
-                "ctrl(PVCI)",
-                ProtocolKind::Pvci,
-                Box::new(VciInitiator::new(VciMaster::new(
-                    p.ctrl.clone(),
-                    VciFlavor::Peripheral,
-                    1,
-                ))),
-            ),
-            (
-                nodes::IO,
-                "io(BVCI)",
-                ProtocolKind::Bvci,
-                Box::new(VciInitiator::new(VciMaster::new(
-                    p.io.clone(),
-                    VciFlavor::Basic,
-                    2,
-                ))),
-            ),
-            (
-                nodes::ACC,
-                "acc(AVCI)",
-                ProtocolKind::Avci,
-                Box::new(VciInitiator::new(VciMaster::new(
-                    p.acc.clone(),
-                    VciFlavor::Advanced { threads: 2 },
-                    2,
-                ))),
-            ),
-        ]
-    }
-
-    fn niu_config(&self, node: u16, kind: ProtocolKind) -> InitiatorNiuConfig {
-        let base = InitiatorNiuConfig::new(MstAddr::new(node)).with_flit_bytes(8);
-        match kind {
-            ProtocolKind::Ahb | ProtocolKind::Pvci | ProtocolKind::Bvci | ProtocolKind::Strm => {
-                base.with_ordering(OrderingModel::FullyOrdered)
-                    .with_outstanding(2)
-            }
-            ProtocolKind::Ocp => base
-                .with_ordering(OrderingModel::Threaded { threads: 2 })
-                .with_outstanding(self.config.outstanding),
-            ProtocolKind::Avci => base
-                .with_ordering(OrderingModel::Threaded { threads: 2 })
-                .with_outstanding(4),
-            ProtocolKind::Axi => base
-                .with_ordering(OrderingModel::IdBased { tags: 4 })
-                .with_outstanding(self.config.outstanding),
-        }
+    /// The whole Fig-1 system as one declarative scenario: seven mixed
+    /// VC sockets and three memories, compilable to any backend.
+    pub fn spec(&self) -> ScenarioSpec {
+        let p = self.programs();
+        let out = self.config.outstanding;
+        ScenarioSpec::new()
+            .initiator(InitiatorSpec::new("cpu(AHB)", SocketSpec::Ahb, p.cpu).with_flit_bytes(8))
+            .initiator(
+                InitiatorSpec::new("video(OCP)", SocketSpec::ocp(), p.video)
+                    .with_flit_bytes(8)
+                    .with_outstanding(out),
+            )
+            .initiator(
+                InitiatorSpec::new("dma(AXI)", SocketSpec::axi(), p.dma)
+                    .with_flit_bytes(8)
+                    .with_outstanding(out),
+            )
+            .initiator(
+                InitiatorSpec::new("display(STRM)", SocketSpec::strm(), p.display)
+                    .with_flit_bytes(8),
+            )
+            .initiator(
+                InitiatorSpec::new("ctrl(PVCI)", SocketSpec::pvci(), p.ctrl).with_flit_bytes(8),
+            )
+            .initiator(InitiatorSpec::new("io(BVCI)", SocketSpec::bvci(), p.io).with_flit_bytes(8))
+            .initiator(
+                InitiatorSpec::new("acc(AVCI)", SocketSpec::avci(), p.acc).with_flit_bytes(8),
+            )
+            .memory(MemorySpec::over("dram", DRAM, 8))
+            .memory(MemorySpec::over("sram", SRAM, 2))
+            .memory(MemorySpec::over("reg", REG, 1))
+            .with_topology(Self::topology_spec())
     }
 
     /// Builds the Fig-1 realisation: every socket behind its NIU on the
     /// NoC.
     pub fn build_noc(&self) -> Soc {
-        let programs = self.programs();
-        let map = Self::address_map();
-        let mut builder = SocBuilder::new(Self::topology(), self.config.noc);
-        for (node, name, kind, fe) in self.initiator_fes(&programs) {
-            let cfg = self.niu_config(node, kind);
-            // Box<dyn SocketInitiator> must be wrapped concretely; rebuild
-            // per protocol through the generic NIU over the boxed FE.
-            let niu = InitiatorNiu::new(BoxedFe(fe), cfg, map.clone());
-            builder = builder.initiator(name, node, Box::new(niu));
-        }
-        let mems = [
-            (nodes::DRAM, "dram", MemoryModel::new(8)),
-            (nodes::SRAM, "sram", MemoryModel::new(2)),
-            (nodes::REG, "reg", MemoryModel::new(1)),
-        ];
-        for (node, name, mem) in mems {
-            let tgt = TargetNiu::new(
-                MemoryTarget::new(mem, 8),
-                TargetNiuConfig::new(SlvAddr::new(node)),
-            );
-            builder = builder.target(name, node, Box::new(tgt));
-        }
-        builder.build().expect("scenario wiring is consistent")
+        self.spec()
+            .build_noc(self.config.noc)
+            .expect("scenario wiring is consistent")
+            .into_inner()
     }
 
     /// Builds the shared-bus realisation.
     pub fn build_bus(&self) -> SharedBus {
-        let programs = self.programs();
-        let mut bus = SharedBus::new(self.config.bus, Self::address_map());
-        for (_, name, _, fe) in self.initiator_fes(&programs) {
-            bus.add_master(AttachedMaster::new(name, fe));
-        }
-        bus.add_slave(DRAM.0, MemoryModel::new(8));
-        bus.add_slave(SRAM.0, MemoryModel::new(2));
-        bus.add_slave(REG.0, MemoryModel::new(1));
-        bus
+        self.spec()
+            .build_bus(self.config.bus)
+            .expect("scenario wiring is consistent")
+            .into_inner()
     }
 
     /// Builds the Fig-2 bridged realisation.
     pub fn build_bridged(&self) -> BridgedInterconnect {
-        let programs = self.programs();
-        let mut ic = BridgedInterconnect::new(self.config.bridge, Self::address_map());
-        for (_, name, _, fe) in self.initiator_fes(&programs) {
-            ic.add_master(AttachedMaster::new(name, fe));
-        }
-        ic.add_slave(SlvAddr::new(nodes::DRAM), DRAM.0, MemoryModel::new(8));
-        ic.add_slave(SlvAddr::new(nodes::SRAM), SRAM.0, MemoryModel::new(2));
-        ic.add_slave(SlvAddr::new(nodes::REG), REG.0, MemoryModel::new(1));
-        ic
-    }
-}
-
-/// Adapter: a boxed front end is itself a front end (lets the scenario
-/// build heterogeneous NIUs through one code path).
-struct BoxedFe(Box<dyn SocketInitiator>);
-
-impl SocketInitiator for BoxedFe {
-    fn tick(&mut self, cycle: u64) {
-        self.0.tick(cycle)
-    }
-    fn pull_request(&mut self) -> Option<noc_transaction::TransactionRequest> {
-        self.0.pull_request()
-    }
-    fn push_response(
-        &mut self,
-        stream: noc_transaction::StreamId,
-        opcode: Opcode,
-        resp: noc_transaction::TransactionResponse,
-    ) {
-        self.0.push_response(stream, opcode, resp)
-    }
-    fn done(&self) -> bool {
-        self.0.done()
-    }
-    fn log(&self) -> &noc_protocols::CompletionLog {
-        self.0.log()
+        self.spec()
+            .build_bridged(self.config.bridge)
+            .expect("scenario wiring is consistent")
+            .into_inner()
     }
 }
 
@@ -366,6 +286,7 @@ impl SocketInitiator for BoxedFe {
 mod tests {
     use super::*;
     use noc_baseline::Interconnect;
+    use noc_scenario::Backend;
 
     #[test]
     fn programs_are_deterministic() {
@@ -389,6 +310,19 @@ mod tests {
         for node in 0..=9u16 {
             assert!(t.attachment_of(node).is_some(), "node {node} missing");
         }
+    }
+
+    #[test]
+    fn spec_is_valid_and_matches_node_plan() {
+        let spec = SetTop::new(SetTopConfig::new(4, 1)).spec();
+        spec.validate().expect("set-top spec validates");
+        assert_eq!(spec.initiator_node(0), nodes::CPU);
+        assert_eq!(spec.initiator_node(6), nodes::ACC);
+        assert_eq!(spec.memory_node(0), nodes::DRAM);
+        assert_eq!(spec.memory_node(2), nodes::REG);
+        let map = spec.address_map().expect("derives");
+        assert_eq!(map.decode(DRAM.0).unwrap().index(), nodes::DRAM as usize);
+        assert_eq!(map.decode(REG.0).unwrap().index(), nodes::REG as usize);
     }
 
     #[test]
@@ -420,23 +354,20 @@ mod tests {
 
     #[test]
     fn all_three_realisations_agree_functionally() {
-        // Same programs, three interconnects: per-master fingerprints of
-        // *read* results can differ (timing changes interleavings of
-        // writes/reads to shared memory), but command counts must match
-        // and the write sets are identical by construction. We assert
-        // drain + counts; full fingerprint equality across transport
-        // configs (same interconnect) is asserted in the layering suite.
-        let cfg = SetTopConfig::new(5, 99);
-        let noc_report = SetTop::new(cfg).build_noc().run(200_000);
-        let mut bus = SetTop::new(cfg).build_bus();
-        bus.run(500_000);
-        let mut ic = SetTop::new(cfg).build_bridged();
-        ic.run(500_000);
-        assert!(noc_report.all_done);
-        let noc_total: usize = noc_report.masters.iter().map(|m| m.completions).sum();
-        let bus_total: usize = bus.logs().iter().map(|l| l.len()).sum();
-        let ic_total: usize = ic.logs().iter().map(|l| l.len()).sum();
-        assert_eq!(noc_total, bus_total);
-        assert_eq!(noc_total, ic_total);
+        // Same spec, three interconnects, driven uniformly through the
+        // Simulation trait: per-master fingerprints of *read* results can
+        // differ (timing changes interleavings of writes/reads to shared
+        // memory), but command counts must match and the write sets are
+        // identical by construction. Full record agreement for race-free
+        // workloads is asserted in tests/scenario_api.rs.
+        let scenario = SetTop::new(SetTopConfig::new(5, 99));
+        let mut totals = Vec::new();
+        for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+            let mut sim = scenario.spec().build(&backend).expect("consistent");
+            assert!(sim.run_until(500_000), "{backend} must drain");
+            totals.push(sim.report().total_completions());
+        }
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[0], totals[2]);
     }
 }

@@ -4,56 +4,30 @@
 //!
 //! Run with: `cargo run -p noc-examples --example exclusive_sync`
 
-use noc_niu::fe::AhbInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::ahb::AhbMaster;
-use noc_protocols::{MemoryModel, Program, SocketCommand};
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::Topology;
-use noc_transaction::{AddressMap, MstAddr, Opcode, SlvAddr};
+use noc_protocols::{Program, SocketCommand};
+use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec};
+use noc_transaction::Opcode;
 
 const SEM: u64 = 0x40;
 
-fn map() -> AddressMap {
-    let mut m = AddressMap::new();
-    m.add(0x0, 0x2000, SlvAddr::new(2)).expect("valid range");
-    m
-}
-
 fn run(sync_program: Program, label: &str) {
-    let sync = InitiatorNiu::new(
-        AhbInitiator::new(AhbMaster::new(sync_program)),
-        InitiatorNiuConfig::new(MstAddr::new(0)),
-        map(),
-    );
     let bystander: Program = (0..30)
         .map(|i| SocketCommand::read(0x1000 + i * 16, 4))
         .collect();
-    let bg = InitiatorNiu::new(
-        AhbInitiator::new(AhbMaster::new(bystander)),
-        InitiatorNiuConfig::new(MstAddr::new(1)),
-        map(),
-    );
-    let mem = TargetNiu::new(
-        MemoryTarget::new(MemoryModel::new(2), 8),
-        TargetNiuConfig::new(SlvAddr::new(2)),
-    );
-    let mut soc = SocBuilder::new(Topology::crossbar(3), NocConfig::new())
-        .initiator("sync", 0, Box::new(sync))
-        .initiator("bystander", 1, Box::new(bg))
-        .target("mem", 2, Box::new(mem))
-        .build()
-        .expect("valid wiring");
-    let report = soc.run(1_000_000);
+    let spec = ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("sync", SocketSpec::Ahb, sync_program))
+        .initiator(InitiatorSpec::new("bystander", SocketSpec::Ahb, bystander))
+        .memory(MemorySpec::new("mem", 0x0, 0x2000, 2));
+    let mut sim = spec.build(&Backend::noc()).expect("valid scenario");
+    assert!(sim.run_until(1_000_000));
+    let report = sim.report();
     let bg_lat = report
-        .masters
-        .iter()
-        .find(|m| m.name == "bystander")
-        .unwrap()
+        .master("bystander")
+        .expect("declared above")
         .mean_latency;
+    let lock_idle = report.fabric.expect("NoC backend").lock_idle_cycles;
     println!(
-        "{label:>28}: bystander mean latency {bg_lat:6.1} cycles, lock-idle {} cycles",
-        report.fabric.lock_idle_cycles
+        "{label:>28}: bystander mean latency {bg_lat:6.1} cycles, lock-idle {lock_idle} cycles"
     );
 }
 

@@ -1,41 +1,39 @@
 //! The paper's Fig 1 system: seven IP blocks speaking AHB, OCP, AXI,
 //! STRM, PVCI, BVCI and AVCI all plugged into one NoC — then the same
-//! programs replayed on the Fig-2 bridged interconnect and a shared bus.
+//! declarative spec compiled to the Fig-2 bridged interconnect and a
+//! shared bus, and driven through the one `Simulation` trait.
 //!
 //! Run with: `cargo run -p noc-examples --example mixed_protocol_soc`
 
-use noc_baseline::Interconnect;
+use noc_scenario::Backend;
 use noc_workloads::{SetTop, SetTopConfig};
 
 fn main() {
     let cfg = SetTopConfig::new(24, 2005);
-    let scenario = SetTop::new(cfg);
+    let spec = SetTop::new(cfg).spec();
 
-    println!("== Fig 1: mixed-protocol SoC on the NoC ==");
-    let mut soc = scenario.build_noc();
-    let report = soc.run(2_000_000);
-    println!("{report}");
-    assert!(report.all_done);
-
-    println!("\n== Fig 2: same SoC on the bridged reference-socket interconnect ==");
-    let mut bridged = scenario.build_bridged();
-    bridged.run(5_000_000);
-    println!("finished at cycle {}", bridged.now());
-    for (log, name) in bridged.logs().iter().zip([
-        "cpu(AHB)", "video(OCP)", "dma(AXI)", "display(STRM)", "ctrl(PVCI)", "io(BVCI)", "acc(AVCI)",
-    ]) {
-        println!("  {name}: {} done, mean {:.1}cy", log.len(), log.mean_latency());
+    let mut makespans = Vec::new();
+    for (title, backend) in [
+        (
+            "Fig 1: mixed-protocol SoC on the NoC",
+            Backend::Noc(cfg.noc),
+        ),
+        (
+            "Fig 2: same spec on the bridged reference-socket interconnect",
+            Backend::Bridged(cfg.bridge),
+        ),
+        ("Shared bus", Backend::Bus(cfg.bus)),
+    ] {
+        println!("== {title} ==");
+        let mut sim = spec.build(&backend).expect("set-top spec is consistent");
+        assert!(sim.run_until(10_000_000), "{backend} must drain");
+        let report = sim.report();
+        println!("{report}\n");
+        makespans.push(report.cycles);
     }
 
-    println!("\n== Shared bus ==");
-    let mut bus = scenario.build_bus();
-    bus.run(5_000_000);
-    println!("finished at cycle {}", bus.now());
-
     println!(
-        "\nmakespans: NoC {} < bridged {} < bus {}",
-        report.cycles,
-        bridged.now(),
-        bus.now()
+        "makespans: NoC {} < bridged {} < bus {}",
+        makespans[0], makespans[1], makespans[2]
     );
 }

@@ -4,70 +4,49 @@
 //!
 //! Run with: `cargo run -p noc-examples --example qos_streaming`
 
-use noc_niu::fe::StrmInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::strm::StrmMaster;
-use noc_protocols::{MemoryModel, Program, SocketCommand};
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::Topology;
-use noc_transaction::{AddressMap, MstAddr, SlvAddr};
+use noc_protocols::{Program, SocketCommand};
+use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec};
+use noc_transaction::BurstKind;
 
-fn map() -> AddressMap {
-    let mut m = AddressMap::new();
-    m.add(0x0, 0x10_0000, SlvAddr::new(3)).expect("valid range");
-    m
-}
+const MEM: (u64, u64) = (0x0, 0x10_0000);
 
-fn run(display_pressure: u8) -> (f64, u64) {
+fn spec(display_pressure: u8) -> ScenarioSpec {
     let display: Program = (0..40)
         .map(|i| {
             SocketCommand::read(0x1000 + i * 64, 8)
-                .with_burst(noc_transaction::BurstKind::Incr, 8)
+                .with_burst(BurstKind::Incr, 8)
                 .with_pressure(display_pressure)
                 .with_delay(2)
         })
         .collect();
     let noise: Program = (0..40)
-        .map(|i| {
-            SocketCommand::write(0x8000 + i * 128, 8, i as u64)
-                .with_burst(noc_transaction::BurstKind::Incr, 16)
-        })
+        .map(|i| SocketCommand::write(0x8000 + i * 128, 8, i).with_burst(BurstKind::Incr, 16))
         .collect();
-    let disp = InitiatorNiu::new(
-        StrmInitiator::new(StrmMaster::new(display, 4)),
-        InitiatorNiuConfig::new(MstAddr::new(0)).with_outstanding(4),
-        map(),
-    );
-    let mk_noise = |node: u16, p: Program| {
-        InitiatorNiu::new(
-            StrmInitiator::new(StrmMaster::new(p, 4)),
-            InitiatorNiuConfig::new(MstAddr::new(node)).with_outstanding(4),
-            map(),
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("display", SocketSpec::strm(), display).with_outstanding(4))
+        .initiator(
+            InitiatorSpec::new("dma1", SocketSpec::strm(), noise.clone()).with_outstanding(4),
         )
-    };
-    let mem = TargetNiu::new(
-        MemoryTarget::new(MemoryModel::new(4), 8),
-        TargetNiuConfig::new(SlvAddr::new(3)),
-    );
-    let mut soc = SocBuilder::new(Topology::crossbar(4), NocConfig::new())
-        .initiator("display", 0, Box::new(disp))
-        .initiator("dma1", 1, Box::new(mk_noise(1, noise.clone())))
-        .initiator("dma2", 2, Box::new(mk_noise(2, noise)))
-        .target("mem", 3, Box::new(mem))
-        .build()
-        .expect("valid wiring");
-    let report = soc.run(1_000_000);
-    let disp = report
-        .masters
-        .iter()
-        .find(|m| m.name == "display")
-        .unwrap();
+        .initiator(InitiatorSpec::new("dma2", SocketSpec::strm(), noise).with_outstanding(4))
+        .memory(MemorySpec::over("mem", MEM, 4))
+}
+
+fn run(display_pressure: u8) -> (f64, u64) {
+    let mut sim = spec(display_pressure)
+        .build(&Backend::noc())
+        .expect("valid scenario");
+    assert!(sim.run_until(1_000_000));
+    let report = sim.report();
+    let disp = report.master("display").expect("declared above");
     (disp.mean_latency, disp.latency_percentile(0.95))
 }
 
 fn main() {
     println!("display stream under 2x DMA interference:\n");
-    println!("{:>12} | {:>10} | {:>8}", "pressure", "mean (cy)", "p95 (cy)");
+    println!(
+        "{:>12} | {:>10} | {:>8}",
+        "pressure", "mean (cy)", "p95 (cy)"
+    );
     println!("{:->12}-+-{:->10}-+-{:->8}", "", "", "");
     for p in 0..=3u8 {
         let (mean, p95) = run(p);

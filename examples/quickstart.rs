@@ -1,50 +1,45 @@
-//! Quickstart: one AHB CPU reading and writing a memory across a minimal
-//! NoC — the smallest complete use of the public API.
+//! Quickstart: one AHB CPU reading and writing a memory — the smallest
+//! complete use of the declarative scenario API. The same description
+//! compiles to the NoC, the bridged interconnect, and a shared bus.
 //!
 //! Run with: `cargo run -p noc-examples --example quickstart`
 
-use noc_niu::fe::AhbInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::ahb::AhbMaster;
-use noc_protocols::{MemoryModel, SocketCommand};
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::Topology;
-use noc_transaction::{AddressMap, BurstKind, MstAddr, SlvAddr};
+use noc_protocols::SocketCommand;
+use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec};
+use noc_transaction::BurstKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Address map: one memory target at node 1 owning 4 KiB.
-    let mut map = AddressMap::new();
-    map.add(0x0, 0x1000, SlvAddr::new(1))?;
-
-    // 2. A program for the AHB master: write a burst, read it back.
+    // 1. A program for the AHB master: write a burst, read it back.
     let program = vec![
         SocketCommand::write(0x100, 4, 0xDEAD).with_burst(BurstKind::Incr, 4),
         SocketCommand::read(0x100, 4).with_burst(BurstKind::Incr, 4),
     ];
 
-    // 3. NIUs: AHB front end + neutral back end; native memory target.
-    let cpu = InitiatorNiu::new(
-        AhbInitiator::new(AhbMaster::new(program)),
-        InitiatorNiuConfig::new(MstAddr::new(0)),
-        map,
-    );
-    let mem = TargetNiu::new(
-        MemoryTarget::new(MemoryModel::new(2), 4),
-        TargetNiuConfig::new(SlvAddr::new(1)),
-    );
+    // 2. The scenario: one initiator socket, one 4 KiB memory. Node
+    //    numbers and the address map are derived from the declaration.
+    let spec = ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("cpu", SocketSpec::Ahb, program))
+        .memory(MemorySpec::new("mem", 0x0, 0x1000, 2));
 
-    // 4. Assemble a 2-endpoint crossbar NoC and run it.
-    let mut soc = SocBuilder::new(Topology::crossbar(2), NocConfig::new())
-        .initiator("cpu", 0, Box::new(cpu))
-        .target("mem", 1, Box::new(mem))
-        .build()?;
-    let report = soc.run(10_000);
+    // 3. Compile to the NoC backend and run it.
+    let mut sim = spec.build(&Backend::noc())?;
+    assert!(sim.run_until(10_000));
+    let report = sim.report();
     println!("{report}");
-    assert!(report.all_done);
 
-    // 5. Inspect the data: the read returned the written bytes.
-    let (_, log) = soc.completion_logs()[0];
+    // 4. Inspect the data: the read returned the written bytes.
+    let (_, log) = sim.logs()[0];
     assert_eq!(log.records()[0].data, log.records()[1].data);
     println!("read data matches written data — quickstart OK");
+
+    // 5. The identical spec runs on the other interconnects too.
+    for backend in [Backend::bridged(), Backend::bus()] {
+        let mut sim = spec.build(&backend)?;
+        assert!(sim.run_until(100_000));
+        println!(
+            "{backend}: {} completions",
+            sim.report().total_completions()
+        );
+    }
     Ok(())
 }

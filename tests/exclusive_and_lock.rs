@@ -9,9 +9,7 @@ use noc_protocols::axi::AxiMaster;
 use noc_protocols::{MemoryModel, Program, SocketCommand};
 use noc_system::{NocConfig, Soc, SocBuilder};
 use noc_topology::Topology;
-use noc_transaction::{
-    AddressMap, MstAddr, Opcode, OrderingModel, RespStatus, SlvAddr, StreamId,
-};
+use noc_transaction::{AddressMap, MstAddr, Opcode, OrderingModel, RespStatus, SlvAddr, StreamId};
 
 const SEM: u64 = 0x40; // semaphore address
 const DATA: (u64, u64) = (0x1000, 0x2000);
@@ -185,7 +183,10 @@ fn legacy_lock_throttles_bystanders() {
         locked_lat > idle_lat * 1.5,
         "locking neighbour must throttle bystanders: {locked_lat:.1} vs idle {idle_lat:.1}"
     );
-    assert!(lock_idle > 0, "switches must report lock-pinned idle cycles");
+    assert!(
+        lock_idle > 0,
+        "switches must report lock-pinned idle cycles"
+    );
 }
 
 #[test]

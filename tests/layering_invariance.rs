@@ -18,7 +18,7 @@ use noc_protocols::{MemoryModel, Program, SocketCommand};
 use noc_system::{NocConfig, Soc, SocBuilder};
 use noc_topology::{RouteAlgorithm, Topology};
 use noc_transaction::{
-    AddressMap, BurstKind, Fingerprint, MstAddr, Opcode, OrderingModel, SlvAddr, StreamId,
+    AddressMap, BurstKind, Fingerprint, MstAddr, OrderingModel, SlvAddr, StreamId,
 };
 use noc_transport::SwitchMode;
 
@@ -28,7 +28,7 @@ fn private_program(master: usize, streams: u16, n: usize) -> Program {
     let mut program = Vec::new();
     for i in 0..n {
         let s = (i as u16) % streams;
-        let base = 0x10_0000u64 * 0 + ((master as u64 * 4 + s as u64) * 0x1000);
+        let base = (master as u64 * 4 + s as u64) * 0x1000;
         let addr = base + ((i as u64 / streams as u64) * 16) % 0x800;
         let cmd = if i % 3 == 0 {
             SocketCommand::write(addr, 4, (master as u64) << 32 | i as u64)
