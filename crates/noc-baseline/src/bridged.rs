@@ -354,6 +354,36 @@ impl Interconnect for BridgedInterconnect {
     fn now(&self) -> u64 {
         self.now
     }
+
+    /// While any bridge holds sub-requests or in-flight parents the
+    /// pipeline moves (or may move) every cycle, so the answer is the
+    /// current cycle; with all bridges drained only master
+    /// self-activity (idle countdowns expiring) remains.
+    fn next_activity(&self) -> Option<u64> {
+        if self
+            .bridges
+            .iter()
+            .any(|b| !b.subs.is_empty() || b.occupancy() > 0)
+        {
+            return Some(self.now);
+        }
+        let mut idle = u64::MAX;
+        for m in &self.masters {
+            idle = idle.min(m.fe.idle_ticks());
+            if idle == 0 {
+                return Some(self.now);
+            }
+        }
+        (idle < u64::MAX).then(|| self.now.saturating_add(idle))
+    }
+
+    fn skip_to(&mut self, target: u64) {
+        let ticks = target - self.now;
+        for m in &mut self.masters {
+            m.fe.skip_ticks(ticks);
+        }
+        self.now = target;
+    }
 }
 
 impl std::fmt::Debug for BridgedInterconnect {

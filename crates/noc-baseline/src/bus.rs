@@ -228,6 +228,34 @@ impl Interconnect for SharedBus {
     fn now(&self) -> u64 {
         self.now
     }
+
+    /// The nearest master self-activity (idle countdowns expiring) or
+    /// the in-service transaction completing, whichever comes first.
+    fn next_activity(&self) -> Option<u64> {
+        let mut idle = u64::MAX;
+        for m in &self.masters {
+            idle = idle.min(m.fe.idle_ticks());
+            if idle == 0 {
+                return Some(self.now);
+            }
+        }
+        let fe_next = (idle < u64::MAX).then(|| self.now.saturating_add(idle));
+        match self.busy {
+            Some((_, _, done_at)) => {
+                let done = done_at.max(self.now);
+                Some(fe_next.map_or(done, |t| t.min(done)))
+            }
+            None => fe_next,
+        }
+    }
+
+    fn skip_to(&mut self, target: u64) {
+        let ticks = target - self.now;
+        for m in &mut self.masters {
+            m.fe.skip_ticks(ticks);
+        }
+        self.now = target;
+    }
 }
 
 impl std::fmt::Debug for SharedBus {

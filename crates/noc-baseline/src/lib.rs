@@ -40,11 +40,45 @@ pub trait Interconnect {
     /// Cycles simulated so far.
     fn now(&self) -> u64;
 
-    /// Runs until done or `max_cycles`.
-    fn run(&mut self, max_cycles: u64) -> bool {
-        while self.now() < max_cycles && !self.is_done() {
+    /// The earliest cycle at which the interconnect's state can
+    /// possibly change, or `None` when nothing will ever happen again.
+    /// The default claims activity on every cycle — always correct, and
+    /// exactly what dense stepping assumes; backends override it with
+    /// real activity horizons so [`Interconnect::advance_to`] can skip
+    /// dead time.
+    fn next_activity(&self) -> Option<u64> {
+        Some(self.now())
+    }
+
+    /// Jumps to `target`, accounting the skipped cycles so state stays
+    /// bit-identical to stepping them. Only meaningful when
+    /// [`Interconnect::next_activity`] proved every cycle in
+    /// `[now, target)` dead; the default (matching the default
+    /// `next_activity`, which never yields a future cycle) steps
+    /// densely.
+    fn skip_to(&mut self, target: u64) {
+        while self.now() < target {
             self.step();
         }
+    }
+
+    /// Advances until done or `horizon`, jumping over quiescent gaps
+    /// and stepping densely through active stretches.
+    fn advance_to(&mut self, horizon: u64) {
+        while self.now() < horizon && !self.is_done() {
+            match self.next_activity() {
+                Some(t) if t > self.now() => self.skip_to(t.min(horizon)),
+                Some(_) => self.step(),
+                // Nothing can ever happen again: dense stepping would
+                // burn no-op cycles to the horizon; jump in one hop.
+                None => self.skip_to(horizon),
+            }
+        }
+    }
+
+    /// Runs until done or `max_cycles` (horizon stepping).
+    fn run(&mut self, max_cycles: u64) -> bool {
+        self.advance_to(max_cycles);
         self.is_done()
     }
 }

@@ -4,10 +4,13 @@
 //! Self-hosted harness (no external bench framework is available in this
 //! build environment): each case is warmed up, then timed over enough
 //! iterations to fill a fixed wall-clock budget, reporting mean ns/iter.
-//! Run with `cargo bench -p noc-bench`.
+//! Run with `cargo bench -p noc-bench`. When the `BENCH_JSON` environment
+//! variable names a file, the results are additionally written there as a
+//! JSON array (one object per case) so CI can archive the perf
+//! trajectory run over run.
 
-use noc_baseline::Interconnect;
 use noc_niu::{decode_request, encode_request};
+use noc_scenario::{Simulation, StepMode};
 use noc_transaction::{
     Burst, MstAddr, Opcode, OrderingModel, OrderingPolicy, SlvAddr, StreamId, Tag,
     TransactionRequest,
@@ -41,33 +44,168 @@ fn bench<T>(budget: Duration, mut f: impl FnMut() -> T) -> (f64, u64) {
     (total.as_nanos() as f64 / iters as f64, iters)
 }
 
-fn case<T>(group: &str, name: &str, budget_ms: u64, f: impl FnMut() -> T) {
-    let (ns, iters) = bench(Duration::from_millis(budget_ms), f);
-    println!("{group:<22} {name:<28} {ns:>14.0} ns/iter  ({iters} iters)");
+/// One measured case, for the text table and the JSON artifact.
+struct CaseResult {
+    group: String,
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+#[derive(Default)]
+struct Harness {
+    results: Vec<CaseResult>,
+}
+
+impl Harness {
+    fn case<T>(&mut self, group: &str, name: &str, budget_ms: u64, f: impl FnMut() -> T) {
+        let (ns, iters) = bench(Duration::from_millis(budget_ms), f);
+        println!("{group:<22} {name:<28} {ns:>14.0} ns/iter  ({iters} iters)");
+        self.results.push(CaseResult {
+            group: group.to_owned(),
+            name: name.to_owned(),
+            ns_per_iter: ns,
+            iters,
+        });
+    }
+
+    /// Writes the results as JSON to `$BENCH_JSON` if set (hand-rolled:
+    /// group/name are workspace-controlled identifiers, no escaping
+    /// needed).
+    fn write_json(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"case\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{sep}\n",
+                r.group, r.name, r.ns_per_iter, r.iters
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("BENCH_JSON path is writable");
+        println!("\nwrote {} cases to {path}", self.results.len());
+    }
+}
+
+fn set_top(commands: usize, seed: u64) -> (noc_scenario::ScenarioSpec, SetTopConfig) {
+    let cfg = SetTopConfig::new(commands, seed);
+    (SetTop::new(cfg).spec(), cfg)
 }
 
 fn main() {
+    let mut h = Harness::default();
     println!("{:<22} {:<28} {:>22}", "group", "case", "mean");
 
-    case("exp_fig1_soc", "set_top_8cmds_full_run", 500, || {
-        let mut soc = SetTop::new(SetTopConfig::new(8, 1)).build_noc();
-        let report = soc.run(1_000_000);
-        assert!(report.all_done);
-        report.cycles
+    h.case("exp_fig1_soc", "set_top_8cmds_full_run", 500, || {
+        let (spec, cfg) = set_top(8, 1);
+        let mut sim = spec.build_noc(cfg.noc).expect("consistent");
+        assert!(sim.run_until(1_000_000));
+        sim.now()
     });
 
-    case("exp_fig2_baselines", "bridged_8cmds_full_run", 500, || {
-        let mut ic = SetTop::new(SetTopConfig::new(8, 1)).build_bridged();
-        assert!(ic.run(2_000_000));
-        ic.now()
+    h.case("exp_fig2_baselines", "bridged_8cmds_full_run", 500, || {
+        let (spec, cfg) = set_top(8, 1);
+        let mut sim = spec.build_bridged(cfg.bridge).expect("consistent");
+        assert!(sim.run_until(2_000_000));
+        sim.now()
     });
-    case("exp_fig2_baselines", "bus_8cmds_full_run", 500, || {
-        let mut bus = SetTop::new(SetTopConfig::new(8, 1)).build_bus();
-        assert!(bus.run(2_000_000));
-        bus.now()
+    h.case("exp_fig2_baselines", "bus_8cmds_full_run", 500, || {
+        let (spec, cfg) = set_top(8, 1);
+        let mut sim = spec.build_bus(cfg.bus).expect("consistent");
+        assert!(sim.run_until(2_000_000));
+        sim.now()
     });
 
-    case(
+    // Quiescence-aware stepping vs dense polling on the same workload:
+    // the horizon path must win on idle-dominated (sparse) runs and the
+    // two must report identical cycle counts (equivalence is pinned
+    // functionally in tests/scenario_api.rs). Specs are constructed
+    // outside the timed region; the `build_only` cases isolate the
+    // constant compile cost both stepping cases still pay per
+    // iteration (a run consumes its simulation).
+    let sparse_set_top = {
+        let (mut spec, cfg) = set_top(4, 9);
+        for ini in &mut spec.initiators {
+            for cmd in &mut ini.program {
+                cmd.delay_before = cmd.delay_before.saturating_mul(100).max(200);
+            }
+        }
+        (spec, cfg)
+    };
+    {
+        let (spec, cfg) = &sparse_set_top;
+        h.case("step_mode", "set_top_sparse_build_only", 200, || {
+            spec.build_noc(cfg.noc).expect("consistent").now()
+        });
+    }
+    for (name, mode) in [
+        ("set_top_sparse_horizon", StepMode::Horizon),
+        ("set_top_sparse_dense", StepMode::Dense),
+    ] {
+        let (spec, cfg) = &sparse_set_top;
+        h.case("step_mode", name, 500, move || {
+            let mut sim = spec.build_noc(cfg.noc).expect("consistent");
+            assert!(sim.run_until_with(5_000_000, mode));
+            sim.now()
+        });
+    }
+
+    // The same comparison on a sparse exp_scale-style point: a 4x4 mesh
+    // of AXI readers at a low injection rate (long command gaps).
+    let sparse_mesh = {
+        let mut spec = noc_scenario::ScenarioSpec::new();
+        for m in 0..8usize {
+            let program: Vec<_> = (0..16)
+                .map(|i| {
+                    let addr = (m as u64 % 8) * 0x1000 + i as u64 * 0x40;
+                    noc_protocols::SocketCommand::read(addr, 8)
+                        .with_stream(StreamId::new(i % 4))
+                        .with_delay(400 + (i as u32 % 5) * 137)
+                })
+                .collect();
+            spec = spec.initiator(noc_scenario::InitiatorSpec::new(
+                &format!("m{m}"),
+                noc_scenario::SocketSpec::axi(),
+                program,
+            ));
+        }
+        for k in 0..8u64 {
+            spec = spec.memory(noc_scenario::MemorySpec::new(
+                &format!("mem{k}"),
+                k * 0x1000,
+                (k + 1) * 0x1000,
+                2,
+            ));
+        }
+        spec.with_topology(noc_scenario::TopologySpec::Mesh {
+            width: 4,
+            height: 4,
+        })
+    };
+    h.case("step_mode", "mesh_4x4_sparse_build_only", 200, || {
+        sparse_mesh
+            .build(&noc_scenario::Backend::noc())
+            .expect("consistent")
+            .now()
+    });
+    for (name, mode) in [
+        ("mesh_4x4_sparse_horizon", StepMode::Horizon),
+        ("mesh_4x4_sparse_dense", StepMode::Dense),
+    ] {
+        let spec = &sparse_mesh;
+        h.case("step_mode", name, 500, move || {
+            let mut sim = spec
+                .build(&noc_scenario::Backend::noc())
+                .expect("consistent");
+            assert!(sim.run_until_with(5_000_000, mode));
+            sim.now()
+        });
+    }
+
+    h.case(
         "exp_ordering_policy",
         "id_rename_issue_complete",
         200,
@@ -91,7 +229,7 @@ fn main() {
         .data(vec![0xAB; 128])
         .build()
         .unwrap();
-    case(
+    h.case(
         "exp_services_codec",
         "encode_decode_128B_request",
         200,
@@ -105,7 +243,7 @@ fn main() {
     for d in 0..8 {
         table.set(d, PortId((d % 5) as u8));
     }
-    case("exp_scale_switch", "switch_5x5_tick_loaded", 200, || {
+    h.case("exp_scale_switch", "switch_5x5_tick_loaded", 200, || {
         let mut sw = Switch::new(SwitchConfig::wormhole(5, 5), table.clone());
         for o in 0..5 {
             sw.set_output_credits(o, 1000);
@@ -125,7 +263,7 @@ fn main() {
 
     let pkt = Packet::new(Header::request(1, 2, 3), vec![0xCD; 256]);
     for width in [4usize, 8, 16] {
-        case(
+        h.case(
             "exp_layering_flits",
             &format!("to_flits_256B_w{width}"),
             200,
@@ -133,7 +271,9 @@ fn main() {
         );
     }
     let flits: Vec<Flit> = pkt.to_flits(8);
-    case("exp_layering_flits", "reassemble_256B_w8", 200, || {
+    h.case("exp_layering_flits", "reassemble_256B_w8", 200, || {
         Packet::from_flits(&flits).unwrap()
     });
+
+    h.write_json();
 }

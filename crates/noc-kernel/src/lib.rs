@@ -39,7 +39,7 @@ pub mod event;
 pub mod rng;
 pub mod time;
 
-pub use clock::{ClockDomain, ClockSet};
+pub use clock::{ClockDomain, ClockId, ClockSet};
 pub use event::{Event, EventId, Scheduler};
 pub use rng::SplitMix64;
 pub use time::SimTime;

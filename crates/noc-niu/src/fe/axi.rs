@@ -105,4 +105,21 @@ impl SocketInitiator for AxiInitiator {
     fn log(&self) -> &CompletionLog {
         self.master.log()
     }
+
+    fn idle_ticks(&self) -> u64 {
+        if !self.r_queue.is_empty()
+            || !self.b_queue.is_empty()
+            || self.port.ar.valid()
+            || self.port.aw.valid()
+            || self.port.r.valid()
+            || self.port.b.valid()
+        {
+            return 0; // buffered traffic keeps the front end hot
+        }
+        self.master.idle_ticks()
+    }
+
+    fn skip_ticks(&mut self, ticks: u64) {
+        self.master.skip_ticks(ticks);
+    }
 }

@@ -122,4 +122,22 @@ impl SocketTarget for AxiTargetFe {
     fn pull_response(&mut self) -> Option<TransactionResponse> {
         self.out.pop_front()
     }
+
+    fn idle_ticks(&self) -> u64 {
+        // The pending FIFOs mirror the slave's in-service set, so with
+        // them and every buffer drained the slave tick has nothing to
+        // accept or emit: a pure no-op until a new request arrives.
+        let empty = self.retry.is_none()
+            && self.out.is_empty()
+            && self.pending.values().all(|q| q.is_empty())
+            && self.port.ar.is_empty()
+            && self.port.aw.is_empty()
+            && self.port.r.is_empty()
+            && self.port.b.is_empty();
+        if empty {
+            u64::MAX
+        } else {
+            0
+        }
+    }
 }

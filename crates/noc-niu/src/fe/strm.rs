@@ -84,4 +84,19 @@ impl SocketInitiator for StrmInitiator {
     fn log(&self) -> &CompletionLog {
         self.master.log()
     }
+
+    fn idle_ticks(&self) -> u64 {
+        if !self.rdata_queue.is_empty()
+            || self.port.tx.valid()
+            || self.port.rreq.valid()
+            || self.port.rdata.valid()
+        {
+            return 0; // buffered traffic keeps the front end hot
+        }
+        self.master.idle_ticks()
+    }
+
+    fn skip_ticks(&mut self, ticks: u64) {
+        self.master.skip_ticks(ticks);
+    }
 }

@@ -73,4 +73,15 @@ impl SocketInitiator for VciInitiator {
     fn log(&self) -> &CompletionLog {
         self.master.log()
     }
+
+    fn idle_ticks(&self) -> u64 {
+        if !self.resp_queue.is_empty() || self.port.req.valid() || self.port.resp.valid() {
+            return 0; // buffered traffic keeps the front end hot
+        }
+        self.master.idle_ticks()
+    }
+
+    fn skip_ticks(&mut self, ticks: u64) {
+        self.master.skip_ticks(ticks);
+    }
 }

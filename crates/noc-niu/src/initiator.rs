@@ -30,6 +30,16 @@ pub trait SocketInitiator {
     fn done(&self) -> bool;
     /// The socket's completion log (for statistics and fingerprints).
     fn log(&self) -> &CompletionLog;
+    /// Quiescence hook: upcoming ticks that are provably no-ops absent
+    /// new responses (`0` = must tick densely, the conservative
+    /// default; `u64::MAX` = quiescent until input). See
+    /// [`crate::NocEndpoint::idle_ticks`] for the contract.
+    fn idle_ticks(&self) -> u64 {
+        0
+    }
+    /// Accounts `ticks` skipped no-op ticks (see
+    /// [`crate::NocEndpoint::skip_ticks`]).
+    fn skip_ticks(&mut self, _ticks: u64) {}
 }
 
 /// Configuration of an initiator NIU back end.
@@ -340,6 +350,22 @@ impl<FE: SocketInitiator> InitiatorNiu<FE> {
             && self.table.occupancy() == 0
             && self.egress.is_empty()
     }
+
+    /// Quiescence: upcoming local ticks that are provably no-ops absent
+    /// incoming flits. With a stalled request, queued egress flits or
+    /// outstanding transactions the NIU must tick densely; otherwise the
+    /// horizon is whatever the socket front end reports.
+    pub fn idle_ticks(&self) -> u64 {
+        if self.pending.is_some() || !self.egress.is_empty() || self.table.occupancy() > 0 {
+            return 0;
+        }
+        self.fe.idle_ticks()
+    }
+
+    /// Accounts skipped no-op ticks (forwarded to the front end).
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        self.fe.skip_ticks(ticks);
+    }
 }
 
 impl<FE: SocketInitiator> crate::NocEndpoint for InitiatorNiu<FE> {
@@ -360,6 +386,12 @@ impl<FE: SocketInitiator> crate::NocEndpoint for InitiatorNiu<FE> {
     }
     fn completion_log(&self) -> Option<&noc_protocols::CompletionLog> {
         Some(self.fe.log())
+    }
+    fn idle_ticks(&self) -> u64 {
+        InitiatorNiu::idle_ticks(self)
+    }
+    fn skip_ticks(&mut self, ticks: u64) {
+        InitiatorNiu::skip_ticks(self, ticks);
     }
 }
 

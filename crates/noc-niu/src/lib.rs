@@ -52,6 +52,21 @@ pub trait NocEndpoint {
     fn completion_log(&self) -> Option<&noc_protocols::CompletionLog> {
         None
     }
+    /// Quiescence hook: the number of immediately upcoming *local-clock*
+    /// ticks that are provably no-ops, provided no flit is pushed to the
+    /// endpoint meanwhile. `0` (the conservative default) means the
+    /// endpoint must be ticked densely; `u64::MAX` means it is quiescent
+    /// until new input arrives. Callers that skip ticks must account
+    /// them through [`NocEndpoint::skip_ticks`] and resume dense ticking
+    /// as soon as any input reaches the endpoint.
+    fn idle_ticks(&self) -> u64 {
+        0
+    }
+    /// Accounts `ticks` local-clock ticks skipped under the
+    /// [`NocEndpoint::idle_ticks`] contract: afterwards the endpoint is
+    /// in exactly the state that many dense no-op ticks would have left
+    /// it in.
+    fn skip_ticks(&mut self, _ticks: u64) {}
 }
 
 /// Convenience alias for the request type NIUs translate.

@@ -26,6 +26,16 @@ pub trait SocketTarget {
     /// Takes the next completed response (with `dst`, `origin`, `tag`
     /// echoed from the request).
     fn pull_response(&mut self) -> Option<TransactionResponse>;
+    /// Quiescence hook: upcoming ticks that are provably no-ops absent
+    /// new requests (`0` = must tick densely, the conservative default;
+    /// `u64::MAX` = quiescent until input). See
+    /// [`crate::NocEndpoint::idle_ticks`] for the contract.
+    fn idle_ticks(&self) -> u64 {
+        0
+    }
+    /// Accounts `ticks` skipped no-op ticks (see
+    /// [`crate::NocEndpoint::skip_ticks`]).
+    fn skip_ticks(&mut self, _ticks: u64) {}
 }
 
 /// Configuration of a target NIU back end.
@@ -294,6 +304,23 @@ impl<T: SocketTarget> TargetNiu<T> {
     pub fn is_done(&self) -> bool {
         self.ingress.is_empty() && self.inflight.is_empty() && self.egress.is_empty()
     }
+
+    /// Quiescence: with queued requests, responses in flight toward the
+    /// IP or undrained egress the NIU must tick densely; otherwise the
+    /// horizon is whatever the IP front end reports. A held legacy lock
+    /// is pure state — it only matters once a request arrives, which
+    /// resumes dense ticking.
+    pub fn idle_ticks(&self) -> u64 {
+        if !self.is_done() {
+            return 0;
+        }
+        self.target.idle_ticks()
+    }
+
+    /// Accounts skipped no-op ticks (forwarded to the IP front end).
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        self.target.skip_ticks(ticks);
+    }
 }
 
 impl<T: SocketTarget> crate::NocEndpoint for TargetNiu<T> {
@@ -311,6 +338,12 @@ impl<T: SocketTarget> crate::NocEndpoint for TargetNiu<T> {
     }
     fn is_done(&self) -> bool {
         TargetNiu::is_done(self)
+    }
+    fn idle_ticks(&self) -> u64 {
+        TargetNiu::idle_ticks(self)
+    }
+    fn skip_ticks(&mut self, ticks: u64) {
+        TargetNiu::skip_ticks(self, ticks);
     }
 }
 
@@ -384,6 +417,16 @@ impl SocketTarget for MemoryTarget {
         match self.pending.front() {
             Some(&(ready, _)) if ready <= self.now => self.pending.pop_front().map(|(_, r)| r),
             _ => None,
+        }
+    }
+
+    fn idle_ticks(&self) -> u64 {
+        // The tick only latches the (absolute) current cycle, so an empty
+        // memory is quiescent until the next request arrives.
+        if self.pending.is_empty() {
+            u64::MAX
+        } else {
+            0
         }
     }
 }

@@ -127,6 +127,34 @@ impl AhbMaster {
         self.locked
     }
 
+    /// Number of immediately upcoming socket ticks that are provably
+    /// no-ops, assuming no response reaches the port meanwhile.
+    /// `u64::MAX` means the master is quiescent until new input; `0`
+    /// means the very next tick may change state.
+    pub fn idle_ticks(&self) -> u64 {
+        if self.outstanding.is_some() || self.pc >= self.program.len() {
+            // Waiting on a response, or drained: nothing happens until
+            // input arrives (or ever).
+            return u64::MAX;
+        }
+        self.wait
+            .map(u64::from)
+            .unwrap_or(self.program[self.pc].delay_before as u64)
+    }
+
+    /// Accounts `ticks` socket cycles skipped under the [`idle_ticks`]
+    /// contract: afterwards the master is in exactly the state `ticks`
+    /// dense no-op ticks would have left it in.
+    ///
+    /// [`idle_ticks`]: AhbMaster::idle_ticks
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        if self.outstanding.is_some() || self.pc >= self.program.len() {
+            return; // dense ticks would not have touched the countdown
+        }
+        let wait = self.wait.get_or_insert(self.program[self.pc].delay_before);
+        *wait = wait.saturating_sub(ticks.min(u32::MAX as u64) as u32);
+    }
+
     /// Advances one socket cycle.
     pub fn tick(&mut self, cycle: u64, port: &mut AhbPort) {
         // Retire the outstanding transfer if its response arrived.
@@ -385,5 +413,31 @@ mod tests {
     fn display() {
         let m = AhbMaster::new(vec![]);
         assert!(m.to_string().contains("ahb-master"));
+    }
+
+    #[test]
+    fn skip_ticks_matches_dense_countdown() {
+        let program = vec![SocketCommand::read(0, 4).with_delay(10)];
+        let mut dense = AhbMaster::new(program.clone());
+        let mut skipped = AhbMaster::new(program);
+        let mut port_d = AhbPort::new();
+        let mut port_s = AhbPort::new();
+        for c in 0..10 {
+            dense.tick(c, &mut port_d);
+            assert!(port_d.req.is_empty(), "cycle {c} is a pure countdown");
+        }
+        assert_eq!(skipped.idle_ticks(), 10);
+        skipped.skip_ticks(10);
+        assert_eq!(skipped.idle_ticks(), 0);
+        dense.tick(10, &mut port_d);
+        skipped.tick(10, &mut port_s);
+        assert_eq!(
+            port_d.req.take(),
+            port_s.req.take(),
+            "same issue, same cycle"
+        );
+        // waiting on a response / drained = quiescent until input
+        assert_eq!(dense.idle_ticks(), u64::MAX);
+        assert_eq!(AhbMaster::new(vec![]).idle_ticks(), u64::MAX);
     }
 }

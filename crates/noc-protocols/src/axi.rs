@@ -171,6 +171,45 @@ impl AxiMaster {
         &self.log
     }
 
+    /// Number of immediately upcoming socket ticks that are provably
+    /// no-ops, assuming no response reaches the port meanwhile
+    /// (`u64::MAX` = quiescent until new input).
+    pub fn idle_ticks(&self) -> u64 {
+        if self.pc >= self.program.len() || self.outstanding >= self.total_limit {
+            return u64::MAX; // issue path gated entirely on responses
+        }
+        let w = self
+            .wait
+            .map(u64::from)
+            .unwrap_or(self.program[self.pc].delay_before as u64);
+        if w > 0 {
+            return w;
+        }
+        // Countdown exhausted: only the per-ID limit can still block, and
+        // it clears only when a response retires.
+        let cmd = &self.program[self.pc];
+        let q = if cmd.opcode.is_read() {
+            &self.reads
+        } else {
+            &self.writes
+        };
+        if q.get(&cmd.stream.raw()).map_or(0, |v| v.len()) as u32 >= self.per_id_limit {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    /// Accounts `ticks` socket cycles skipped under the
+    /// [`idle_ticks`](AxiMaster::idle_ticks) contract.
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        if self.pc >= self.program.len() || self.outstanding >= self.total_limit {
+            return; // dense ticks would not have touched the countdown
+        }
+        let wait = self.wait.get_or_insert(self.program[self.pc].delay_before);
+        *wait = wait.saturating_sub(ticks.min(u32::MAX as u64) as u32);
+    }
+
     fn retire(
         &mut self,
         idx: usize,

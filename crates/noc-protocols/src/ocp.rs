@@ -153,6 +153,47 @@ impl OcpMaster {
         &self.log
     }
 
+    /// Number of immediately upcoming socket ticks that are provably
+    /// no-ops, assuming no response reaches the port meanwhile
+    /// (`u64::MAX` = quiescent until new input). Threads blocked on their
+    /// outstanding limit do not advance their idle countdown, exactly as
+    /// in a dense tick.
+    pub fn idle_ticks(&self) -> u64 {
+        let mut idle = u64::MAX;
+        for t in &self.threads {
+            let Some(&idx) = t.queue.front() else {
+                continue;
+            };
+            if t.outstanding.len() as u32 >= self.per_thread_limit {
+                continue;
+            }
+            let w = t
+                .wait
+                .map(u64::from)
+                .unwrap_or(self.program[idx].delay_before as u64);
+            idle = idle.min(w);
+        }
+        idle
+    }
+
+    /// Accounts `ticks` socket cycles skipped under the
+    /// [`idle_ticks`](OcpMaster::idle_ticks) contract: every thread that
+    /// would have counted down in a dense tick counts down here.
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        let ticks = ticks.min(u32::MAX as u64) as u32;
+        let program = &self.program;
+        for t in &mut self.threads {
+            let Some(&idx) = t.queue.front() else {
+                continue;
+            };
+            if t.outstanding.len() as u32 >= self.per_thread_limit {
+                continue;
+            }
+            let wait = t.wait.get_or_insert(program[idx].delay_before);
+            *wait = wait.saturating_sub(ticks);
+        }
+    }
+
     /// Advances one socket cycle.
     pub fn tick(&mut self, cycle: u64, port: &mut OcpPort) {
         // Retire a response: matches the oldest outstanding of its thread.
@@ -505,5 +546,36 @@ mod tests {
     fn display() {
         let m = OcpMaster::new(vec![], 2, 1);
         assert!(m.to_string().contains("2 threads"));
+    }
+
+    #[test]
+    fn idle_ticks_is_min_across_waiting_threads_and_skip_matches_dense() {
+        let program = vec![
+            SocketCommand::read(0x00, 4)
+                .with_stream(StreamId::new(0))
+                .with_delay(8),
+            SocketCommand::read(0x40, 4)
+                .with_stream(StreamId::new(1))
+                .with_delay(3),
+        ];
+        let mut dense = OcpMaster::new(program.clone(), 2, 1);
+        let mut skipped = OcpMaster::new(program, 2, 1);
+        let mut port_d = OcpPort::new();
+        let mut port_s = OcpPort::new();
+        assert_eq!(skipped.idle_ticks(), 3, "nearest thread wakes first");
+        for c in 0..3 {
+            dense.tick(c, &mut port_d);
+            assert!(port_d.req.is_empty(), "cycle {c} is a pure countdown");
+        }
+        skipped.skip_ticks(3);
+        assert_eq!(skipped.idle_ticks(), 0);
+        dense.tick(3, &mut port_d);
+        skipped.tick(3, &mut port_s);
+        let (d, s) = (port_d.req.take(), port_s.req.take());
+        assert_eq!(d, s, "same issue, same cycle");
+        assert_eq!(d.unwrap().thread, 1);
+        // both masters now hold one outstanding on thread 1; thread 0's
+        // remaining wait must agree after the jump
+        assert_eq!(dense.idle_ticks(), skipped.idle_ticks());
     }
 }

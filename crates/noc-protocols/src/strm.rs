@@ -152,6 +152,39 @@ impl StrmMaster {
         &self.log
     }
 
+    /// Number of immediately upcoming socket ticks that are provably
+    /// no-ops, assuming no read data reaches the port meanwhile
+    /// (`u64::MAX` = quiescent until new input).
+    pub fn idle_ticks(&self) -> u64 {
+        if self.pc >= self.program.len() {
+            return u64::MAX;
+        }
+        let w = self
+            .wait
+            .map(u64::from)
+            .unwrap_or(self.program[self.pc].delay_before as u64);
+        if w > 0 {
+            return w;
+        }
+        if self.program[self.pc].opcode.is_read()
+            && self.outstanding_reads.len() as u32 >= self.read_limit
+        {
+            u64::MAX // unblocks only when read data retires
+        } else {
+            0
+        }
+    }
+
+    /// Accounts `ticks` socket cycles skipped under the
+    /// [`idle_ticks`](StrmMaster::idle_ticks) contract.
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        if self.pc >= self.program.len() {
+            return;
+        }
+        let wait = self.wait.get_or_insert(self.program[self.pc].delay_before);
+        *wait = wait.saturating_sub(ticks.min(u32::MAX as u64) as u32);
+    }
+
     /// Advances one socket cycle.
     pub fn tick(&mut self, cycle: u64, port: &mut StrmPort) {
         if let Some(rd) = port.rdata.take() {

@@ -194,6 +194,42 @@ impl VciMaster {
         &self.log
     }
 
+    /// Number of immediately upcoming socket ticks that are provably
+    /// no-ops, assuming no response reaches the port meanwhile
+    /// (`u64::MAX` = quiescent until new input).
+    pub fn idle_ticks(&self) -> u64 {
+        let mut idle = u64::MAX;
+        for (t, q) in self.queues.iter().enumerate() {
+            let Some(&idx) = q.front() else {
+                continue;
+            };
+            if self.outstanding[t].len() as u32 >= self.per_thread_limit {
+                continue;
+            }
+            let w = self.waits[t]
+                .map(u64::from)
+                .unwrap_or(self.program[idx].delay_before as u64);
+            idle = idle.min(w);
+        }
+        idle
+    }
+
+    /// Accounts `ticks` socket cycles skipped under the
+    /// [`idle_ticks`](VciMaster::idle_ticks) contract.
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        let ticks = ticks.min(u32::MAX as u64) as u32;
+        for (t, q) in self.queues.iter().enumerate() {
+            let Some(&idx) = q.front() else {
+                continue;
+            };
+            if self.outstanding[t].len() as u32 >= self.per_thread_limit {
+                continue;
+            }
+            let wait = self.waits[t].get_or_insert(self.program[idx].delay_before);
+            *wait = wait.saturating_sub(ticks);
+        }
+    }
+
     /// Advances one socket cycle.
     pub fn tick(&mut self, cycle: u64, port: &mut VciPort) {
         if let Some(resp) = port.resp.take() {

@@ -42,7 +42,7 @@ pub mod sim;
 pub mod spec;
 pub mod sweep;
 
-pub use sim::{BridgedSim, BusSim, NocSim, ScenarioReport, Simulation};
+pub use sim::{BridgedSim, BusSim, NocSim, ScenarioReport, Simulation, StepMode};
 pub use spec::{
     Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TopologySpec,
 };

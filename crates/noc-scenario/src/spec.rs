@@ -531,6 +531,17 @@ pub enum ScenarioError {
         /// Why.
         reason: String,
     },
+    /// The chosen backend cannot model a non-unit clock divisor: the bus
+    /// and bridged baselines run every endpoint on the base clock, so
+    /// compiling a clocked spec to them would silently change timing.
+    UnsupportedClock {
+        /// The backend that rejected the spec ("bus" or "bridged").
+        backend: &'static str,
+        /// The endpoint declared with a divided clock.
+        endpoint: String,
+        /// Its declared divisor.
+        divisor: u64,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -555,6 +566,15 @@ impl fmt::Display for ScenarioError {
                 )
             }
             ScenarioError::BadTopology { reason } => write!(f, "bad topology: {reason}"),
+            ScenarioError::UnsupportedClock {
+                backend,
+                endpoint,
+                divisor,
+            } => write!(
+                f,
+                "{backend} backend cannot model {endpoint:?}'s clk/{divisor} \
+                 (baselines run everything on the base clock)"
+            ),
         }
     }
 }
@@ -784,13 +804,35 @@ impl ScenarioSpec {
         Ok(NocSim::new(soc))
     }
 
+    /// Rejects specs that declare divided endpoint clocks, which the
+    /// baseline backends cannot model (they tick everything on the base
+    /// clock — compiling such a spec would silently change its timing).
+    fn reject_clocked(&self, backend: &'static str) -> Result<(), ScenarioError> {
+        let clocked = self
+            .initiators
+            .iter()
+            .map(|i| (&i.name, i.clock_divisor))
+            .chain(self.memories.iter().map(|m| (&m.name, m.clock_divisor)))
+            .find(|&(_, d)| d != 1);
+        match clocked {
+            Some((name, divisor)) => Err(ScenarioError::UnsupportedClock {
+                backend,
+                endpoint: name.clone(),
+                divisor,
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Compiles the spec onto the Fig-2 bridged reference-socket
     /// interconnect.
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError`] if the declaration is inconsistent.
+    /// Returns [`ScenarioError`] if the declaration is inconsistent or
+    /// declares divided clocks ([`ScenarioError::UnsupportedClock`]).
     pub fn build_bridged(&self, config: BridgeConfig) -> Result<BridgedSim, ScenarioError> {
+        self.reject_clocked("bridged")?;
         let map = self.address_map()?;
         let mut ic = BridgedInterconnect::new(config, map);
         for ini in &self.initiators {
@@ -813,8 +855,10 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError`] if the declaration is inconsistent.
+    /// Returns [`ScenarioError`] if the declaration is inconsistent or
+    /// declares divided clocks ([`ScenarioError::UnsupportedClock`]).
     pub fn build_bus(&self, config: BusConfig) -> Result<BusSim, ScenarioError> {
+        self.reject_clocked("bus")?;
         let map = self.address_map()?;
         let mut bus = SharedBus::new(config, map);
         for ini in &self.initiators {
@@ -854,5 +898,11 @@ impl SocketInitiator for BoxedFe {
     }
     fn log(&self) -> &noc_protocols::CompletionLog {
         self.0.log()
+    }
+    fn idle_ticks(&self) -> u64 {
+        self.0.idle_ticks()
+    }
+    fn skip_ticks(&mut self, ticks: u64) {
+        self.0.skip_ticks(ticks)
     }
 }

@@ -3,10 +3,14 @@
 //! The experiment binaries all share one shape: build N scenario
 //! variants (different command counts, seeds, buffer depths, topologies
 //! or backends), run each to completion, and tabulate the reports.
-//! [`Sweep`] captures that shape once.
+//! [`Sweep`] captures that shape once. Points are independent, so the
+//! runner fans them out across OS threads and reassembles the results
+//! in declaration order.
 
-use crate::sim::ScenarioReport;
+use crate::sim::{ScenarioReport, StepMode};
 use crate::spec::{Backend, ScenarioError, ScenarioSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One cell of a sweep: a labelled spec/backend pair.
 #[derive(Debug, Clone)]
@@ -33,14 +37,19 @@ pub struct SweepResult {
 pub struct Sweep {
     points: Vec<SweepPoint>,
     max_cycles: u64,
+    step_mode: StepMode,
+    threads: Option<usize>,
 }
 
 impl Sweep {
-    /// An empty sweep with a 10M-cycle per-point budget.
+    /// An empty sweep with a 10M-cycle per-point budget, horizon
+    /// stepping, and one worker per available core.
     pub fn new() -> Self {
         Sweep {
             points: Vec::new(),
             max_cycles: 10_000_000,
+            step_mode: StepMode::Horizon,
+            threads: None,
         }
     }
 
@@ -91,17 +100,49 @@ impl Sweep {
         self
     }
 
+    /// Sets how each point advances simulation time (default:
+    /// [`StepMode::Horizon`]).
+    #[must_use]
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
+        self
+    }
+
+    /// Caps the worker thread count (default: one per available core).
+    /// `1` forces the sequential path.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// The expanded points.
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
     }
 
-    /// Builds and runs every point, in order.
+    fn run_point(&self, p: &SweepPoint) -> Result<SweepResult, ScenarioError> {
+        let mut sim = p.spec.build(&p.backend)?;
+        assert!(
+            sim.run_until_with(self.max_cycles, self.step_mode),
+            "sweep point {:?} failed to drain in {} cycles",
+            p.label,
+            self.max_cycles
+        );
+        Ok(SweepResult {
+            label: p.label.clone(),
+            report: sim.report(),
+        })
+    }
+
+    /// Builds and runs every point, fanned out across threads; results
+    /// come back in declaration order.
     ///
     /// # Errors
     ///
-    /// Returns the first [`ScenarioError`] hit while compiling a point
-    /// (nothing after it is run).
+    /// Returns the first [`ScenarioError`] in declaration order. Every
+    /// point is compile-checked up front, so nothing is simulated when
+    /// any point is inconsistent.
     ///
     /// # Panics
     ///
@@ -109,21 +150,53 @@ impl Sweep {
     /// sweep result with missing completions would silently skew every
     /// downstream table.
     pub fn run(&self) -> Result<Vec<SweepResult>, ScenarioError> {
-        let mut results = Vec::with_capacity(self.points.len());
+        // Fail fast before burning simulated cycles: compiling a point
+        // is microseconds next to running it, so check them all (in
+        // declaration order) before the fan-out. This also keeps a
+        // later point's failure-to-drain panic from masking an earlier
+        // point's typed error.
         for p in &self.points {
-            let mut sim = p.spec.build(&p.backend)?;
-            assert!(
-                sim.run_until(self.max_cycles),
-                "sweep point {:?} failed to drain in {} cycles",
-                p.label,
-                self.max_cycles
-            );
-            results.push(SweepResult {
-                label: p.label.clone(),
-                report: sim.report(),
-            });
+            drop(p.spec.build(&p.backend)?);
         }
-        Ok(results)
+        let n = self.points.len();
+        let workers = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .min(n.max(1));
+        let mut slots: Vec<Option<Result<SweepResult, ScenarioError>>> = Vec::new();
+        if workers <= 1 {
+            for p in &self.points {
+                slots.push(Some(self.run_point(p)));
+            }
+        } else {
+            let filled: Vec<Mutex<Option<Result<SweepResult, ScenarioError>>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = self.run_point(&self.points[i]);
+                        *filled[i].lock().expect("no poisoned sweep slot") = Some(result);
+                    });
+                }
+            });
+            slots = filled
+                .into_iter()
+                .map(|m| m.into_inner().expect("no poisoned sweep slot"))
+                .collect();
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep slot filled"))
+            .collect()
     }
 }
 

@@ -286,6 +286,16 @@ impl Fabric {
             && self.stash.iter().flatten().all(|q| q.is_empty())
     }
 
+    /// Returns `true` when ticking the fabric is provably a no-op until
+    /// the next injection: nothing buffered or in flight, and no switch
+    /// output pinned by a locked sequence (a pinned output counts lock
+    /// statistics every cycle, see [`Switch::is_quiescent`]).
+    pub fn is_quiescent(&self) -> bool {
+        self.switches.iter().all(|s| s.is_quiescent())
+            && self.links.iter().all(|l| l.link.in_flight() == 0)
+            && self.stash.iter().flatten().all(|q| q.is_empty())
+    }
+
     /// Aggregate switch statistics.
     pub fn stats(&self) -> noc_transport::SwitchStats {
         let mut total = noc_transport::SwitchStats::default();

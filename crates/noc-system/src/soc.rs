@@ -2,6 +2,7 @@
 
 use crate::fabric::Fabric;
 use crate::report::{FabricReport, MasterReport, SocReport};
+use noc_kernel::{ClockDomain, ClockId, ClockSet};
 use noc_niu::NocEndpoint;
 use noc_physical::LinkConfig;
 use noc_stats::Histogram;
@@ -239,8 +240,16 @@ impl SocBuilder {
             self.config.routing,
             &clock_of,
         )?;
+        let mut clocks = ClockSet::new();
+        let clock_ids: Vec<ClockId> = self
+            .endpoints
+            .iter()
+            .map(|e| clocks.register(ClockDomain::new(e.clock_divisor)))
+            .collect();
         Ok(Soc {
             endpoints: self.endpoints,
+            clock_ids,
+            clocks,
             request,
             response,
             now: 0,
@@ -251,6 +260,9 @@ impl SocBuilder {
 /// A running SoC: endpoints plus request/response fabrics.
 pub struct Soc {
     endpoints: Vec<Endpoint>,
+    /// Per-endpoint clock domain, index-aligned with `endpoints`.
+    clock_ids: Vec<ClockId>,
+    clocks: ClockSet,
     request: Fabric,
     response: Fabric,
     now: u64,
@@ -266,15 +278,15 @@ impl Soc {
     pub fn step(&mut self) {
         let now = self.now;
         // 1. Endpoint compute on their clock edges.
-        for ep in &mut self.endpoints {
-            if now.is_multiple_of(ep.clock_divisor) {
+        for (i, ep) in self.endpoints.iter_mut().enumerate() {
+            if self.clocks.is_active(self.clock_ids[i], now) {
                 ep.inner.tick(now);
             }
         }
         // 2. Injection: initiators feed the request network, targets the
         //    response network (one flit per endpoint per local cycle).
-        for ep in &mut self.endpoints {
-            if !now.is_multiple_of(ep.clock_divisor) {
+        for (i, ep) in self.endpoints.iter_mut().enumerate() {
+            if !self.clocks.is_active(self.clock_ids[i], now) {
                 continue;
             }
             let fabric = if ep.is_initiator {
@@ -315,11 +327,71 @@ impl Soc {
             && self.response.is_idle()
     }
 
-    /// Runs until done or `max_cycles`, then reports.
-    pub fn run(&mut self, max_cycles: u64) -> SocReport {
-        while self.now < max_cycles && !self.is_done() {
-            self.step();
+    /// The earliest base cycle at which the system's state can possibly
+    /// change, or `None` when no component will ever act again absent
+    /// external input.
+    ///
+    /// While either fabric carries traffic (or holds a pinned lock) the
+    /// answer is the current cycle — flits move every base cycle. With
+    /// both fabrics quiescent, only endpoint clock edges matter: each
+    /// endpoint reports how many of its upcoming local ticks are no-ops
+    /// ([`NocEndpoint::idle_ticks`]) and the [`ClockSet`] maps that local
+    /// horizon back onto the base timeline.
+    pub fn next_activity(&self) -> Option<u64> {
+        if !self.request.is_quiescent() || !self.response.is_quiescent() {
+            return Some(self.now);
         }
+        let mut next: Option<u64> = None;
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let idle = ep.inner.idle_ticks();
+            if idle == u64::MAX {
+                continue; // quiescent until input: no self-activity
+            }
+            let domain = self.clocks.domain(self.clock_ids[i]);
+            let edge = domain.next_active(self.now);
+            let t = edge.saturating_add(idle.saturating_mul(domain.divisor()));
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
+    }
+
+    /// Jumps simulation time to `target` across a provably-dead gap: for
+    /// every endpoint the clock edges inside `[now, target)` are
+    /// accounted through [`NocEndpoint::skip_ticks`] instead of being
+    /// stepped, leaving bit-identical state.
+    ///
+    /// Callers must only pass targets at or before the cycle returned by
+    /// [`Soc::next_activity`].
+    fn skip_to(&mut self, target: u64) {
+        for (i, ep) in self.endpoints.iter_mut().enumerate() {
+            let domain = self.clocks.domain(self.clock_ids[i]);
+            let ticks = domain.ticks_in(target) - domain.ticks_in(self.now);
+            if ticks > 0 {
+                ep.inner.skip_ticks(ticks);
+            }
+        }
+        self.now = target;
+    }
+
+    /// Advances until done or `horizon`, jumping over quiescent gaps and
+    /// stepping densely through active stretches. Bit-identical to
+    /// stepping every cycle.
+    pub fn advance_to(&mut self, horizon: u64) {
+        while self.now < horizon && !self.is_done() {
+            match self.next_activity() {
+                Some(t) if t > self.now => self.skip_to(t.min(horizon)),
+                Some(_) => self.step(),
+                // Nothing will ever happen again (deadlock with every
+                // component quiescent): dense stepping would burn no-op
+                // cycles to the horizon; jump there in one hop.
+                None => self.skip_to(horizon),
+            }
+        }
+    }
+
+    /// Runs until done or `max_cycles` (horizon stepping), then reports.
+    pub fn run(&mut self, max_cycles: u64) -> SocReport {
+        self.advance_to(max_cycles);
         self.report()
     }
 

@@ -228,6 +228,15 @@ impl Switch {
         self.inputs.iter().all(|f| f.is_empty()) && self.in_alloc.iter().all(|a| a.is_none())
     }
 
+    /// Returns `true` if ticking the switch is provably a no-op until new
+    /// flits arrive. Stricter than [`Switch::is_idle`]: an idle switch
+    /// with an output still pinned by a locked sequence keeps counting
+    /// [`SwitchStats::lock_idle_cycles`] every cycle, so it must be
+    /// ticked densely.
+    pub fn is_quiescent(&self) -> bool {
+        self.is_idle() && self.out_lock.iter().all(|l| l.is_none())
+    }
+
     /// Advances the switch one cycle: allocates outputs to waiting heads,
     /// then forwards at most one flit per output.
     pub fn tick(&mut self) -> SwitchTick {

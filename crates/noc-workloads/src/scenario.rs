@@ -4,16 +4,16 @@
 //!
 //! Since the declarative scenario API landed, this module is a thin
 //! factory: [`SetTop::spec`] declares the system once as a
-//! [`ScenarioSpec`] and every realisation — including the legacy
-//! `build_*` constructors kept for existing callers — compiles from that
-//! single description.
+//! [`ScenarioSpec`] and every realisation compiles from that single
+//! description via `spec().build_*` (the legacy `SetTop::build_*` shims
+//! and `SetTop::topology()` are gone).
 
 use crate::patterns::{uniform_program, PatternConfig};
-use noc_baseline::{BridgeConfig, BridgedInterconnect, BusConfig, SharedBus};
+use noc_baseline::{BridgeConfig, BusConfig};
 use noc_protocols::Program;
 use noc_scenario::{InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, TopologySpec};
-use noc_system::{NocConfig, Soc};
-use noc_topology::{RouteAlgorithm, Topology, TopologyBuilder};
+use noc_system::NocConfig;
+use noc_topology::RouteAlgorithm;
 use noc_transaction::{AddressMap, Opcode, SlvAddr};
 
 /// DRAM range.
@@ -201,27 +201,6 @@ impl SetTop {
         }
     }
 
-    /// The NoC topology (compat shim for callers that want the concrete
-    /// [`Topology`]; the spec builds its own copy).
-    pub fn topology() -> Topology {
-        let mut b = TopologyBuilder::new(4);
-        b.connect_bidir(0, 1);
-        b.connect_bidir(1, 2);
-        b.connect_bidir(2, 3);
-        b.connect_bidir(3, 0);
-        b.attach(nodes::CPU, 0).expect("fresh node");
-        b.attach(nodes::VIDEO, 0).expect("fresh node");
-        b.attach(nodes::CTRL, 0).expect("fresh node");
-        b.attach(nodes::DMA, 1).expect("fresh node");
-        b.attach(nodes::DISPLAY, 1).expect("fresh node");
-        b.attach(nodes::DRAM, 2).expect("fresh node");
-        b.attach(nodes::SRAM, 2).expect("fresh node");
-        b.attach(nodes::IO, 3).expect("fresh node");
-        b.attach(nodes::ACC, 3).expect("fresh node");
-        b.attach(nodes::REG, 3).expect("fresh node");
-        b.build()
-    }
-
     /// The whole Fig-1 system as one declarative scenario: seven mixed
     /// VC sockets and three memories, compilable to any backend.
     pub fn spec(&self) -> ScenarioSpec {
@@ -256,37 +235,17 @@ impl SetTop {
             .with_topology(Self::topology_spec())
     }
 
-    /// Builds the Fig-1 realisation: every socket behind its NIU on the
-    /// NoC.
-    pub fn build_noc(&self) -> Soc {
-        self.spec()
-            .build_noc(self.config.noc)
-            .expect("scenario wiring is consistent")
-            .into_inner()
-    }
-
-    /// Builds the shared-bus realisation.
-    pub fn build_bus(&self) -> SharedBus {
-        self.spec()
-            .build_bus(self.config.bus)
-            .expect("scenario wiring is consistent")
-            .into_inner()
-    }
-
-    /// Builds the Fig-2 bridged realisation.
-    pub fn build_bridged(&self) -> BridgedInterconnect {
-        self.spec()
-            .build_bridged(self.config.bridge)
-            .expect("scenario wiring is consistent")
-            .into_inner()
+    /// The scenario's parameters (backend configurations for compiling
+    /// the spec).
+    pub fn config(&self) -> &SetTopConfig {
+        &self.config
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_baseline::Interconnect;
-    use noc_scenario::Backend;
+    use noc_scenario::{Backend, Simulation};
 
     #[test]
     fn programs_are_deterministic() {
@@ -305,11 +264,17 @@ mod tests {
     }
 
     #[test]
-    fn topology_attaches_all_nodes() {
-        let t = SetTop::topology();
-        for node in 0..=9u16 {
-            assert!(t.attachment_of(node).is_some(), "node {node} missing");
-        }
+    fn topology_spec_places_all_nodes() {
+        let TopologySpec::Custom {
+            switches,
+            placement,
+            ..
+        } = SetTop::topology_spec()
+        else {
+            panic!("set-top fabric is an explicit custom topology");
+        };
+        assert_eq!(placement.len(), 10, "7 masters + 3 memories placed");
+        assert!(placement.iter().all(|s| *s < switches));
     }
 
     #[test]
@@ -327,9 +292,13 @@ mod tests {
 
     #[test]
     fn noc_realisation_completes() {
-        let soc = &mut SetTop::new(SetTopConfig::new(6, 7)).build_noc();
-        let report = soc.run(200_000);
-        assert!(report.all_done, "NoC set-top must drain: {report}");
+        let scenario = SetTop::new(SetTopConfig::new(6, 7));
+        let mut sim = scenario
+            .spec()
+            .build_noc(scenario.config().noc)
+            .expect("set-top spec is consistent");
+        assert!(sim.run_until(200_000), "NoC set-top must drain");
+        let report = sim.report();
         assert_eq!(report.masters.len(), 7);
         // everything completed without protocol errors
         for m in &report.masters {
@@ -340,16 +309,24 @@ mod tests {
 
     #[test]
     fn bus_realisation_completes() {
-        let mut bus = SetTop::new(SetTopConfig::new(6, 7)).build_bus();
-        assert!(bus.run(500_000), "bus set-top must drain");
-        assert!(bus.logs().iter().all(|l| l.len() == 6));
+        let scenario = SetTop::new(SetTopConfig::new(6, 7));
+        let mut sim = scenario
+            .spec()
+            .build_bus(scenario.config().bus)
+            .expect("set-top spec is consistent");
+        assert!(sim.run_until(500_000), "bus set-top must drain");
+        assert!(sim.logs().iter().all(|(_, l)| l.len() == 6));
     }
 
     #[test]
     fn bridged_realisation_completes() {
-        let mut ic = SetTop::new(SetTopConfig::new(6, 7)).build_bridged();
-        assert!(ic.run(500_000), "bridged set-top must drain");
-        assert!(ic.logs().iter().all(|l| l.len() == 6));
+        let scenario = SetTop::new(SetTopConfig::new(6, 7));
+        let mut sim = scenario
+            .spec()
+            .build_bridged(scenario.config().bridge)
+            .expect("set-top spec is consistent");
+        assert!(sim.run_until(500_000), "bridged set-top must drain");
+        assert!(sim.logs().iter().all(|(_, l)| l.len() == 6));
     }
 
     #[test]

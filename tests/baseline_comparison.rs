@@ -4,9 +4,34 @@
 //! paper's qualitative claims quantitatively.
 
 use noc_area::{bridge_gates, bus_gates, niu_gates, switch_gates, NiuAreaConfig};
-use noc_baseline::Interconnect;
+use noc_baseline::{BridgedInterconnect, Interconnect, SharedBus};
 use noc_protocols::ProtocolKind;
+use noc_system::Soc;
 use noc_workloads::{SetTop, SetTopConfig};
+
+fn build_noc(cfg: SetTopConfig) -> Soc {
+    SetTop::new(cfg)
+        .spec()
+        .build_noc(cfg.noc)
+        .expect("set-top spec is consistent")
+        .into_inner()
+}
+
+fn build_bus(cfg: SetTopConfig) -> SharedBus {
+    SetTop::new(cfg)
+        .spec()
+        .build_bus(cfg.bus)
+        .expect("set-top spec is consistent")
+        .into_inner()
+}
+
+fn build_bridged(cfg: SetTopConfig) -> BridgedInterconnect {
+    SetTop::new(cfg)
+        .spec()
+        .build_bridged(cfg.bridge)
+        .expect("set-top spec is consistent")
+        .into_inner()
+}
 
 fn mean_latency(logs: &[&noc_protocols::CompletionLog]) -> f64 {
     let (mut sum, mut n) = (0.0, 0usize);
@@ -20,9 +45,9 @@ fn mean_latency(logs: &[&noc_protocols::CompletionLog]) -> f64 {
 #[test]
 fn noc_finishes_before_the_bus() {
     let cfg = SetTopConfig::new(20, 42);
-    let noc_report = SetTop::new(cfg).build_noc().run(2_000_000);
+    let noc_report = build_noc(cfg).run(2_000_000);
     assert!(noc_report.all_done);
-    let mut bus = SetTop::new(cfg).build_bus();
+    let mut bus = build_bus(cfg);
     assert!(bus.run(5_000_000));
     assert!(
         (noc_report.cycles as f64) < bus.now() as f64 * 0.8,
@@ -35,9 +60,9 @@ fn noc_finishes_before_the_bus() {
 #[test]
 fn noc_latency_beats_bridged_for_concurrent_masters() {
     let cfg = SetTopConfig::new(20, 43);
-    let noc_report = SetTop::new(cfg).build_noc().run(2_000_000);
+    let noc_report = build_noc(cfg).run(2_000_000);
     assert!(noc_report.all_done);
-    let mut bridged = SetTop::new(cfg).build_bridged();
+    let mut bridged = build_bridged(cfg);
     assert!(bridged.run(5_000_000));
     // DMA (AXI, 16 outstanding on the NoC, clamped to 1 behind a bridge)
     let noc_dma = noc_report
@@ -58,7 +83,7 @@ fn noc_latency_beats_bridged_for_concurrent_masters() {
 #[test]
 fn bridged_is_still_functionally_complete() {
     let cfg = SetTopConfig::new(15, 44);
-    let mut bridged = SetTop::new(cfg).build_bridged();
+    let mut bridged = build_bridged(cfg);
     assert!(bridged.run(5_000_000));
     for log in bridged.logs() {
         assert_eq!(log.len(), 15);
@@ -70,17 +95,17 @@ fn bridged_is_still_functionally_complete() {
 fn whole_system_end_times_order_noc_bridged_bus() {
     let cfg = SetTopConfig::new(20, 45);
     let noc_cycles = {
-        let r = SetTop::new(cfg).build_noc().run(2_000_000);
+        let r = build_noc(cfg).run(2_000_000);
         assert!(r.all_done);
         r.cycles
     };
     let bridged_cycles = {
-        let mut ic = SetTop::new(cfg).build_bridged();
+        let mut ic = build_bridged(cfg);
         assert!(ic.run(5_000_000));
         ic.now()
     };
     let bus_cycles = {
-        let mut bus = SetTop::new(cfg).build_bus();
+        let mut bus = build_bus(cfg);
         assert!(bus.run(5_000_000));
         bus.now()
     };
@@ -97,10 +122,10 @@ fn bridged_makespan_exceeds_noc_for_concurrent_masters() {
     // finish much later behind serialising bridges than on the NoC, even
     // though the single-hop crossbar wins on an idle one-shot read.
     let cfg = SetTopConfig::new(20, 46);
-    let mut noc = SetTop::new(cfg).build_noc();
+    let mut noc = build_noc(cfg);
     let noc_report = noc.run(2_000_000);
     assert!(noc_report.all_done);
-    let mut bridged = SetTop::new(cfg).build_bridged();
+    let mut bridged = build_bridged(cfg);
     assert!(bridged.run(5_000_000));
     let makespan = |log: &noc_protocols::CompletionLog| {
         log.records().iter().map(|r| r.completed_at).max().unwrap()

@@ -3,11 +3,22 @@
 //! contract intact.
 
 use noc_protocols::checker::{check_ahb_order, check_axi_order, check_ocp_order};
+use noc_system::Soc;
 use noc_workloads::{SetTop, SetTopConfig};
+
+/// Compiles the set-top spec to its NoC realisation (unwrapped to the
+/// concrete [`Soc`] for NoC-native reporting).
+fn build_noc(cfg: SetTopConfig) -> Soc {
+    SetTop::new(cfg)
+        .spec()
+        .build_noc(cfg.noc)
+        .expect("set-top spec is consistent")
+        .into_inner()
+}
 
 #[test]
 fn set_top_soc_drains_and_honours_every_ordering_contract() {
-    let mut soc = SetTop::new(SetTopConfig::new(24, 0xC0FFEE)).build_noc();
+    let mut soc = build_noc(SetTopConfig::new(24, 0xC0FFEE));
     let report = soc.run(1_000_000);
     assert!(report.all_done, "SoC must drain: {report}");
     for m in &report.masters {
@@ -34,7 +45,7 @@ fn set_top_soc_drains_and_honours_every_ordering_contract() {
 
 #[test]
 fn fabric_carries_traffic_for_every_master() {
-    let mut soc = SetTop::new(SetTopConfig::new(10, 7)).build_noc();
+    let mut soc = build_noc(SetTopConfig::new(10, 7));
     let report = soc.run(500_000);
     assert!(report.all_done);
     assert!(report.fabric.flits_forwarded > 0);
@@ -50,7 +61,7 @@ fn fabric_carries_traffic_for_every_master() {
 #[test]
 fn deterministic_replay_same_seed_same_everything() {
     let run = || {
-        let mut soc = SetTop::new(SetTopConfig::new(12, 1234)).build_noc();
+        let mut soc = build_noc(SetTopConfig::new(12, 1234));
         let report = soc.run(1_000_000);
         (
             report.cycles,
@@ -64,7 +75,7 @@ fn deterministic_replay_same_seed_same_everything() {
 #[test]
 fn different_seeds_differ() {
     let fp = |seed| {
-        let mut soc = SetTop::new(SetTopConfig::new(12, seed)).build_noc();
+        let mut soc = build_noc(SetTopConfig::new(12, seed));
         soc.run(1_000_000).system_fingerprint()
     };
     assert_ne!(fp(1), fp(2));
@@ -72,7 +83,7 @@ fn different_seeds_differ() {
 
 #[test]
 fn all_masters_complete_under_heavy_load() {
-    let mut soc = SetTop::new(SetTopConfig::new(40, 5)).build_noc();
+    let mut soc = build_noc(SetTopConfig::new(40, 5));
     let report = soc.run(2_000_000);
     assert!(report.all_done);
     for m in &report.masters {

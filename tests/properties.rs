@@ -271,3 +271,78 @@ fn endianness_is_involution() {
         assert_eq!(twice, data, "case {case}: width {w}");
     }
 }
+
+/// Randomised scenarios: horizon stepping must be record-identical
+/// (timestamps included) to dense polling on every backend, across
+/// random programs, gaps, socket mixes and clock divisors.
+#[test]
+fn horizon_stepping_equals_dense_on_random_scenarios() {
+    use noc_protocols::SocketCommand;
+    use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, StepMode};
+
+    let mut rng = SplitMix64::new(0x40712);
+    for case in 0..25 {
+        let masters = rng.next_range(1, 4) as usize;
+        let mut spec = ScenarioSpec::new();
+        let clocked = rng.chance(0.4); // divided clocks → NoC only
+        for m in 0..masters {
+            let base = m as u64 * 0x1000;
+            let n_cmds = rng.next_range(2, 8) as usize;
+            let program: Vec<SocketCommand> = (0..n_cmds)
+                .map(|i| {
+                    let addr = (base + 0x40 + rng.next_below(0xE00)) & !0x3F;
+                    let cmd = if rng.chance(0.5) {
+                        SocketCommand::read(addr, 4)
+                    } else {
+                        SocketCommand::write(addr, 4, rng.next_u64())
+                    };
+                    cmd.with_burst(BurstKind::Incr, 1 << rng.next_below(3))
+                        .with_delay(rng.next_below(400) as u32 * (i as u32 % 3))
+                })
+                .collect();
+            let socket = match rng.next_below(4) {
+                0 => SocketSpec::Ahb,
+                1 => SocketSpec::bvci(),
+                2 => SocketSpec::strm(),
+                _ => SocketSpec::Ocp {
+                    threads: 1,
+                    per_thread: 2,
+                },
+            };
+            let mut ini = InitiatorSpec::new(&format!("m{m}"), socket, program);
+            if clocked {
+                ini = ini.with_clock_divisor(rng.next_range(1, 4));
+            }
+            spec = spec.initiator(ini);
+        }
+        for m in 0..masters {
+            spec = spec.memory(MemorySpec::new(
+                &format!("mem{m}"),
+                m as u64 * 0x1000,
+                (m as u64 + 1) * 0x1000,
+                rng.next_range(1, 6) as u32,
+            ));
+        }
+        let backends: &[Backend] = if clocked {
+            &[Backend::noc()]
+        } else {
+            &[Backend::noc(), Backend::bridged(), Backend::bus()]
+        };
+        for backend in backends {
+            let run = |mode: StepMode| {
+                let mut sim = spec.build(backend).expect("valid random spec");
+                let drained = sim.run_until_with(3_000_000, mode);
+                let logs: Vec<Vec<noc_protocols::CompletionRecord>> = sim
+                    .logs()
+                    .iter()
+                    .map(|(_, log)| log.records().to_vec())
+                    .collect();
+                (drained, sim.now(), logs)
+            };
+            let dense = run(StepMode::Dense);
+            let horizon = run(StepMode::Horizon);
+            assert!(dense.0, "case {case}: {backend} dense must drain");
+            assert_eq!(dense, horizon, "case {case}: divergence on {backend}");
+        }
+    }
+}

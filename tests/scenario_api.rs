@@ -4,7 +4,8 @@
 
 use noc_protocols::{Program, SocketCommand};
 use noc_scenario::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TopologySpec,
+    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, StepMode,
+    TopologySpec,
 };
 use noc_transaction::BurstKind;
 
@@ -237,4 +238,177 @@ fn topology_specs_all_run() {
         assert!(sim.run_until(500_000), "{topology:?} must drain");
         assert_eq!(sim.report().total_completions(), 36, "{topology:?}");
     }
+}
+
+// ---------------------------------------------------------------------
+// Quiescence-aware (horizon) stepping: equivalence and clock handling.
+// ---------------------------------------------------------------------
+
+/// Everything observable about a finished run: final cycle, drained
+/// flag, and every completion record verbatim (opcode, address, data,
+/// status, stream AND both timestamps) per master, plus the merged
+/// functional fingerprint.
+fn observe(
+    spec: &ScenarioSpec,
+    backend: &Backend,
+    mode: StepMode,
+    budget: u64,
+) -> (
+    u64,
+    bool,
+    Vec<(String, Vec<noc_protocols::CompletionRecord>)>,
+    noc_transaction::Fingerprint,
+) {
+    let mut sim = spec.build(backend).expect("valid spec");
+    let drained = sim.run_until_with(budget, mode);
+    let logs = sim
+        .logs()
+        .iter()
+        .map(|(name, log)| (name.to_string(), log.records().to_vec()))
+        .collect();
+    (sim.now(), drained, logs, sim.report().system_fingerprint())
+}
+
+/// The headline invariant of quiescence-aware stepping: on every
+/// backend, jumping across provably-dead gaps yields the same final
+/// cycle count and record-for-record identical completion logs —
+/// timestamps included — as polling every cycle.
+#[test]
+fn horizon_stepping_is_record_identical_to_dense_on_all_backends() {
+    use noc_workloads::{SetTop, SetTopConfig};
+    for seed in [7u64, 2005] {
+        // The full mixed-protocol set-top system: seven sockets, shared
+        // memories (racy interleavings), idle gaps between commands.
+        let spec = SetTop::new(SetTopConfig::new(8, seed)).spec();
+        for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+            let dense = observe(&spec, &backend, StepMode::Dense, 1_000_000);
+            let horizon = observe(&spec, &backend, StepMode::Horizon, 1_000_000);
+            assert!(dense.1, "{backend} dense must drain (seed {seed})");
+            assert_eq!(
+                dense, horizon,
+                "dense and horizon stepping diverge on {backend} (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Sparse workloads (the low-injection-rate regime horizon stepping
+/// exists for) must stay bit-identical while skipping almost all cycles.
+#[test]
+fn horizon_stepping_matches_dense_on_sparse_workloads() {
+    let mut spec = race_free_spec();
+    for ini in &mut spec.initiators {
+        for (i, cmd) in ini.program.iter_mut().enumerate() {
+            cmd.delay_before = 500 + (i as u32 % 7) * 311;
+        }
+    }
+    for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+        let dense = observe(&spec, &backend, StepMode::Dense, 2_000_000);
+        let horizon = observe(&spec, &backend, StepMode::Horizon, 2_000_000);
+        assert!(dense.1, "{backend} dense must drain");
+        assert_eq!(dense, horizon, "sparse divergence on {backend}");
+    }
+}
+
+/// Mixed endpoint clocks: the horizon computation must respect every
+/// divided clock's edge grid (via the kernel `ClockSet`), so divided
+/// NIUs stay bit-identical too.
+#[test]
+fn horizon_stepping_matches_dense_under_divided_clocks() {
+    let mut spec = race_free_spec();
+    spec.initiators[0].clock_divisor = 2;
+    spec.initiators[1].clock_divisor = 3;
+    spec.memories[1].clock_divisor = 2;
+    for ini in &mut spec.initiators {
+        for (i, cmd) in ini.program.iter_mut().enumerate() {
+            cmd.delay_before = 50 + (i as u32 % 5) * 97;
+        }
+    }
+    let backend = Backend::noc();
+    let dense = observe(&spec, &backend, StepMode::Dense, 2_000_000);
+    let horizon = observe(&spec, &backend, StepMode::Horizon, 2_000_000);
+    assert!(dense.1, "clocked dense must drain");
+    assert_eq!(dense, horizon, "divided-clock divergence");
+}
+
+/// The baselines have no notion of divided endpoint clocks; compiling a
+/// clocked spec to them must fail loudly with the typed error, not
+/// silently retime the scenario.
+#[test]
+fn clocked_specs_rejected_on_baseline_backends() {
+    let mut spec = race_free_spec();
+    spec.initiators[2].clock_divisor = 4;
+    assert_eq!(
+        spec.build_bus(Default::default())
+            .err()
+            .map(|e| e.to_string()),
+        Some(
+            "bus backend cannot model \"display(STRM)\"'s clk/4 \
+             (baselines run everything on the base clock)"
+                .to_string()
+        )
+    );
+    assert!(matches!(
+        spec.build_bridged(Default::default()),
+        Err(ScenarioError::UnsupportedClock {
+            backend: "bridged",
+            divisor: 4,
+            ..
+        })
+    ));
+    // The NoC models divided clocks natively: same spec compiles.
+    assert!(spec.build(&Backend::noc()).is_ok());
+    // Divided *memory* clocks are equally rejected.
+    let mut spec = race_free_spec();
+    spec.memories[0].clock_divisor = 2;
+    assert!(matches!(
+        spec.build(&Backend::bus()),
+        Err(ScenarioError::UnsupportedClock { backend: "bus", .. })
+    ));
+}
+
+/// The parallel sweep runner preserves declaration order and produces
+/// exactly what the sequential path produces.
+#[test]
+fn sweep_parallel_matches_sequential_in_order() {
+    let run = |threads: usize| {
+        let sweep = noc_scenario::Sweep::over(
+            [(3usize, 11u64), (4, 22), (5, 33), (6, 44), (2, 55), (3, 66)],
+            |(cmds, seed)| {
+                let spec =
+                    noc_workloads::SetTop::new(noc_workloads::SetTopConfig::new(cmds, seed)).spec();
+                (format!("{cmds}cmds/s{seed}"), spec, Backend::noc())
+            },
+        )
+        .with_max_cycles(1_000_000)
+        .with_threads(threads);
+        sweep
+            .run()
+            .expect("set-top specs are consistent")
+            .into_iter()
+            .map(|r| {
+                (
+                    r.label,
+                    r.report.cycles,
+                    r.report.total_completions(),
+                    r.report.system_fingerprint(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential.len(), 6);
+    assert!(sequential
+        .iter()
+        .zip([
+            "3cmds/s11",
+            "4cmds/s22",
+            "5cmds/s33",
+            "6cmds/s44",
+            "2cmds/s55",
+            "3cmds/s66"
+        ])
+        .all(|(r, l)| r.0 == l));
+    assert_eq!(sequential, parallel);
 }
