@@ -3,6 +3,9 @@
 //! transaction layer. Identical fingerprints, different timing.
 //!
 //! One set-top spec, one sweep over transport/physical configurations.
+//! `--scenario FILE` substitutes a scenario text file for the base spec;
+//! the transport/physical configuration axis stays in code (backend
+//! configurations are not part of the text format).
 
 use noc_physical::LinkConfig;
 use noc_scenario::{Backend, Sweep};
@@ -12,7 +15,7 @@ use noc_topology::RouteAlgorithm;
 use noc_transport::SwitchMode;
 use noc_workloads::{SetTop, SetTopConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("exp_layering: transport/physical sweep over the Fig-1 SoC\n");
     let configs: Vec<(&str, NocConfig)> = vec![
         (
@@ -45,7 +48,13 @@ fn main() {
                 .with_buffer_depth(32),
         ),
     ];
-    let spec = SetTop::new(SetTopConfig::new(24, 777)).spec();
+    let spec = match noc_bench::scenario_path_arg()? {
+        Some(path) => {
+            println!("base scenario: {}\n", path.display());
+            noc_bench::load_scenario(&path)?
+        }
+        None => SetTop::new(SetTopConfig::new(24, 777)).spec(),
+    };
     let sweep = Sweep::over(configs, |(label, noc)| {
         (label.to_string(), spec.clone(), Backend::Noc(noc))
     });
@@ -58,7 +67,7 @@ fn main() {
     ]);
     t.numeric();
     let mut fingerprints = Vec::new();
-    for result in sweep.run().expect("set-top spec is consistent") {
+    for result in sweep.run()? {
         let fp = result.report.system_fingerprint();
         t.row(&[
             result.label,
@@ -77,4 +86,5 @@ fn main() {
         "fingerprints identical across configs: {all_equal} \
          (guaranteed for race-free workloads; see layering_invariance tests)"
     );
+    Ok(())
 }

@@ -1,47 +1,28 @@
 //! Experiment `exp_ordering` — paper §3: one tag mechanism absorbs three
 //! socket ordering models, and outstanding capacity trades gates for
 //! cycles ("scaling their gate count to their expected performance").
+//!
+//! `--scenario FILE` loads the sweep from a scenario text file (see
+//! `tests/scenarios/ordering_sweep.scn`); gate columns are computed when
+//! a point's label parses as its outstanding budget.
 
 use noc_area::{niu_gates, NiuAreaConfig};
-use noc_protocols::{Program, ProtocolKind, SocketCommand};
-use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, Sweep};
+use noc_bench::scenarios::ordering_sweep;
+use noc_protocols::ProtocolKind;
 use noc_stats::Table;
-use noc_transaction::StreamId;
 
-fn workload(n: usize) -> Program {
-    (0..n)
-        .map(|i| {
-            let addr = if i % 2 == 0 { 0x1000 } else { 0x0 } + (i as u64 * 4) % 0x800;
-            SocketCommand::read(addr, 4).with_stream(StreamId::new(i as u16 % 4))
-        })
-        .collect()
-}
-
-fn spec(outstanding: u32) -> ScenarioSpec {
-    ScenarioSpec::new()
-        .initiator(
-            InitiatorSpec::new(
-                "axi",
-                SocketSpec::Axi {
-                    tags: 4,
-                    per_id: outstanding,
-                    total: outstanding,
-                },
-                workload(48),
-            )
-            .with_outstanding(outstanding),
-        )
-        .memory(MemorySpec::new("fast", 0x0, 0x1000, 1))
-        .memory(MemorySpec::new("slow", 0x1000, 0x2000, 30))
-}
-
-fn main() {
-    println!("exp_ordering: outstanding-capacity sweep (AXI master, fast+slow targets)\n");
-    let sweep = Sweep::over([1u32, 2, 4, 8, 16], |outstanding| {
-        (outstanding.to_string(), spec(outstanding), Backend::noc())
-    })
-    .with_max_cycles(2_000_000);
-    let results = sweep.run().expect("specs are consistent");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = match noc_bench::scenario_path_arg()? {
+        Some(path) => {
+            println!("exp_ordering: sweep file {}\n", path.display());
+            noc_bench::load_sweep(&path)?
+        }
+        None => {
+            println!("exp_ordering: outstanding-capacity sweep (AXI master, fast+slow targets)\n");
+            ordering_sweep()
+        }
+    };
+    let results = sweep.run()?;
 
     let mut t = Table::new(&[
         "outstanding",
@@ -51,20 +32,25 @@ fn main() {
         "gates vs 1",
     ]);
     t.numeric();
-    let base_cycles = results[0].report.cycles;
+    let base_cycles = results.first().map_or(0, |r| r.report.cycles);
     let base_gates = niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, 1)).total();
     for result in &results {
-        let outstanding: u32 = result.label.parse().expect("label is the parameter");
         let cycles = result.report.cycles;
-        let gates = niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, outstanding)).total();
+        let gates = result.label.parse::<u32>().ok().map(|outstanding| {
+            niu_gates(&NiuAreaConfig::new(ProtocolKind::Axi, outstanding)).total()
+        });
         t.row(&[
             result.label.clone(),
             cycles.to_string(),
             format!("{:.2}x", base_cycles as f64 / cycles as f64),
-            gates.to_string(),
-            format!("{:.2}x", gates as f64 / base_gates as f64),
+            gates.map_or_else(|| "-".into(), |g| g.to_string()),
+            gates.map_or_else(
+                || "-".into(),
+                |g| format!("{:.2}x", g as f64 / base_gates as f64),
+            ),
         ]);
     }
     println!("{t}");
     println!("more outstanding transactions -> fewer cycles, more gates (paper §3)");
+    Ok(())
 }

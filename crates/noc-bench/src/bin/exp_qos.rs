@@ -1,67 +1,48 @@
 //! Experiment `exp_qos` — transport-layer QoS: pressure classes under
 //! hotspot congestion.
+//!
+//! `--scenario FILE` runs one scenario text file instead of the built-in
+//! pair of pressure configurations.
 
-use noc_protocols::{Program, SocketCommand};
-use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec};
+use noc_bench::scenarios::qos_spec;
+use noc_scenario::{Backend, ScenarioSpec};
 use noc_stats::Table;
-use noc_transaction::BurstKind;
 
-fn spec(pressures: [u8; 3]) -> ScenarioSpec {
-    let mut spec = ScenarioSpec::new();
-    for (node, pressure) in pressures.into_iter().enumerate() {
-        let program: Program = (0..40)
-            .map(|i| {
-                SocketCommand::read(0x1000 * (node as u64 + 1) + i * 64, 8)
-                    .with_burst(BurstKind::Incr, 8)
-                    .with_pressure(pressure)
-            })
-            .collect();
-        spec = spec.initiator(
-            InitiatorSpec::new(&format!("class{node}"), SocketSpec::strm(), program)
-                .with_outstanding(4),
-        );
-    }
-    spec.memory(MemorySpec::new("mem", 0x0, 0x10_0000, 4))
-}
-
-fn run(pressures: [u8; 3]) -> Vec<(f64, u64)> {
-    let mut sim = spec(pressures)
-        .build(&Backend::noc())
-        .expect("valid scenario");
+fn print_table(spec: &ScenarioSpec) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = spec.build(&Backend::noc())?;
     assert!(sim.run_until(2_000_000));
-    sim.report()
-        .masters
-        .iter()
-        .map(|m| (m.mean_latency, m.latency_percentile(0.95)))
-        .collect()
+    let report = sim.report();
+    let mut t = Table::new(&["class", "pressure", "mean (cy)", "p95 (cy)"]);
+    t.numeric();
+    for (ini, m) in spec.initiators.iter().zip(&report.masters) {
+        // QoS class: the explicit NIU override, or the class carried by
+        // the program's commands.
+        let pressure = ini
+            .pressure
+            .or_else(|| ini.program.first().map(|c| c.pressure))
+            .unwrap_or(0);
+        t.row(&[
+            ini.name.clone(),
+            pressure.to_string(),
+            format!("{:.1}", m.mean_latency),
+            m.latency_percentile(0.95).to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = noc_bench::scenario_path_arg()? {
+        let spec = noc_bench::load_scenario(&path)?;
+        println!("exp_qos: scenario file {}\n", path.display());
+        return print_table(&spec);
+    }
     println!("exp_qos: three traffic classes hammering one hotspot target\n");
     println!("scenario A: all classes equal pressure (best effort)");
-    let mut t = Table::new(&["class", "pressure", "mean (cy)", "p95 (cy)"]);
-    t.numeric();
-    for (i, (mean, p95)) in run([0, 0, 0]).iter().enumerate() {
-        t.row(&[
-            format!("class{i}"),
-            "0".into(),
-            format!("{mean:.1}"),
-            p95.to_string(),
-        ]);
-    }
-    println!("{t}");
+    print_table(&qos_spec([0, 0, 0]))?;
     println!("scenario B: differentiated pressure 3/1/0");
-    let mut t = Table::new(&["class", "pressure", "mean (cy)", "p95 (cy)"]);
-    t.numeric();
-    let pressures = [3u8, 1, 0];
-    for (i, (mean, p95)) in run(pressures).iter().enumerate() {
-        t.row(&[
-            format!("class{i}"),
-            pressures[i].to_string(),
-            format!("{mean:.1}"),
-            p95.to_string(),
-        ]);
-    }
-    println!("{t}");
+    print_table(&qos_spec([3, 1, 0]))?;
     println!("higher pressure -> lower latency under contention; QoS lives in transport only");
+    Ok(())
 }

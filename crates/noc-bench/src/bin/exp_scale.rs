@@ -3,104 +3,26 @@
 //! transport layer, which the transaction layer never sees).
 //!
 //! Each mesh size is one declarative scenario; the sweep runner expands
-//! the grid and batches the runs.
+//! the grid and batches the runs. `--scenario FILE` loads the sweep from
+//! a scenario text file instead (see `tests/scenarios/scale_mesh.scn`).
 
-use noc_protocols::{Program, SocketCommand};
-use noc_scenario::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, Sweep, TopologySpec,
-};
+use noc_bench::scenarios::scale_sweep;
 use noc_stats::Table;
-use noc_system::NocConfig;
-use noc_topology::RouteAlgorithm;
-use noc_transaction::StreamId;
 
-const SLICE: u64 = 0x1_0000;
-
-/// A w x w mesh: masters on even switches, memories on odd switches,
-/// uniform random reads over all memory slices.
-fn mesh_spec(w: usize, commands: usize) -> ScenarioSpec {
-    let n = w * w;
-    let masters: Vec<usize> = (0..n).filter(|s| s % 2 == 0).collect();
-    let memories: Vec<usize> = (0..n).filter(|s| s % 2 == 1).collect();
-    let mut spec = ScenarioSpec::new();
-    for &switch in &masters {
-        // uniform random reads over all slices, seeded per master switch
-        let program: Program = (0..commands)
-            .map(|i| {
-                let mut x = (switch as u64) << 32 | i as u64;
-                x ^= x >> 12;
-                x = x.wrapping_mul(0x2545F4914F6CDD1D);
-                x ^= x >> 27;
-                let slice_idx = x % memories.len() as u64;
-                let addr = slice_idx * SLICE + (x >> 8) % (SLICE - 64);
-                SocketCommand::read(addr & !7, 8).with_stream(StreamId::new(i as u16 % 4))
-            })
-            .collect();
-        spec = spec.initiator(
-            InitiatorSpec::new(
-                &format!("m{switch}"),
-                SocketSpec::Axi {
-                    tags: 4,
-                    per_id: 4,
-                    total: 8,
-                },
-                program,
-            )
-            .with_outstanding(8),
-        );
-    }
-    for (k, &switch) in memories.iter().enumerate() {
-        spec = spec.memory(
-            MemorySpec::new(
-                &format!("mem{switch}"),
-                k as u64 * SLICE,
-                (k as u64 + 1) * SLICE,
-                2,
-            )
-            .with_queue(8),
-        );
-    }
-    // Row-major mesh links; masters first then memories, each on its own
-    // switch, so XY routing stays deadlock-free.
-    let placement: Vec<usize> = masters.iter().chain(memories.iter()).copied().collect();
-    let links = mesh_links(w, w);
-    spec.with_topology(TopologySpec::Custom {
-        switches: n,
-        links,
-        placement,
-    })
-}
-
-fn mesh_links(width: usize, height: usize) -> Vec<(usize, usize)> {
-    let mut links = Vec::new();
-    for y in 0..height {
-        for x in 0..width {
-            let s = y * width + x;
-            if x + 1 < width {
-                links.push((s, s + 1));
-            }
-            if y + 1 < height {
-                links.push((s, s + width));
-            }
-        }
-    }
-    links
-}
-
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     const COMMANDS: usize = 24;
-    println!("exp_scale: mesh sweep, uniform random AXI traffic, {COMMANDS} reads/master\n");
-    let sweep = Sweep::over([2usize, 3, 4, 6], |w| {
-        (
-            format!("{w}x{w}"),
-            mesh_spec(w, COMMANDS),
-            Backend::Noc(NocConfig::new().with_routing(RouteAlgorithm::XyMesh {
-                width: w,
-                height: w,
-            })),
-        )
-    })
-    .with_max_cycles(20_000_000);
+    let sweep = match noc_bench::scenario_path_arg()? {
+        Some(path) => {
+            println!("exp_scale: sweep file {}\n", path.display());
+            noc_bench::load_sweep(&path)?
+        }
+        None => {
+            println!(
+                "exp_scale: mesh sweep, uniform random AXI traffic, {COMMANDS} reads/master\n"
+            );
+            scale_sweep(&[2, 3, 4, 6], COMMANDS)
+        }
+    };
     let masters_per_point: Vec<usize> = sweep
         .points()
         .iter()
@@ -115,12 +37,7 @@ fn main() {
         "aggregate reads/cy",
     ]);
     t.numeric();
-    for (result, masters) in sweep
-        .run()
-        .expect("mesh specs are consistent")
-        .iter()
-        .zip(masters_per_point)
-    {
+    for (result, masters) in sweep.run()?.iter().zip(masters_per_point) {
         let r = &result.report;
         t.row(&[
             result.label.clone(),
@@ -134,4 +51,5 @@ fn main() {
     println!(
         "aggregate throughput grows with fabric size: transport scales, transactions unchanged"
     );
+    Ok(())
 }

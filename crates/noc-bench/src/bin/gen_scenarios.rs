@@ -1,0 +1,37 @@
+//! Regenerates the `tests/scenarios/` corpus from the shared experiment
+//! scenario builders. The checked-in files are exact emitter output, so
+//! `emit(parse(file)) == file` — asserted by `tests/scenario_text.rs`,
+//! which makes the corpus double as grammar-stability fixtures. Run this
+//! after changing a builder or the text format, then commit the diff.
+
+use noc_bench::scenarios::{
+    clocked_mixed_spec, ordering_sweep, qos_spec, ring_mixed_spec, scale_sweep,
+};
+use noc_workloads::{SetTop, SetTopConfig};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios");
+    std::fs::create_dir_all(&dir)?;
+    let files: Vec<(&str, String)> = vec![
+        (
+            "set_top.scn",
+            SetTop::new(SetTopConfig::new(32, 2005)).scenario_text(),
+        ),
+        (
+            "layering_settop.scn",
+            SetTop::new(SetTopConfig::new(24, 777)).scenario_text(),
+        ),
+        ("qos_classes.scn", qos_spec([3, 1, 0]).to_text()),
+        ("ordering_sweep.scn", ordering_sweep().to_text()),
+        ("scale_mesh.scn", scale_sweep(&[2, 3], 24).to_text()),
+        ("clocked_mixed.scn", clocked_mixed_spec().to_text()),
+        ("ring_mixed.scn", ring_mixed_spec().to_text()),
+    ];
+    for (name, text) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, &text)?;
+        println!("wrote {} ({} lines)", path.display(), text.lines().count());
+    }
+    Ok(())
+}

@@ -1,0 +1,260 @@
+//! The default scenarios and sweeps of the experiment binaries, shared
+//! so `gen_scenarios` can serialize the exact same configurations into
+//! the `tests/scenarios/` corpus.
+
+use noc_protocols::{Program, SocketCommand};
+use noc_scenario::{
+    Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, StepMode, Sweep, SweepPoint,
+    TopologySpec,
+};
+use noc_topology::RouteAlgorithm;
+use noc_transaction::{BurstKind, StreamId};
+
+/// The `exp_qos` scenario: three streaming classes with the given
+/// pressures hammering one hotspot target.
+pub fn qos_spec(pressures: [u8; 3]) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new();
+    for (node, pressure) in pressures.into_iter().enumerate() {
+        let program: Program = (0..40)
+            .map(|i| {
+                SocketCommand::read(0x1000 * (node as u64 + 1) + i * 64, 8)
+                    .with_burst(BurstKind::Incr, 8)
+                    .with_pressure(pressure)
+            })
+            .collect();
+        spec = spec.initiator(
+            InitiatorSpec::new(&format!("class{node}"), SocketSpec::strm(), program)
+                .with_outstanding(4),
+        );
+    }
+    spec.memory(MemorySpec::new("mem", 0x0, 0x10_0000, 4))
+}
+
+fn ordering_workload(n: usize) -> Program {
+    (0..n)
+        .map(|i| {
+            let addr = if i % 2 == 0 { 0x1000 } else { 0x0 } + (i as u64 * 4) % 0x800;
+            SocketCommand::read(addr, 4).with_stream(StreamId::new(i as u16 % 4))
+        })
+        .collect()
+}
+
+/// One `exp_ordering` point: an AXI master with the given outstanding
+/// budget against a fast and a slow target.
+pub fn ordering_spec(outstanding: u32) -> ScenarioSpec {
+    ScenarioSpec::new()
+        .initiator(
+            InitiatorSpec::new(
+                "axi",
+                SocketSpec::Axi {
+                    tags: 4,
+                    per_id: outstanding,
+                    total: outstanding,
+                },
+                ordering_workload(48),
+            )
+            .with_outstanding(outstanding),
+        )
+        .memory(MemorySpec::new("fast", 0x0, 0x1000, 1))
+        .memory(MemorySpec::new("slow", 0x1000, 0x2000, 30))
+}
+
+/// The `exp_ordering` outstanding-capacity sweep. The first (reference)
+/// point carries a dense step override, exercising the per-point
+/// [`StepMode`] mix in one grid.
+pub fn ordering_sweep() -> Sweep {
+    let mut sweep = Sweep::new().with_max_cycles(2_000_000);
+    for outstanding in [1u32, 2, 4, 8, 16] {
+        let mut point = SweepPoint::new(
+            &outstanding.to_string(),
+            ordering_spec(outstanding),
+            Backend::noc(),
+        );
+        if outstanding == 1 {
+            point = point.with_step(StepMode::Dense);
+        }
+        sweep = sweep.with_point(point);
+    }
+    sweep
+}
+
+const SLICE: u64 = 0x1_0000;
+
+/// One `exp_scale` point: a `w` x `w` mesh with AXI masters on even
+/// switches, memory slices on odd switches, and uniform random reads.
+pub fn scale_mesh_spec(w: usize, commands: usize) -> ScenarioSpec {
+    let n = w * w;
+    let masters: Vec<usize> = (0..n).filter(|s| s % 2 == 0).collect();
+    let memories: Vec<usize> = (0..n).filter(|s| s % 2 == 1).collect();
+    let mut spec = ScenarioSpec::new();
+    for &switch in &masters {
+        // uniform random reads over all slices, seeded per master switch
+        let program: Program = (0..commands)
+            .map(|i| {
+                let mut x = (switch as u64) << 32 | i as u64;
+                x ^= x >> 12;
+                x = x.wrapping_mul(0x2545F4914F6CDD1D);
+                x ^= x >> 27;
+                let slice_idx = x % memories.len() as u64;
+                let addr = slice_idx * SLICE + (x >> 8) % (SLICE - 64);
+                SocketCommand::read(addr & !7, 8).with_stream(StreamId::new(i as u16 % 4))
+            })
+            .collect();
+        spec = spec.initiator(
+            InitiatorSpec::new(
+                &format!("m{switch}"),
+                SocketSpec::Axi {
+                    tags: 4,
+                    per_id: 4,
+                    total: 8,
+                },
+                program,
+            )
+            .with_outstanding(8),
+        );
+    }
+    for (k, &switch) in memories.iter().enumerate() {
+        spec = spec.memory(
+            MemorySpec::new(
+                &format!("mem{switch}"),
+                k as u64 * SLICE,
+                (k as u64 + 1) * SLICE,
+                2,
+            )
+            .with_queue(8),
+        );
+    }
+    // Row-major mesh links; masters first then memories, each on its own
+    // switch, so XY routing stays deadlock-free.
+    let placement: Vec<usize> = masters.iter().chain(memories.iter()).copied().collect();
+    let links = mesh_links(w, w);
+    spec.with_topology(TopologySpec::Custom {
+        switches: n,
+        links,
+        placement,
+    })
+    .with_routing(RouteAlgorithm::XyMesh {
+        width: w,
+        height: w,
+    })
+}
+
+fn mesh_links(width: usize, height: usize) -> Vec<(usize, usize)> {
+    let mut links = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let s = y * width + x;
+            if x + 1 < width {
+                links.push((s, s + 1));
+            }
+            if y + 1 < height {
+                links.push((s, s + width));
+            }
+        }
+    }
+    links
+}
+
+/// The `exp_scale` mesh-size sweep over the given widths.
+pub fn scale_sweep(widths: &[usize], commands: usize) -> Sweep {
+    Sweep::over(widths.iter().copied(), |w| {
+        (
+            format!("{w}x{w}"),
+            scale_mesh_spec(w, commands),
+            Backend::noc(),
+        )
+    })
+    .with_max_cycles(20_000_000)
+}
+
+/// A mixed-clock scenario on a 2x2 mesh: three sockets and two memories
+/// on divided clocks (NoC backend only — the baselines reject divided
+/// clocks by design).
+pub fn clocked_mixed_spec() -> ScenarioSpec {
+    let cpu: Program = (0..10)
+        .map(|i| {
+            if i % 3 == 0 {
+                SocketCommand::write(0x40 * i, 4, 0xC0FE + i).with_delay(2)
+            } else {
+                SocketCommand::read(0x40 * i, 4)
+            }
+        })
+        .collect();
+    let video: Program = (0..8)
+        .map(|i| {
+            SocketCommand::read(0x1000 + 0x80 * i, 4)
+                .with_burst(BurstKind::Incr, 4)
+                .with_stream(StreamId::new(i as u16 % 2))
+        })
+        .collect();
+    let sensor: Program = (0..6)
+        .map(|i| SocketCommand::write(0x400 + 0x20 * i, 4, 0x5E + i).with_delay(5))
+        .collect();
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("cpu", SocketSpec::Ahb, cpu).with_flit_bytes(8))
+        .initiator(
+            InitiatorSpec::new("video", SocketSpec::ocp(), video)
+                .with_ordering(noc_transaction::OrderingModel::IdBased { tags: 4 })
+                .with_outstanding(4)
+                .with_clock_divisor(2),
+        )
+        .initiator(
+            InitiatorSpec::new("sensor", SocketSpec::strm(), sensor)
+                .with_pressure(2)
+                .with_clock_divisor(3),
+        )
+        .memory(MemorySpec::new("m0", 0x0, 0x1000, 2))
+        .memory(MemorySpec::new("m1", 0x1000, 0x2000, 4).with_clock_divisor(2))
+        .with_topology(TopologySpec::Mesh {
+            width: 2,
+            height: 2,
+        })
+}
+
+/// A ring-topology scenario with VCI/AXI masters and no divided clocks,
+/// so it runs on all three backends.
+pub fn ring_mixed_spec() -> ScenarioSpec {
+    let dsp: Program = (0..12)
+        .map(|i| {
+            if i % 4 == 0 {
+                SocketCommand::write(0x20 * i, 4, 0xD5 + i)
+            } else {
+                SocketCommand::read(0x20 * i, 4).with_burst(BurstKind::Incr, 2)
+            }
+        })
+        .collect();
+    let dma: Program = (0..10)
+        .map(|i| {
+            SocketCommand::read(0x800 + 0x40 * i, 8)
+                .with_burst(BurstKind::Wrap, 4)
+                .with_stream(StreamId::new(i as u16 % 4))
+        })
+        .collect();
+    let ctl: Program = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                SocketCommand::write(0x700 + 8 * i, 4, 0xC7 + i)
+            } else {
+                SocketCommand::read(0x700 + 8 * i, 4).with_delay(4)
+            }
+        })
+        .collect();
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("dsp", SocketSpec::bvci(), dsp))
+        .initiator(
+            InitiatorSpec::new(
+                "dma",
+                SocketSpec::Axi {
+                    tags: 4,
+                    per_id: 2,
+                    total: 4,
+                },
+                dma,
+            )
+            .with_outstanding(4),
+        )
+        .initiator(InitiatorSpec::new("ctl", SocketSpec::pvci(), ctl))
+        .memory(MemorySpec::new("lo", 0x0, 0x800, 1).with_queue(4))
+        .memory(MemorySpec::new("hi", 0x800, 0x1000, 3))
+        .with_topology(TopologySpec::Ring { switches: 3 })
+}

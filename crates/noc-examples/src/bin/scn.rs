@@ -1,0 +1,299 @@
+//! `scn` — run scenario text files on any backend.
+//!
+//! ```text
+//! scn [OPTIONS] FILE...
+//!
+//!   --backend noc|bridged|bus|all   backend for plain scenario files
+//!                                   (default all; sweep files carry
+//!                                   their own backends per point)
+//!   --step dense|horizon|both       step mode; "both" runs each
+//!                                   simulation twice and fails unless
+//!                                   the logs, timestamps included, are
+//!                                   identical. Default: horizon for
+//!                                   scenario files, the file's own
+//!                                   step settings for sweeps (an
+//!                                   explicit --step overrides them,
+//!                                   per-point overrides included)
+//!   --max-cycles N                  drain budget (default 10_000_000
+//!                                   for scenario files, the file's
+//!                                   budget for sweeps)
+//! ```
+//!
+//! With `--backend all`, scenarios that declare divided clocks are
+//! skipped (with a note) on the baseline backends that cannot model
+//! them; naming such a backend explicitly is an error. Exit status is
+//! non-zero on parse errors, failed drains and dense/horizon divergence.
+
+use noc_protocols::CompletionRecord;
+use noc_scenario::{
+    parse_document, Backend, Document, ScenarioError, ScenarioSpec, StepMode, Sweep,
+};
+use noc_stats::Table;
+use std::fmt::Write as _;
+
+#[derive(Clone, Copy, PartialEq)]
+enum BackendSel {
+    One(&'static str),
+    All,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum StepSel {
+    One(StepMode),
+    Both,
+}
+
+struct Options {
+    files: Vec<String>,
+    backend: BackendSel,
+    /// `None` until `--step` is given: scenario files default to
+    /// horizon, sweep files to their own settings.
+    step: Option<StepSel>,
+    /// `None` until `--max-cycles` is given: scenario files default to
+    /// 10M cycles, sweep files to their own budget.
+    max_cycles: Option<u64>,
+}
+
+fn usage() -> &'static str {
+    "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|both] \
+     [--max-cycles N] FILE..."
+}
+
+fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
+    let mut opts = Options {
+        files: Vec::new(),
+        backend: BackendSel::All,
+        step: None,
+        max_cycles: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                opts.backend = match args.next().as_deref() {
+                    Some("noc") => BackendSel::One("noc"),
+                    Some("bridged") => BackendSel::One("bridged"),
+                    Some("bus") => BackendSel::One("bus"),
+                    Some("all") => BackendSel::All,
+                    other => return Err(format!("bad --backend {other:?}\n{}", usage()).into()),
+                }
+            }
+            "--step" => {
+                opts.step = Some(match args.next().as_deref() {
+                    Some("dense") => StepSel::One(StepMode::Dense),
+                    Some("horizon") => StepSel::One(StepMode::Horizon),
+                    Some("both") => StepSel::Both,
+                    other => return Err(format!("bad --step {other:?}\n{}", usage()).into()),
+                })
+            }
+            "--max-cycles" => {
+                let v = args.next().ok_or("--max-cycles needs a number")?;
+                opts.max_cycles = Some(v.parse().map_err(|_| format!("bad --max-cycles {v:?}"))?);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()).into());
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(format!("no scenario files given\n{}", usage()).into());
+    }
+    Ok(opts)
+}
+
+fn backend_by_label(label: &str) -> Backend {
+    match label {
+        "noc" => Backend::noc(),
+        "bridged" => Backend::bridged(),
+        "bus" => Backend::bus(),
+        _ => unreachable!("labels come from parse_args"),
+    }
+}
+
+type RunOutcome = (bool, u64, Vec<Vec<CompletionRecord>>);
+
+fn run_once(
+    spec: &ScenarioSpec,
+    backend: &Backend,
+    mode: StepMode,
+    max_cycles: u64,
+) -> Result<RunOutcome, ScenarioError> {
+    let mut sim = spec.build(backend)?;
+    let drained = sim.run_until_with(max_cycles, mode);
+    let logs = sim
+        .logs()
+        .iter()
+        .map(|(_, log)| log.records().to_vec())
+        .collect();
+    Ok((drained, sim.now(), logs))
+}
+
+/// Runs a spec on one backend under the step selection; returns the
+/// table cells, or `None` when the backend rejects divided clocks and
+/// skipping is allowed.
+fn run_spec(
+    spec: &ScenarioSpec,
+    backend: &Backend,
+    step: StepSel,
+    max_cycles: u64,
+    skip_unsupported: bool,
+) -> Result<Option<Vec<String>>, Box<dyn std::error::Error>> {
+    let modes: &[StepMode] = match step {
+        StepSel::One(StepMode::Dense) => &[StepMode::Dense],
+        StepSel::One(StepMode::Horizon) => &[StepMode::Horizon],
+        StepSel::Both => &[StepMode::Dense, StepMode::Horizon],
+    };
+    let mut outcomes = Vec::new();
+    for mode in modes {
+        match run_once(spec, backend, *mode, max_cycles) {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(e @ ScenarioError::UnsupportedClock { .. }) if skip_unsupported => {
+                println!("  {backend}: skipped ({e})");
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if outcomes.len() == 2 && outcomes[0] != outcomes[1] {
+        return Err(format!("{backend}: dense and horizon stepping diverge").into());
+    }
+    let (drained, cycles, logs) = &outcomes[0];
+    if !drained {
+        return Err(format!("{backend}: failed to drain in {max_cycles} cycles").into());
+    }
+    let completions: usize = logs.iter().map(Vec::len).sum();
+    let mean: f64 = if completions == 0 {
+        0.0
+    } else {
+        logs.iter()
+            .flatten()
+            .map(|r| r.latency() as f64)
+            .sum::<f64>()
+            / completions as f64
+    };
+    let mut step_cell = String::new();
+    for (i, mode) in modes.iter().enumerate() {
+        if i > 0 {
+            step_cell.push('=');
+        }
+        let _ = write!(step_cell, "{mode}");
+    }
+    Ok(Some(vec![
+        backend.label().to_owned(),
+        step_cell,
+        cycles.to_string(),
+        completions.to_string(),
+        format!("{mean:.1}"),
+    ]))
+}
+
+fn run_scenario_file(
+    spec: &ScenarioSpec,
+    opts: &Options,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let labels: &[&str] = match opts.backend {
+        BackendSel::One(label) => &[label],
+        BackendSel::All => &["noc", "bridged", "bus"],
+    };
+    let step = opts.step.unwrap_or(StepSel::One(StepMode::Horizon));
+    let max_cycles = opts.max_cycles.unwrap_or(10_000_000);
+    let mut t = Table::new(&["backend", "step", "cycles", "completions", "mean lat (cy)"]);
+    t.numeric();
+    for label in labels {
+        let backend = backend_by_label(label);
+        let skip = opts.backend == BackendSel::All;
+        if let Some(row) = run_spec(spec, &backend, step, max_cycles, skip)? {
+            t.row(&row);
+        }
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let max_cycles = opts.max_cycles.unwrap_or_else(|| sweep.max_cycles());
+    if opts.step == Some(StepSel::Both) {
+        // Differential mode: drive each point by hand so dense and
+        // horizon logs can be compared record-for-record.
+        let mut t = Table::new(&[
+            "point",
+            "backend",
+            "step",
+            "cycles",
+            "completions",
+            "mean lat (cy)",
+        ]);
+        t.numeric();
+        for p in sweep.points() {
+            let row = run_spec(&p.spec, &p.backend, StepSel::Both, max_cycles, false)?
+                .expect("skipping is disabled");
+            let mut cells = vec![p.label.clone()];
+            cells.extend(row);
+            t.row(&cells);
+        }
+        println!("{t}");
+        return Ok(());
+    }
+    // An explicit --step or --max-cycles overrides the file's settings
+    // (per-point step overrides included); otherwise the file rules.
+    let mut sweep = sweep.clone();
+    if opts.max_cycles.is_some() {
+        sweep = sweep.with_max_cycles(max_cycles);
+    }
+    if let Some(StepSel::One(mode)) = opts.step {
+        let points: Vec<_> = sweep.points().to_vec();
+        let mut forced = Sweep::new()
+            .with_max_cycles(sweep.max_cycles())
+            .with_step_mode(mode);
+        if let Some(threads) = sweep.threads() {
+            forced = forced.with_threads(threads);
+        }
+        for mut p in points {
+            p.step = None;
+            forced = forced.with_point(p);
+        }
+        sweep = forced;
+    }
+    let results = sweep.run()?;
+    let mut t = Table::new(&["point", "backend", "cycles", "completions", "mean lat (cy)"]);
+    t.numeric();
+    for (p, r) in sweep.points().iter().zip(&results) {
+        t.row(&[
+            r.label.clone(),
+            p.backend.label().to_owned(),
+            r.report.cycles.to_string(),
+            r.report.total_completions().to_string(),
+            format!("{:.1}", r.report.mean_latency()),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_args()?;
+    for file in &opts.files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+        match doc {
+            Document::Scenario(spec) => {
+                println!(
+                    "{file}: scenario ({} initiators, {} memories)",
+                    spec.initiators.len(),
+                    spec.memories.len()
+                );
+                run_scenario_file(&spec, &opts).map_err(|e| format!("{file}: {e}"))?;
+            }
+            Document::Sweep(sweep) => {
+                println!("{file}: sweep ({} points)", sweep.points().len());
+                run_sweep_file(&sweep, &opts).map_err(|e| format!("{file}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}

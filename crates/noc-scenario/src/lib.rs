@@ -16,6 +16,11 @@
 //! depths, topologies, backends) into batched simulations for the
 //! experiment binaries.
 //!
+//! Scenarios and sweeps also round-trip through a zero-dependency text
+//! format (see [`text`]): [`ScenarioSpec::from_text`]/[`ScenarioSpec::to_text`]
+//! and [`Sweep::from_text`]/[`Sweep::to_text`] make the experiment grid
+//! data-driven — files, not recompiles.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,9 +46,11 @@
 pub mod sim;
 pub mod spec;
 pub mod sweep;
+pub mod text;
 
 pub use sim::{BridgedSim, BusSim, NocSim, ScenarioReport, Simulation, StepMode};
 pub use spec::{
     Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TopologySpec,
 };
 pub use sweep::{Sweep, SweepPoint, SweepResult};
+pub use text::{parse_document, Document, ParseError, ParseErrorKind};

@@ -62,7 +62,7 @@ impl fmt::Display for Backend {
 
 /// The socket protocol (and protocol-specific agent parameters) of a
 /// declared initiator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SocketSpec {
     /// AHB master: fully ordered, single outstanding stream.
     Ahb,
@@ -212,7 +212,7 @@ impl SocketSpec {
 /// The node number is *not* part of the declaration — the spec assigns
 /// nodes automatically (initiators first, then memories, in declaration
 /// order).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InitiatorSpec {
     /// Display name (must be unique in the scenario).
     pub name: String,
@@ -307,7 +307,7 @@ impl InitiatorSpec {
 /// The owning `SlvAddr` and the scenario [`AddressMap`] entry are derived
 /// from the declaration — this is the paper's address decoder table, now
 /// computed instead of hand-maintained.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemorySpec {
     /// Display name (must be unique in the scenario).
     pub name: String,
@@ -358,7 +358,7 @@ impl MemorySpec {
 
 /// How scenario endpoints map onto a switching fabric (NoC backend only —
 /// the baselines have their structure fixed by definition).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum TopologySpec {
     /// One switch, every endpoint attached to it (the degenerate NoC).
     #[default]
@@ -542,6 +542,9 @@ pub enum ScenarioError {
         /// Its declared divisor.
         divisor: u64,
     },
+    /// A scenario text file failed to parse (see [`crate::text`]); the
+    /// inner error pinpoints the offending line and column.
+    Parse(crate::text::ParseError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -575,18 +578,32 @@ impl fmt::Display for ScenarioError {
                 "{backend} backend cannot model {endpoint:?}'s clk/{divisor} \
                  (baselines run everything on the base clock)"
             ),
+            ScenarioError::Parse(e) => write!(f, "scenario text: {e}"),
         }
     }
 }
 
-impl std::error::Error for ScenarioError {}
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::text::ParseError> for ScenarioError {
+    fn from(e: crate::text::ParseError) -> Self {
+        ScenarioError::Parse(e)
+    }
+}
 
 /// A complete, interconnect-neutral scenario description.
 ///
 /// See the crate-level example. Construction is fluent and infallible;
 /// every consistency rule is checked by [`ScenarioSpec::validate`], which
 /// all compilers call first.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScenarioSpec {
     /// Declared initiators, in node order.
     pub initiators: Vec<InitiatorSpec>,

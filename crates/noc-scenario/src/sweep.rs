@@ -21,6 +21,28 @@ pub struct SweepPoint {
     pub spec: ScenarioSpec,
     /// The interconnect to compile it to.
     pub backend: Backend,
+    /// Per-point step-mode override; `None` uses the sweep's mode. Lets
+    /// one grid mix reference (dense) and fast (horizon) rows.
+    pub step: Option<StepMode>,
+}
+
+impl SweepPoint {
+    /// A point running under the sweep's default step mode.
+    pub fn new(label: &str, spec: ScenarioSpec, backend: Backend) -> Self {
+        SweepPoint {
+            label: label.to_owned(),
+            spec,
+            backend,
+            step: None,
+        }
+    }
+
+    /// Overrides how this point advances simulation time.
+    #[must_use]
+    pub fn with_step(mut self, step: StepMode) -> Self {
+        self.step = Some(step);
+        self
+    }
 }
 
 /// The result of one sweep point.
@@ -85,11 +107,14 @@ impl Sweep {
     /// Adds one labelled point.
     #[must_use]
     pub fn point(mut self, label: &str, spec: ScenarioSpec, backend: Backend) -> Self {
-        self.points.push(SweepPoint {
-            label: label.to_owned(),
-            spec,
-            backend,
-        });
+        self.points.push(SweepPoint::new(label, spec, backend));
+        self
+    }
+
+    /// Adds a fully-specified point (e.g. one carrying a step override).
+    #[must_use]
+    pub fn with_point(mut self, point: SweepPoint) -> Self {
+        self.points.push(point);
         self
     }
 
@@ -121,10 +146,25 @@ impl Sweep {
         &self.points
     }
 
+    /// The per-point cycle budget.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// The default step mode (points may override it).
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
+    }
+
+    /// The worker-thread cap, if one was set.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
     fn run_point(&self, p: &SweepPoint) -> Result<SweepResult, ScenarioError> {
         let mut sim = p.spec.build(&p.backend)?;
         assert!(
-            sim.run_until_with(self.max_cycles, self.step_mode),
+            sim.run_until_with(self.max_cycles, p.step.unwrap_or(self.step_mode)),
             "sweep point {:?} failed to drain in {} cycles",
             p.label,
             self.max_cycles

@@ -240,6 +240,15 @@ impl SetTop {
     pub fn config(&self) -> &SetTopConfig {
         &self.config
     }
+
+    /// The whole scenario serialized in the scenario text format — the
+    /// generated programs become explicit command lists, so a checked-in
+    /// file is an exact, seed-independent record of what ran (this is
+    /// how the `tests/scenarios/` corpus files for the set-top system
+    /// are produced).
+    pub fn scenario_text(&self) -> String {
+        self.spec().to_text()
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +336,18 @@ mod tests {
             .expect("set-top spec is consistent");
         assert!(sim.run_until(500_000), "bridged set-top must drain");
         assert!(sim.logs().iter().all(|(_, l)| l.len() == 6));
+    }
+
+    #[test]
+    fn scenario_text_round_trips_programs_exactly() {
+        // Program serialization: the seeded generator output survives the
+        // text format command-for-command, so corpus files reproduce the
+        // experiment workloads bit-exactly.
+        let set_top = SetTop::new(SetTopConfig::new(8, 2005));
+        let spec = set_top.spec();
+        let back = ScenarioSpec::from_text(&set_top.scenario_text()).expect("emitted text parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.initiators[2].program, set_top.programs().dma);
     }
 
     #[test]

@@ -272,6 +272,172 @@ fn endianness_is_involution() {
     }
 }
 
+/// A random valid scenario exercising every serializable knob: socket
+/// mixes and parameters, ordering/outstanding/pressure/flit overrides,
+/// clock divisors, burst kinds, delays and all four topology shapes.
+#[cfg(test)]
+fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSpec {
+    use noc_protocols::SocketCommand;
+    use noc_scenario::{InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, TopologySpec};
+    use noc_transaction::Opcode;
+
+    let masters = rng.next_range(1, 4) as usize;
+    let mut spec = ScenarioSpec::new();
+    for m in 0..masters {
+        let base = m as u64 * 0x1000;
+        let n_cmds = rng.next_range(1, 7) as usize;
+        let socket = match rng.next_below(7) {
+            0 => SocketSpec::Ahb,
+            1 => SocketSpec::Ocp {
+                threads: rng.next_range(1, 3) as u8,
+                per_thread: rng.next_range(1, 5) as u32,
+            },
+            2 => SocketSpec::Axi {
+                tags: rng.next_range(1, 5) as u8,
+                per_id: rng.next_range(1, 4) as u32,
+                total: rng.next_range(2, 8) as u32,
+            },
+            3 => SocketSpec::Strm {
+                read_limit: rng.next_range(1, 5) as u32,
+            },
+            4 => SocketSpec::pvci(),
+            5 => SocketSpec::bvci(),
+            _ => SocketSpec::avci(),
+        };
+        let single_beat = matches!(socket, SocketSpec::Vci { .. });
+        // Streams must fit the socket's thread/ID space; posted writes
+        // are an OCP/STRM feature.
+        let streams = match socket {
+            SocketSpec::Ocp { threads, .. } => threads as u64,
+            SocketSpec::Axi { tags, .. } => tags as u64,
+            SocketSpec::Vci {
+                flavor: noc_protocols::vci::VciFlavor::Advanced { threads },
+                ..
+            } => threads as u64,
+            _ => 1,
+        };
+        let posted_ok = matches!(socket, SocketSpec::Ocp { .. } | SocketSpec::Strm { .. });
+        let program: Vec<SocketCommand> = (0..n_cmds)
+            .map(|i| {
+                let addr = (base + 0x40 + rng.next_below(0xE00)) & !0x3F;
+                let cmd = if rng.chance(0.5) {
+                    SocketCommand::read(addr, 4)
+                } else {
+                    SocketCommand::write(addr, 4, rng.next_u64())
+                };
+                let beats = if single_beat {
+                    1
+                } else {
+                    1 << rng.next_below(3)
+                };
+                let kind = if beats > 1 && rng.chance(0.2) {
+                    BurstKind::Wrap
+                } else {
+                    BurstKind::Incr
+                };
+                let mut cmd = cmd
+                    .with_burst(kind, beats)
+                    .with_delay(rng.next_below(200) as u32 * (i as u32 % 3))
+                    .with_stream(StreamId::new(rng.next_below(streams) as u16));
+                if posted_ok && cmd.opcode == Opcode::Write && rng.chance(0.3) {
+                    cmd = cmd.with_opcode(Opcode::WritePosted);
+                }
+                cmd
+            })
+            .collect();
+        let mut ini = InitiatorSpec::new(&format!("m{m}"), socket, program);
+        if rng.chance(0.4) {
+            ini = ini.with_outstanding(rng.next_range(1, 9) as u32);
+        }
+        if rng.chance(0.3) {
+            ini = ini.with_pressure(rng.next_below(4) as u8);
+        }
+        if rng.chance(0.3) {
+            ini = ini.with_flit_bytes(1 << rng.next_range(2, 5));
+        }
+        if clocked {
+            ini = ini.with_clock_divisor(rng.next_range(1, 4));
+        }
+        spec = spec.initiator(ini);
+    }
+    for m in 0..masters {
+        let mut mem = MemorySpec::new(
+            &format!("mem{m}"),
+            m as u64 * 0x1000,
+            (m as u64 + 1) * 0x1000,
+            rng.next_range(1, 6) as u32,
+        )
+        .with_queue(rng.next_range(2, 10) as usize);
+        if clocked && rng.chance(0.3) {
+            mem = mem.with_clock_divisor(rng.next_range(1, 3));
+        }
+        spec = spec.memory(mem);
+    }
+    let endpoints = 2 * masters;
+    spec.with_topology(match rng.next_below(4) {
+        0 => TopologySpec::Crossbar,
+        1 => TopologySpec::Ring {
+            switches: rng.next_range(2, 5) as usize,
+        },
+        2 => TopologySpec::Mesh {
+            width: 2,
+            height: rng.next_range(1, 3) as usize,
+        },
+        _ => TopologySpec::Custom {
+            switches: 2,
+            links: vec![(0, 1)],
+            placement: (0..endpoints).map(|i| i % 2).collect(),
+        },
+    })
+}
+
+/// Text round-trip: `parse(emit(spec))` reproduces random specs
+/// knob-for-knob, and the round-tripped spec runs record-identically
+/// (timestamps included) to the original on every backend.
+#[test]
+fn scenario_text_round_trips_and_runs_identically() {
+    use noc_scenario::{Backend, ScenarioSpec, StepMode};
+
+    let mut rng = SplitMix64::new(0x7E47);
+    for case in 0..40 {
+        let clocked = rng.chance(0.3);
+        let spec = arb_scenario(&mut rng, clocked);
+        let text = spec.to_text();
+        let back = ScenarioSpec::from_text(&text)
+            .unwrap_or_else(|e| panic!("case {case}: emitted text must parse: {e}\n{text}"));
+        assert_eq!(back, spec, "case {case}: round-trip changed the spec");
+
+        // Only a subset needs the (much slower) execution comparison.
+        if case % 4 != 0 {
+            continue;
+        }
+        let backends: &[Backend] = if clocked {
+            &[Backend::noc()]
+        } else {
+            &[Backend::noc(), Backend::bridged(), Backend::bus()]
+        };
+        for backend in backends {
+            let run = |s: &ScenarioSpec| {
+                let mut sim = s.build(backend).expect("valid random spec");
+                let drained = sim.run_until_with(3_000_000, StepMode::Horizon);
+                let logs: Vec<Vec<noc_protocols::CompletionRecord>> = sim
+                    .logs()
+                    .iter()
+                    .map(|(_, log)| log.records().to_vec())
+                    .collect();
+                (drained, sim.now(), logs)
+            };
+            let original = run(&spec);
+            let round_tripped = run(&back);
+            assert!(original.0, "case {case}: {backend} must drain\n{text}");
+            assert_eq!(
+                original, round_tripped,
+                "case {case}: round-tripped spec diverges on {backend}"
+            );
+        }
+    }
+}
+
 /// Randomised scenarios: horizon stepping must be record-identical
 /// (timestamps included) to dense polling on every backend, across
 /// random programs, gaps, socket mixes and clock divisors.

@@ -1,0 +1,354 @@
+//! The scenario text format: golden-corpus fixtures and the
+//! negative-parse suite.
+//!
+//! Every file in `tests/scenarios/` is exact emitter output
+//! (`gen_scenarios` regenerates it), so `emit(parse(file)) == file`
+//! pins both the grammar and the corpus; and every file must run green
+//! through parse → compile → run on every backend that supports it,
+//! under dense *and* horizon stepping with record-identical logs — the
+//! corpus doubles as a regression battery for the whole stack.
+
+use noc_protocols::CompletionRecord;
+use noc_scenario::{
+    parse_document, Backend, Document, ParseError, ParseErrorKind, ScenarioError, ScenarioSpec,
+    StepMode, Sweep,
+};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios")
+}
+
+fn corpus_files() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/scenarios exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "scn"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable corpus file");
+            (name, text)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "corpus must hold at least 6 scenario files, found {}",
+        files.len()
+    );
+    files
+}
+
+/// Runs a spec on one backend, returning drain flag, final cycle and
+/// per-master records (timestamps included).
+fn run(
+    spec: &ScenarioSpec,
+    backend: &Backend,
+    mode: StepMode,
+) -> Result<(bool, u64, Vec<Vec<CompletionRecord>>), ScenarioError> {
+    let mut sim = spec.build(backend)?;
+    let drained = sim.run_until_with(10_000_000, mode);
+    let logs = sim
+        .logs()
+        .iter()
+        .map(|(_, log)| log.records().to_vec())
+        .collect();
+    Ok((drained, sim.now(), logs))
+}
+
+/// Dense and horizon stepping must agree record-for-record on every
+/// backend the spec supports; clocked specs are rejected (with the
+/// typed error) by the baselines and must still run on the NoC.
+fn assert_dense_horizon_identical(file: &str, label: &str, spec: &ScenarioSpec) {
+    let mut supported = 0;
+    for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+        let dense = match run(spec, &backend, StepMode::Dense) {
+            Ok(outcome) => outcome,
+            Err(ScenarioError::UnsupportedClock { .. }) => {
+                assert!(
+                    !matches!(backend, Backend::Noc(_)),
+                    "{file}/{label}: the NoC backend must accept divided clocks"
+                );
+                continue;
+            }
+            Err(e) => panic!("{file}/{label}: {backend} failed to compile: {e}"),
+        };
+        let horizon = run(spec, &backend, StepMode::Horizon).expect("same spec compiles again");
+        assert!(dense.0, "{file}/{label}: {backend} must drain densely");
+        assert_eq!(
+            dense, horizon,
+            "{file}/{label}: dense vs horizon divergence on {backend}"
+        );
+        supported += 1;
+    }
+    assert!(supported > 0, "{file}/{label}: no backend ran the spec");
+}
+
+#[test]
+fn corpus_files_are_exact_emitter_output() {
+    for (name, text) in corpus_files() {
+        let doc =
+            parse_document(&text).unwrap_or_else(|e| panic!("{name}: corpus file must parse: {e}"));
+        let emitted = match &doc {
+            Document::Scenario(spec) => spec.to_text(),
+            Document::Sweep(sweep) => sweep.to_text(),
+        };
+        assert_eq!(
+            emitted, text,
+            "{name}: stale corpus file — rerun `cargo run -p noc-bench --bin gen_scenarios`"
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_the_required_shapes() {
+    let files = corpus_files();
+    let any = |pred: &dyn Fn(&str) -> bool| files.iter().any(|(_, text)| pred(text));
+    assert!(
+        any(&|t| t.contains("kind = \"mesh\"")),
+        "corpus needs a mesh topology"
+    );
+    assert!(
+        any(&|t| t.contains("kind = \"ring\"")),
+        "corpus needs a ring topology"
+    );
+    assert!(
+        any(&|t| t.contains("kind = \"custom\"")),
+        "corpus needs a custom topology"
+    );
+    assert!(
+        any(&|t| t.contains("clock_divisor = ")),
+        "corpus needs divided clocks"
+    );
+    assert!(
+        any(&|t| t.contains("[[sweep.point]]")),
+        "corpus needs a sweep file"
+    );
+    // mixed protocols: all seven sockets appear somewhere
+    for socket in ["ahb", "ocp", "axi", "strm", "pvci", "bvci", "avci"] {
+        assert!(
+            any(&|t| t.contains(&format!("socket = \"{socket}\""))),
+            "corpus never uses the {socket} socket"
+        );
+    }
+}
+
+#[test]
+fn corpus_runs_identically_dense_and_horizon_on_all_backends() {
+    for (name, text) in corpus_files() {
+        match parse_document(&text).expect("corpus parses") {
+            Document::Scenario(spec) => assert_dense_horizon_identical(&name, "-", &spec),
+            Document::Sweep(sweep) => {
+                for p in sweep.points() {
+                    assert_dense_horizon_identical(&name, &p.label, &p.spec);
+                }
+                // The sweep runner itself (which honors per-point step
+                // overrides) must agree with the per-point reference runs.
+                let results = sweep.run().expect("corpus sweep runs");
+                assert_eq!(results.len(), sweep.points().len());
+                for (p, r) in sweep.points().iter().zip(&results) {
+                    let reference =
+                        run(&p.spec, &p.backend, StepMode::Dense).expect("point compiles");
+                    assert_eq!(r.report.cycles, reference.1, "{name}/{}", p.label);
+                    assert_eq!(
+                        r.report.total_completions(),
+                        reference.2.iter().map(Vec::len).sum::<usize>(),
+                        "{name}/{}",
+                        p.label
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn per_point_step_override_is_parsed_and_honored() {
+    let (_, text) = corpus_files()
+        .into_iter()
+        .find(|(name, _)| name == "ordering_sweep.scn")
+        .expect("ordering sweep is part of the corpus");
+    let sweep = Sweep::from_text(&text).expect("parses as a sweep");
+    assert_eq!(
+        sweep.points()[0].step,
+        Some(StepMode::Dense),
+        "the reference point pins dense stepping"
+    );
+    assert!(sweep.points()[1..].iter().all(|p| p.step.is_none()));
+    // Round-trips through the emitter too.
+    let back = Sweep::from_text(&sweep.to_text()).expect("emitted sweep parses");
+    let steps: Vec<Option<StepMode>> = back.points().iter().map(|p| p.step).collect();
+    assert_eq!(
+        steps,
+        sweep.points().iter().map(|p| p.step).collect::<Vec<_>>()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Negative-parse suite: every malformed file yields the expected typed
+// error at the expected line.
+// ---------------------------------------------------------------------
+
+fn parse_err(text: &str) -> ParseError {
+    match ScenarioSpec::from_text(text) {
+        Err(ScenarioError::Parse(e)) => e,
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_key_reports_its_line_and_column() {
+    let e = parse_err("[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nbananas = 3\n");
+    assert_eq!((e.line, e.column), (4, 1));
+    assert_eq!(e.kind, ParseErrorKind::UnknownKey("bananas".into()));
+}
+
+#[test]
+fn socket_param_on_wrong_socket_is_rejected() {
+    // `tags` belongs to AXI, not AHB.
+    let e = parse_err("[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\ntags = 4\n");
+    assert_eq!(e.line, 4);
+    assert_eq!(e.kind, ParseErrorKind::UnknownKey("tags".into()));
+}
+
+#[test]
+fn duplicate_initiator_name_reports_the_second_line() {
+    let text = "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\n\n[[initiator]]\nname = \"m\"\nsocket = \"ocp\"\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 6);
+    assert_eq!(e.kind, ParseErrorKind::DuplicateName("m".into()));
+}
+
+#[test]
+fn overlapping_memory_regions_report_the_second_region() {
+    let text = "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\n\n[[memory]]\nname = \"a\"\nbase = 0\nend = 0x1000\nlatency = 1\n\n[[memory]]\nname = \"b\"\nbase = 0x800\nend = 0x1800\nlatency = 1\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 12);
+    assert_eq!(
+        e.kind,
+        ParseErrorKind::OverlappingRegions {
+            a: "a".into(),
+            b: "b".into()
+        }
+    );
+}
+
+#[test]
+fn empty_region_reports_the_end_line() {
+    let text = "[[memory]]\nname = \"a\"\nbase = 0x1000\nend = 0x1000\nlatency = 1\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 4);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, .. } if key == "end"),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn missing_required_key_points_at_the_section() {
+    let e = parse_err("[[initiator]]\nsocket = \"ahb\"\n");
+    assert_eq!(e.line, 1);
+    assert_eq!(
+        e.kind,
+        ParseErrorKind::MissingKey {
+            section: "initiator".into(),
+            key: "name".into()
+        }
+    );
+}
+
+#[test]
+fn duplicate_key_reports_the_second_occurrence() {
+    let e = parse_err("[[initiator]]\nname = \"m\"\nname = \"n\"\nsocket = \"ahb\"\n");
+    assert_eq!(e.line, 3);
+    assert_eq!(e.kind, ParseErrorKind::DuplicateKey("name".into()));
+}
+
+#[test]
+fn unknown_section_is_typed() {
+    let e = parse_err("[nonsense]\nkey = 1\n");
+    assert_eq!(e.line, 1);
+    assert_eq!(e.kind, ParseErrorKind::UnknownSection("nonsense".into()));
+}
+
+#[test]
+fn malformed_command_points_inside_the_string() {
+    let e = parse_err("[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\ncmd = \"peek 0x0 1x4\"\n");
+    assert_eq!(e.line, 4);
+    // column points at "peek", just past `cmd = "`.
+    assert_eq!(e.column, 8);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, ref reason }
+            if key == "cmd" && reason.contains("peek")),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn zero_clock_divisor_is_rejected() {
+    let e = parse_err("[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nclock_divisor = 0\n");
+    assert_eq!(e.line, 4);
+    assert!(matches!(e.kind, ParseErrorKind::BadValue { ref key, .. } if key == "clock_divisor"));
+}
+
+#[test]
+fn bad_integer_and_unterminated_string_are_syntax_errors() {
+    let e = parse_err("[[memory]]\nname = \"a\"\nbase = 0xZZ\nend = 16\nlatency = 1\n");
+    assert_eq!(e.line, 3);
+    assert!(matches!(e.kind, ParseErrorKind::Syntax(_)));
+    let e = parse_err("[[initiator]]\nname = \"m\nsocket = \"ahb\"\n");
+    assert_eq!(e.line, 2);
+    assert!(matches!(e.kind, ParseErrorKind::Syntax(_)));
+}
+
+#[test]
+fn clocked_spec_on_bus_backend_is_the_typed_build_error() {
+    // Parsing succeeds — rejecting divided clocks is the *backend's*
+    // decision, made at compile time with the typed error.
+    let text = "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nclock_divisor = 2\ncmd = \"read 0x0 1x4\"\n\n[[memory]]\nname = \"mem\"\nbase = 0\nend = 0x1000\nlatency = 1\n";
+    let spec = ScenarioSpec::from_text(text).expect("clocked specs parse");
+    for backend in [Backend::bus(), Backend::bridged()] {
+        match spec.build(&backend) {
+            Err(ScenarioError::UnsupportedClock {
+                endpoint, divisor, ..
+            }) => {
+                assert_eq!(endpoint, "m");
+                assert_eq!(divisor, 2);
+            }
+            other => panic!("expected UnsupportedClock, got {:?}", other.map(|_| ())),
+        }
+    }
+    assert!(spec.build(&Backend::noc()).is_ok());
+    // The same spec inside a sweep point surfaces the same typed error
+    // from the sweep runner's up-front compile check.
+    let sweep_text = format!("[[sweep.point]]\nlabel = \"p\"\nbackend = \"bus\"\n\n{text}");
+    let sweep = Sweep::from_text(&sweep_text).expect("sweep parses");
+    assert!(matches!(
+        sweep.run(),
+        Err(ScenarioError::UnsupportedClock { .. })
+    ));
+}
+
+#[test]
+fn errors_display_and_propagate_like_std_errors() {
+    // `?`-friendly: both error types implement std::error::Error with
+    // useful Display text, and ScenarioError::Parse exposes its source.
+    fn through_question_mark(text: &str) -> Result<ScenarioSpec, Box<dyn std::error::Error>> {
+        Ok(ScenarioSpec::from_text(text)?)
+    }
+    let err = through_question_mark("[topology]\nkind = \"floor\"\n").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("floor"), "{msg}");
+    let scenario_err = err
+        .downcast::<ScenarioError>()
+        .expect("typed error survives");
+    let source = std::error::Error::source(scenario_err.as_ref()).expect("Parse has a source");
+    assert!(source.downcast_ref::<ParseError>().is_some());
+}
