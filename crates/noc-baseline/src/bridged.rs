@@ -1,7 +1,7 @@
 //! The Fig-2 bridged interconnect baseline: a central reference-socket
 //! crossbar with per-master protocol bridges.
 
-use crate::{AttachedMaster, Interconnect};
+use crate::{AttachedMaster, Interconnect, SlaveTiming};
 use noc_protocols::memory::access;
 use noc_protocols::{CompletionLog, MemoryModel};
 use noc_transaction::{
@@ -50,6 +50,9 @@ struct InflightParent {
     worst: RespStatus,
     remaining: usize,
     respond_at: u64,
+    /// Exclusive-write verdict, decided once on the parent's first sub
+    /// so a chopped exclusive write cannot half-land.
+    exclusive_ok: Option<bool>,
 }
 
 #[derive(Default)]
@@ -75,6 +78,7 @@ struct CentralSlave {
     #[allow(dead_code)]
     base: u64,
     mem: MemoryModel,
+    timing: SlaveTiming,
     busy_until: u64,
     locked_by: Option<usize>,
 }
@@ -126,10 +130,23 @@ impl BridgedInterconnect {
     /// Attaches a memory slave at crossbar port `node`, identified inside
     /// the map by `base`.
     pub fn add_slave(&mut self, node: SlvAddr, base: u64, mem: MemoryModel) -> &mut Self {
+        self.add_slave_timed(node, base, mem, SlaveTiming::default())
+    }
+
+    /// Attaches a slave with explicit IP-side service timing (register
+    /// blocks with a slower write path, banked AXI slave IPs).
+    pub fn add_slave_timed(
+        &mut self,
+        node: SlvAddr,
+        base: u64,
+        mem: MemoryModel,
+        timing: SlaveTiming,
+    ) -> &mut Self {
         self.slaves.push(CentralSlave {
             node,
             base,
             mem,
+            timing,
             busy_until: 0,
             locked_by: None,
         });
@@ -185,6 +202,7 @@ impl Interconnect for BridgedInterconnect {
                     worst: RespStatus::Okay,
                     remaining: chunks.len(),
                     respond_at: u64::MAX,
+                    exclusive_ok: None,
                 });
                 bridge.order.push_back(slot);
                 for (addr, burst) in chunks {
@@ -245,21 +263,63 @@ impl Interconnect for BridgedInterconnect {
                     .expect("sub references live parent")
                     .req
                     .clone();
-                let slave = &mut self.slaves[sidx];
                 let master = MstAddr::new(midx as u16);
                 let opcode = parent_req.opcode();
-                // Exclusive emulation: lock the target from the exclusive
-                // read until the exclusive write completes.
+                // Legacy lock emulation: the READEX/LOCK sequence pins
+                // the target until the unlocking write completes.
                 match opcode {
-                    Opcode::ReadExclusive | Opcode::ReadLinked | Opcode::ReadLocked => {
-                        slave.locked_by = Some(midx);
-                        self.monitor.arm(master, sub.addr);
+                    Opcode::ReadLocked => self.slaves[sidx].locked_by = Some(midx),
+                    Opcode::WriteUnlock => self.slaves[sidx].locked_by = None,
+                    _ => {}
+                }
+                // Exclusive service: the central monitor arbitrates with
+                // the same arm/try/observe semantics as the NoC's target
+                // NIU and the bus, so contended exclusive outcomes agree
+                // record-for-record across backends. Both sides anchor
+                // at the *parent* request's address, exactly like the
+                // unchopped request the other backends see: arming per
+                // sub would move the master's single reservation to the
+                // last chunk's granule and spuriously fail multi-granule
+                // exclusive pairs.
+                match opcode {
+                    Opcode::ReadExclusive | Opcode::ReadLinked => {
+                        self.monitor.arm(master, parent_req.address());
                     }
-                    Opcode::WriteExclusive | Opcode::WriteConditional | Opcode::WriteUnlock => {
-                        slave.locked_by = None;
+                    Opcode::WriteExclusive | Opcode::WriteConditional => {
+                        let decided = self.bridges[midx].inflight[sub.parent_slot]
+                            .as_ref()
+                            .expect("sub references live parent")
+                            .exclusive_ok;
+                        let ok = decided.unwrap_or_else(|| {
+                            self.monitor
+                                .try_exclusive_write(master, parent_req.address())
+                                .is_success()
+                        });
+                        let parent = self.bridges[midx].inflight[sub.parent_slot]
+                            .as_mut()
+                            .expect("sub references live parent");
+                        parent.exclusive_ok = Some(ok);
+                        if !ok {
+                            // Reservation gone: answered by the
+                            // interconnect without touching the slave —
+                            // nothing lands, no occupancy.
+                            parent.worst = Self::worst(parent.worst, RespStatus::ExFail);
+                            parent.remaining -= 1;
+                            if parent.remaining == 0 {
+                                parent.respond_at = now + self.config.response_latency as u64;
+                            }
+                            continue;
+                        }
+                    }
+                    op if op.is_write() => {
+                        // Ordinary writes break covering reservations.
+                        for a in sub.burst.beat_addresses(sub.addr) {
+                            self.monitor.observe_write(a);
+                        }
                     }
                     _ => {}
                 }
+                let slave = &mut self.slaves[sidx];
                 let plain = match opcode {
                     Opcode::ReadExclusive | Opcode::ReadLinked | Opcode::ReadLocked => Opcode::Read,
                     Opcode::WriteExclusive | Opcode::WriteConditional | Opcode::WriteUnlock => {
@@ -292,10 +352,14 @@ impl Interconnect for BridgedInterconnect {
                     master,
                 );
                 if opcode.is_exclusive() && status == RespStatus::Okay {
-                    // with target locking the exclusive always succeeds
+                    // the monitor already ruled in favour of this write
                     status = RespStatus::ExOkay;
                 }
-                slave.busy_until = now + slave.mem.latency() as u64 + sub.burst.beats() as u64;
+                slave.busy_until = now
+                    + slave
+                        .timing
+                        .latency_for(slave.mem.latency(), opcode, sub.addr)
+                    + sub.burst.beats() as u64;
                 let busy_until = slave.busy_until;
                 let parent = self.bridges[midx].inflight[sub.parent_slot]
                     .as_mut()
@@ -521,7 +585,7 @@ mod tests {
     }
 
     #[test]
-    fn exclusive_emulated_by_target_lock() {
+    fn uncontended_exclusive_pair_succeeds_via_monitor() {
         let program = vec![
             SocketCommand::read(0x40, 4)
                 .with_opcode(Opcode::ReadExclusive)
@@ -538,5 +602,76 @@ mod tests {
         assert!(ic.run(20_000));
         let recs = ic.logs()[0].records();
         assert!(recs.iter().all(|r| r.status == RespStatus::ExOkay));
+    }
+
+    #[test]
+    fn chopped_exclusive_read_keeps_the_parent_reservation() {
+        // A 16-beat exclusive read is chopped at max_burst_beats = 4;
+        // the reservation must stay on the parent's granule, not drift
+        // to the last chunk's, so the exclusive write still wins.
+        let program = vec![
+            SocketCommand::read(0x20, 4)
+                .with_opcode(Opcode::ReadExclusive)
+                .with_burst(BurstKind::Incr, 16)
+                .with_stream(StreamId::new(0)),
+            SocketCommand::write(0x20, 4, 9)
+                .with_opcode(Opcode::WriteExclusive)
+                .with_stream(StreamId::new(0)),
+        ];
+        let mut ic = bridged();
+        ic.add_master(AttachedMaster::new(
+            "cpu",
+            Box::new(OcpInitiator::new(OcpMaster::new(program, 1, 1))),
+        ));
+        assert!(ic.run(20_000));
+        assert_eq!(ic.chopped_bursts(), 1);
+        let recs = ic.logs()[0].records();
+        assert!(
+            recs.iter().all(|r| r.status == RespStatus::ExOkay),
+            "{:?}",
+            recs.iter().map(|r| r.status).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn contended_exclusive_pair_has_exactly_one_winner() {
+        // Both masters arm before either writes (delays pin the order);
+        // the first exclusive write clears the loser's reservation. OCP
+        // sockets preserve the EXOKAY/EXFAIL vocabulary (AHB's HRESP
+        // would collapse it).
+        let pair = |offset: u32| {
+            vec![
+                SocketCommand::read(0x40, 4)
+                    .with_opcode(Opcode::ReadExclusive)
+                    .with_delay(offset),
+                SocketCommand::write(0x40, 4, 9)
+                    .with_opcode(Opcode::WriteExclusive)
+                    .with_delay(200),
+            ]
+        };
+        let mut ic = bridged();
+        ic.add_master(AttachedMaster::new(
+            "a",
+            Box::new(OcpInitiator::new(OcpMaster::new(pair(0), 1, 1))),
+        ));
+        ic.add_master(AttachedMaster::new(
+            "b",
+            Box::new(OcpInitiator::new(OcpMaster::new(pair(50), 1, 1))),
+        ));
+        assert!(ic.run(20_000));
+        let verdicts: Vec<RespStatus> = ic
+            .logs()
+            .iter()
+            .map(|l| l.records().iter().find(|r| r.index == 1).unwrap().status)
+            .collect();
+        assert_eq!(
+            verdicts
+                .iter()
+                .filter(|s| **s == RespStatus::ExOkay)
+                .count(),
+            1,
+            "exactly one contended exclusive write may win: {verdicts:?}"
+        );
+        assert!(verdicts.contains(&RespStatus::ExFail));
     }
 }

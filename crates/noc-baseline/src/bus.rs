@@ -1,6 +1,6 @@
 //! The shared pipelined bus baseline.
 
-use crate::{AttachedMaster, Interconnect};
+use crate::{AttachedMaster, Interconnect, SlaveTiming};
 use noc_protocols::memory::access;
 use noc_protocols::{CompletionLog, MemoryModel};
 use noc_transaction::{
@@ -29,6 +29,7 @@ impl Default for BusConfig {
 struct BusSlave {
     base: u64,
     mem: MemoryModel,
+    timing: SlaveTiming,
 }
 
 /// An AHB-style shared bus: one transaction occupies the bus at a time;
@@ -77,7 +78,18 @@ impl SharedBus {
     /// Attaches a memory slave serving the address range that the map
     /// assigns it (identified by base address).
     pub fn add_slave(&mut self, base: u64, mem: MemoryModel) -> &mut Self {
-        self.slaves.push(BusSlave { base, mem });
+        self.add_slave_timed(base, mem, SlaveTiming::default())
+    }
+
+    /// Attaches a slave with explicit IP-side service timing (register
+    /// blocks with a slower write path, banked AXI slave IPs).
+    pub fn add_slave_timed(
+        &mut self,
+        base: u64,
+        mem: MemoryModel,
+        timing: SlaveTiming,
+    ) -> &mut Self {
+        self.slaves.push(BusSlave { base, mem, timing });
         self
     }
 
@@ -197,16 +209,20 @@ impl Interconnect for SharedBus {
             for midx in order {
                 if let Some(req) = self.masters[midx].fe.pull_request() {
                     let beats = req.burst().beats();
+                    let (opcode, addr) = (req.opcode(), req.address());
                     let slave_latency = self
                         .map
-                        .decode(req.address())
+                        .decode(addr)
                         .ok()
-                        .and_then(|_| self.slave_for(req.address()).map(|s| s.mem.latency()))
+                        .and_then(|_| {
+                            self.slave_for(addr)
+                                .map(|s| s.timing.latency_for(s.mem.latency(), opcode, addr))
+                        })
                         .unwrap_or(0);
                     let done_at = now
                         + self.config.arbitration_cycles as u64
                         + (beats * self.config.cycles_per_beat) as u64
-                        + slave_latency as u64;
+                        + slave_latency;
                     self.busy = Some((midx, req, done_at));
                     self.granted += 1;
                     self.rr = (midx + 1) % n;

@@ -83,6 +83,35 @@ pub trait Interconnect {
     }
 }
 
+/// IP-side service timing of a baseline slave, beyond the backing
+/// memory's base latency.
+///
+/// The scenario layer compiles non-memory target declarations (register
+/// blocks, AXI slave IPs) onto the baselines with the *same IP timing*
+/// the NoC target front ends model, so latency differences between
+/// backends stay attributable to the interconnect, never to the IP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlaveTiming {
+    /// Separate write-path latency (service/register blocks); `None`
+    /// uses the memory latency for writes too.
+    pub write_latency: Option<u32>,
+    /// Banked-storage latency stagger (AXI slave IP model): accesses pay
+    /// `((addr >> 8) % 4) * bank_stagger` extra cycles, mirroring
+    /// [`noc_protocols::axi::AxiSlave`].
+    pub bank_stagger: u32,
+}
+
+impl SlaveTiming {
+    /// The IP service latency for one access, excluding per-beat cost.
+    pub fn latency_for(&self, mem_latency: u32, opcode: noc_transaction::Opcode, addr: u64) -> u64 {
+        let base = match self.write_latency {
+            Some(w) if opcode.is_write() => w,
+            _ => mem_latency,
+        };
+        base as u64 + ((addr >> 8) % 4) * self.bank_stagger as u64
+    }
+}
+
 /// A master attached to a baseline: its front end plus a name.
 pub struct AttachedMaster {
     /// Display name.

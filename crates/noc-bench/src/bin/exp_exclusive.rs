@@ -1,95 +1,60 @@
 //! Experiment `exp_exclusive` — paper §3: READEX/LOCK impacts the
 //! transport layer (path pinning throttles bystanders); AXI/OCP exclusive
 //! access costs one packet bit + NIU state and leaves the fabric alone.
+//!
+//! The schemes are declared, not hand-built: each row is a
+//! [`ScenarioSpec`](noc_scenario::ScenarioSpec) with a `service`-kind
+//! semaphore target (exclusive flag set), compiled through the scenario
+//! layer. `--scenario FILE` replays a sweep file (the corpus ships the
+//! exact default as `tests/scenarios/exclusive_locks.scn`) instead of
+//! the built-in scheme sweep.
 
-use noc_niu::fe::AhbInitiator;
-use noc_niu::{InitiatorNiu, InitiatorNiuConfig, MemoryTarget, TargetNiu, TargetNiuConfig};
-use noc_protocols::ahb::AhbMaster;
-use noc_protocols::{MemoryModel, Program, SocketCommand};
+use noc_bench::scenarios::exclusive_sweep;
+use noc_scenario::Sweep;
 use noc_stats::Table;
-use noc_system::{NocConfig, SocBuilder};
-use noc_topology::Topology;
-use noc_transaction::{AddressMap, MstAddr, Opcode, ServiceBits, ServiceConfig, SlvAddr};
+use noc_transaction::{ServiceBits, ServiceConfig};
 use noc_transport::Header;
 
-const SEM: u64 = 0x40;
-
-fn map() -> AddressMap {
-    let mut m = AddressMap::new();
-    m.add(0x0, 0x2000, SlvAddr::new(2)).unwrap();
-    m
-}
-
-fn run(sync: Program) -> (f64, u64) {
-    let s = InitiatorNiu::new(
-        AhbInitiator::new(AhbMaster::new(sync)),
-        InitiatorNiuConfig::new(MstAddr::new(0)),
-        map(),
-    );
-    let bystander: Program = (0..40)
-        .map(|i| SocketCommand::read(0x1000 + i * 16, 4))
-        .collect();
-    let bg = InitiatorNiu::new(
-        AhbInitiator::new(AhbMaster::new(bystander)),
-        InitiatorNiuConfig::new(MstAddr::new(1)),
-        map(),
-    );
-    let mem = TargetNiu::new(
-        MemoryTarget::new(MemoryModel::new(2), 8),
-        TargetNiuConfig::new(SlvAddr::new(2)),
-    );
-    let mut soc = SocBuilder::new(Topology::crossbar(3), NocConfig::new())
-        .initiator("sync", 0, Box::new(s))
-        .initiator("bystander", 1, Box::new(bg))
-        .target("mem", 2, Box::new(mem))
-        .build()
-        .expect("valid wiring");
-    let report = soc.run(2_000_000);
-    assert!(report.all_done);
-    let lat = report
-        .masters
-        .iter()
-        .find(|m| m.name == "bystander")
-        .unwrap()
-        .mean_latency;
-    (lat, report.fabric.lock_idle_cycles)
-}
-
-fn main() {
-    println!("exp_exclusive: synchronisation schemes vs bystander latency\n");
-    let excl: Program = (0..12)
-        .flat_map(|_| {
-            vec![
-                SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadExclusive),
-                SocketCommand::write(SEM, 4, 1).with_opcode(Opcode::WriteExclusive),
-            ]
-        })
-        .collect();
-    let lock: Program = (0..12)
-        .flat_map(|_| {
-            vec![
-                SocketCommand::read(SEM, 4).with_opcode(Opcode::ReadLocked),
-                SocketCommand::write(SEM, 4, 1)
-                    .with_opcode(Opcode::WriteUnlock)
-                    .with_delay(40),
-            ]
-        })
-        .collect();
+fn run_sweep(sweep: &Sweep) -> Result<(), Box<dyn std::error::Error>> {
+    let results = sweep.run()?;
     let mut t = Table::new(&[
         "neighbour scheme",
         "bystander mean (cy)",
         "lock-idle cycles",
     ]);
     t.numeric();
-    for (label, program) in [
-        ("idle", Vec::new()),
-        ("exclusive access", excl),
-        ("READEX/LOCK", lock),
-    ] {
-        let (lat, idle) = run(program);
-        t.row(&[label.to_string(), format!("{lat:.1}"), idle.to_string()]);
+    for r in &results {
+        let bystander = r
+            .report
+            .master("bystander")
+            .map(|m| m.mean_latency)
+            .unwrap_or(0.0);
+        let lock_idle = r
+            .report
+            .fabric
+            .as_ref()
+            .map(|f| f.lock_idle_cycles)
+            .unwrap_or(0);
+        t.row(&[
+            r.label.clone(),
+            format!("{bystander:.1}"),
+            lock_idle.to_string(),
+        ]);
     }
     println!("{t}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("exp_exclusive: synchronisation schemes vs bystander latency\n");
+    let sweep = match noc_bench::scenario_path_arg()? {
+        Some(path) => {
+            println!("scheme sweep from {}\n", path.display());
+            noc_bench::load_sweep(&path)?
+        }
+        None => exclusive_sweep(),
+    };
+    run_sweep(&sweep)?;
     let base = ServiceConfig::new();
     let with_excl = ServiceConfig::new().enable(ServiceBits::EXCLUSIVE);
     println!(
@@ -98,4 +63,5 @@ fn main() {
         Header::wire_bits(with_excl.header_bits()),
         with_excl.header_bits() - base.header_bits()
     );
+    Ok(())
 }

@@ -1,14 +1,22 @@
 //! Experiment `exp_services` — paper §2: adding a socket-specific feature
-//! costs NIU state and packet bits; switches are untouched.
+//! costs NIU state and packet bits; switches are untouched. The second
+//! half runs the declarative target-socket scenario: one spec with a
+//! memory, an AXI slave IP and a register/service block compiles to all
+//! three interconnects through the scenario layer.
+//!
+//! `--scenario FILE` replays a scenario text file (the corpus ships the
+//! default as `tests/scenarios/services.scn`) instead of the built-in
+//! spec.
 
 use noc_area::{niu_gates, switch_gates, NiuAreaConfig};
+use noc_bench::scenarios::services_spec;
 use noc_protocols::ProtocolKind;
+use noc_scenario::{Backend, ScenarioError, ScenarioSpec};
 use noc_stats::Table;
 use noc_transaction::{ServiceBits, ServiceConfig};
 use noc_transport::Header;
 
-fn main() {
-    println!("exp_services: cost of activating optional NoC services\n");
+fn area_table() {
     let mut t = Table::new(&[
         "configuration",
         "header bits",
@@ -50,5 +58,55 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("switch area is constant: services never touch transport logic (paper §2)");
+    println!("switch area is constant: services never touch transport logic (paper §2)\n");
+}
+
+fn target_table(spec: &ScenarioSpec) -> Result<(), Box<dyn std::error::Error>> {
+    let targets: Vec<String> = spec
+        .memories
+        .iter()
+        .map(|m| format!("{}({})", m.name, m.target))
+        .collect();
+    println!(
+        "target sockets: {} — one spec, every interconnect",
+        targets.join(", ")
+    );
+    let mut t = Table::new(&["backend", "cycles", "completions", "mean lat (cy)"]);
+    t.numeric();
+    for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+        let mut sim = match spec.build(&backend) {
+            Ok(sim) => sim,
+            Err(
+                e @ (ScenarioError::UnsupportedClock { .. }
+                | ScenarioError::UnsupportedTarget { .. }),
+            ) => {
+                println!("  {backend}: skipped ({e})");
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        assert!(sim.run_until(2_000_000), "{backend} must drain");
+        let report = sim.report();
+        t.row(&[
+            backend.label().to_owned(),
+            report.cycles.to_string(),
+            report.total_completions().to_string(),
+            format!("{:.1}", report.mean_latency()),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("exp_services: cost of activating optional NoC services\n");
+    area_table();
+    let spec = match noc_bench::scenario_path_arg()? {
+        Some(path) => {
+            println!("target scenario from {}", path.display());
+            noc_bench::load_scenario(&path)?
+        }
+        None => services_spec(),
+    };
+    target_table(&spec)
 }

@@ -19,10 +19,11 @@
 //!                                   budget for sweeps)
 //! ```
 //!
-//! With `--backend all`, scenarios that declare divided clocks are
-//! skipped (with a note) on the baseline backends that cannot model
-//! them; naming such a backend explicitly is an error. Exit status is
-//! non-zero on parse errors, failed drains and dense/horizon divergence.
+//! With `--backend all`, scenarios that declare divided clocks or
+//! target kinds a baseline cannot model are skipped (with a note) on
+//! the backends that reject them; naming such a backend explicitly is
+//! an error. Exit status is non-zero on parse errors, failed drains and
+//! dense/horizon divergence.
 
 use noc_protocols::CompletionRecord;
 use noc_scenario::{
@@ -152,7 +153,10 @@ fn run_spec(
     for mode in modes {
         match run_once(spec, backend, *mode, max_cycles) {
             Ok(outcome) => outcomes.push(outcome),
-            Err(e @ ScenarioError::UnsupportedClock { .. }) if skip_unsupported => {
+            Err(
+                e @ (ScenarioError::UnsupportedClock { .. }
+                | ScenarioError::UnsupportedTarget { .. }),
+            ) if skip_unsupported => {
                 println!("  {backend}: skipped ({e})");
                 return Ok(None);
             }

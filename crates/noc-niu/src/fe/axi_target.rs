@@ -12,8 +12,11 @@ use std::collections::{HashMap, VecDeque};
 /// `(MstAddr, Tag)` pair, so same-tag NoC order becomes same-ID AXI
 /// order — preserving the transaction layer's ordering contract through
 /// the socket.
-/// Return-path bookkeeping for one AXI ID: (src, origin, tag) per beat.
-type PendingFifo = VecDeque<(MstAddr, SlvAddr, Tag)>;
+/// Return-path bookkeeping for one AXI ID: (src, origin, tag, expects a
+/// NoC response) per beat. AXI always returns a B beat, so posted writes
+/// still enqueue here — with `expects = false`, so the B is consumed
+/// silently instead of surfacing a response the NIU never asked for.
+type PendingFifo = VecDeque<(MstAddr, SlvAddr, Tag, bool)>;
 
 #[derive(Debug)]
 pub struct AxiTargetFe {
@@ -67,12 +70,15 @@ impl AxiTargetFe {
             })
         };
         if ok {
-            if req.opcode().expects_response() {
-                self.pending
-                    .entry((id, req.opcode().is_read()))
-                    .or_default()
-                    .push_back((req.src(), req.dst(), req.tag()));
-            }
+            self.pending
+                .entry((id, req.opcode().is_read()))
+                .or_default()
+                .push_back((
+                    req.src(),
+                    req.dst(),
+                    req.tag(),
+                    req.opcode().expects_response(),
+                ));
             None
         } else {
             Some(req)
@@ -87,27 +93,31 @@ impl SocketTarget for AxiTargetFe {
         }
         self.slave.tick(cycle, &mut self.port);
         if let Some(r) = self.port.r.take() {
-            let (src, origin, tag) = self
+            let (src, origin, tag, expects) = self
                 .pending
                 .get_mut(&(r.id, true))
                 .and_then(|q| q.pop_front())
                 .expect("R beat for an issued request");
-            self.out
-                .push_back(TransactionResponse::new(r.status, src, origin, tag, r.data));
+            if expects {
+                self.out
+                    .push_back(TransactionResponse::new(r.status, src, origin, tag, r.data));
+            }
         }
         if let Some(b) = self.port.b.take() {
-            let (src, origin, tag) = self
+            let (src, origin, tag, expects) = self
                 .pending
                 .get_mut(&(b.id, false))
                 .and_then(|q| q.pop_front())
                 .expect("B beat for an issued request");
-            self.out.push_back(TransactionResponse::new(
-                b.status,
-                src,
-                origin,
-                tag,
-                Vec::new(),
-            ));
+            if expects {
+                self.out.push_back(TransactionResponse::new(
+                    b.status,
+                    src,
+                    origin,
+                    tag,
+                    Vec::new(),
+                ));
+            }
         }
     }
 

@@ -29,7 +29,7 @@ pub mod target;
 
 pub use codec::{decode_request, decode_response, encode_request, encode_response, CodecError};
 pub use initiator::{InitiatorNiu, InitiatorNiuConfig, NiuStats, SocketInitiator};
-pub use target::{MemoryTarget, SocketTarget, TargetNiu, TargetNiuConfig};
+pub use target::{MemoryTarget, ServiceTarget, SocketTarget, TargetNiu, TargetNiuConfig};
 
 use noc_transaction::{TransactionRequest, TransactionResponse};
 

@@ -358,12 +358,42 @@ impl<T: SocketTarget> fmt::Debug for TargetNiu<T> {
     }
 }
 
+/// Latency-stamped response queue shared by the native target models:
+/// a response becomes pullable once its ready cycle passes. Keeping the
+/// release rule in one place stops [`MemoryTarget`] and
+/// [`ServiceTarget`] drifting apart.
+#[derive(Debug, Clone, Default)]
+struct ReadyQueue {
+    pending: VecDeque<(u64, TransactionResponse)>,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, ready: u64, resp: TransactionResponse) {
+        self.pending.push_back((ready, resp));
+    }
+
+    fn pull(&mut self, now: u64) -> Option<TransactionResponse> {
+        match self.pending.front() {
+            Some(&(ready, _)) if ready <= now => self.pending.pop_front().map(|(_, r)| r),
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
 /// The native NoC memory target: a [`noc_protocols::MemoryModel`] served
 /// in order with its configured latency plus burst occupancy.
 #[derive(Debug, Clone)]
 pub struct MemoryTarget {
     mem: noc_protocols::MemoryModel,
-    pending: VecDeque<(u64, TransactionResponse)>,
+    pending: ReadyQueue,
     now: u64,
     capacity: usize,
 }
@@ -373,7 +403,7 @@ impl MemoryTarget {
     pub fn new(mem: noc_protocols::MemoryModel, capacity: usize) -> Self {
         MemoryTarget {
             mem,
-            pending: VecDeque::new(),
+            pending: ReadyQueue::default(),
             now: 0,
             capacity: capacity.max(1),
         }
@@ -405,24 +435,114 @@ impl SocketTarget for MemoryTarget {
         );
         let ready = self.now + self.mem.latency() as u64 + req.burst().beats() as u64;
         if req.opcode().expects_response() {
-            self.pending.push_back((
+            self.pending.push(
                 ready,
                 TransactionResponse::new(status, req.src(), req.dst(), req.tag(), data),
-            ));
+            );
         }
         true
     }
 
     fn pull_response(&mut self) -> Option<TransactionResponse> {
-        match self.pending.front() {
-            Some(&(ready, _)) if ready <= self.now => self.pending.pop_front().map(|(_, r)| r),
-            _ => None,
-        }
+        self.pending.pull(self.now)
     }
 
     fn idle_ticks(&self) -> u64 {
         // The tick only latches the (absolute) current cycle, so an empty
         // memory is quiescent until the next request arrives.
+        if self.pending.is_empty() {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+}
+
+/// A register/service block target: a serially-served register file with
+/// a separate (typically slower) write path — the shape of semaphore
+/// blocks, doorbell registers and other synchronisation services the
+/// paper's target NIUs front.
+///
+/// Unlike [`MemoryTarget`], which pipelines up to its queue capacity, a
+/// service block completes one access before accepting the next; reads
+/// take the base latency, writes take `write_latency`. Storage semantics
+/// are byte-identical to a memory (shared
+/// [`access`](noc_protocols::memory::access) kernel), so the same
+/// scenario produces the same data on every backend.
+#[derive(Debug, Clone)]
+pub struct ServiceTarget {
+    regs: noc_protocols::MemoryModel,
+    write_latency: u32,
+    pending: ReadyQueue,
+    capacity: usize,
+    busy_until: u64,
+    now: u64,
+}
+
+impl ServiceTarget {
+    /// Creates a service block with read latency taken from `regs` and
+    /// the given write latency; `capacity` bounds completed-but-unread
+    /// responses.
+    pub fn new(regs: noc_protocols::MemoryModel, write_latency: u32, capacity: usize) -> Self {
+        ServiceTarget {
+            regs,
+            write_latency,
+            pending: ReadyQueue::default(),
+            capacity: capacity.max(1),
+            busy_until: 0,
+            now: 0,
+        }
+    }
+
+    /// The backing register file.
+    pub fn registers(&self) -> &noc_protocols::MemoryModel {
+        &self.regs
+    }
+}
+
+impl SocketTarget for ServiceTarget {
+    fn tick(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    fn push_request(&mut self, req: TransactionRequest) -> bool {
+        // Serial service: one access in flight at a time.
+        if self.now < self.busy_until || self.pending.len() >= self.capacity {
+            return false;
+        }
+        let (status, data) = noc_protocols::memory::access(
+            &mut self.regs,
+            req.opcode(),
+            req.address(),
+            req.burst(),
+            req.data(),
+            None,
+            req.src(),
+        );
+        let latency = if req.opcode().is_write() {
+            self.write_latency
+        } else {
+            self.regs.latency()
+        };
+        let ready = self.now + latency as u64 + req.burst().beats() as u64;
+        self.busy_until = ready;
+        if req.opcode().expects_response() {
+            self.pending.push(
+                ready,
+                TransactionResponse::new(status, req.src(), req.dst(), req.tag(), data),
+            );
+        }
+        true
+    }
+
+    fn pull_response(&mut self) -> Option<TransactionResponse> {
+        self.pending.pull(self.now)
+    }
+
+    fn idle_ticks(&self) -> u64 {
+        // `busy_until` compares against the absolute cycle latched by the
+        // next tick, so an empty block is quiescent until new input; the
+        // NIU resumes dense ticking the moment a request arrives.
         if self.pending.is_empty() {
             u64::MAX
         } else {

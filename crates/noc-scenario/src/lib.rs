@@ -4,8 +4,9 @@
 //! The paper's central claim is that the VC-neutral transaction layer
 //! lets the same IP sockets run unchanged over any interconnect. This
 //! crate turns that claim into an API: one [`ScenarioSpec`] — a list of
-//! initiator sockets with their traffic programs and a list of memory
-//! regions — compiles to a runnable simulation on the NoC (paper Fig 1),
+//! initiator sockets with their traffic programs and a list of target
+//! declarations (memories, AXI slave IPs, register/service blocks — see
+//! [`TargetSpec`]) — compiles to a runnable simulation on the NoC (paper Fig 1),
 //! on the bridged reference-socket interconnect (Fig 2) or on a shared
 //! bus, selected by a [`Backend`] value. Node numbers and the
 //! [`noc_transaction::AddressMap`] are derived automatically from the
@@ -50,7 +51,8 @@ pub mod text;
 
 pub use sim::{BridgedSim, BusSim, NocSim, ScenarioReport, Simulation, StepMode};
 pub use spec::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TopologySpec,
+    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TargetSpec,
+    TopologySpec,
 };
 pub use sweep::{Sweep, SweepPoint, SweepResult};
 pub use text::{parse_document, Document, ParseError, ParseErrorKind};

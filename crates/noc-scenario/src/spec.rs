@@ -1,13 +1,18 @@
 //! The declarative scenario description and its compilers.
 
 use crate::sim::{BridgedSim, BusSim, NocSim, Simulation};
-use noc_baseline::{AttachedMaster, BridgeConfig, BridgedInterconnect, BusConfig, SharedBus};
-use noc_niu::fe::{AhbInitiator, AxiInitiator, OcpInitiator, StrmInitiator, VciInitiator};
+use noc_baseline::{
+    AttachedMaster, BridgeConfig, BridgedInterconnect, BusConfig, SharedBus, SlaveTiming,
+};
+use noc_niu::fe::{
+    AhbInitiator, AxiInitiator, AxiTargetFe, OcpInitiator, StrmInitiator, VciInitiator,
+};
 use noc_niu::{
-    InitiatorNiu, InitiatorNiuConfig, MemoryTarget, SocketInitiator, TargetNiu, TargetNiuConfig,
+    InitiatorNiu, InitiatorNiuConfig, MemoryTarget, ServiceTarget, SocketInitiator, TargetNiu,
+    TargetNiuConfig,
 };
 use noc_protocols::ahb::AhbMaster;
-use noc_protocols::axi::AxiMaster;
+use noc_protocols::axi::{AxiMaster, AxiSlave};
 use noc_protocols::ocp::OcpMaster;
 use noc_protocols::strm::StrmMaster;
 use noc_protocols::vci::{VciFlavor, VciMaster};
@@ -302,11 +307,86 @@ impl InitiatorSpec {
     }
 }
 
-/// A declared memory: a named address region with a latency model.
+/// The target-side protocol (and IP model) of a declared target — the
+/// counterpart of [`SocketSpec`] for the slave side of the paper's
+/// VC-neutrality claim: any target socket plugs into the same NoC
+/// through its NIU front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetSpec {
+    /// The native NoC memory target ([`MemoryTarget`]): pipelined up to
+    /// the declared queue depth, one latency for reads and writes.
+    #[default]
+    Memory,
+    /// An AXI slave IP behind an [`AxiTargetFe`] — the typical
+    /// DRAM-controller attachment. `bank_stagger` spreads access latency
+    /// across four address banks (`((addr >> 8) % 4) * bank_stagger`
+    /// extra cycles), modelling banked storage.
+    AxiSlave {
+        /// Banked-latency stagger in cycles (0 = uniform latency).
+        bank_stagger: u32,
+    },
+    /// A register/service block ([`ServiceTarget`]): serially served,
+    /// with a separate write-path latency. `exclusive` declares that the
+    /// block accepts synchronisation traffic (exclusive/locked opcodes);
+    /// plain register files reject it at validation time.
+    Service {
+        /// Write-path latency in cycles (reads use the base latency).
+        write_latency: u32,
+        /// Whether exclusive/locked opcodes may address this block.
+        exclusive: bool,
+    },
+}
+
+impl TargetSpec {
+    /// Short grammar label ("memory", "axi", "service").
+    pub fn label(&self) -> &'static str {
+        match self {
+            TargetSpec::Memory => "memory",
+            TargetSpec::AxiSlave { .. } => "axi",
+            TargetSpec::Service { .. } => "service",
+        }
+    }
+
+    /// Whether exclusive/locked (synchronisation) opcodes may address
+    /// this target. Memories and AXI slaves always accept them (the
+    /// monitor state lives in backend machinery); a service block only
+    /// when declared `exclusive`.
+    pub fn accepts_sync(&self) -> bool {
+        match self {
+            TargetSpec::Memory | TargetSpec::AxiSlave { .. } => true,
+            TargetSpec::Service { exclusive, .. } => *exclusive,
+        }
+    }
+
+    /// The baseline IP timing equivalent of this target kind.
+    fn slave_timing(&self) -> SlaveTiming {
+        match *self {
+            TargetSpec::Memory => SlaveTiming::default(),
+            TargetSpec::AxiSlave { bank_stagger } => SlaveTiming {
+                write_latency: None,
+                bank_stagger,
+            },
+            TargetSpec::Service { write_latency, .. } => SlaveTiming {
+                write_latency: Some(write_latency),
+                bank_stagger: 0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for TargetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A declared target: a named address region with an IP model behind a
+/// target socket ([`TargetSpec`]).
 ///
 /// The owning `SlvAddr` and the scenario [`AddressMap`] entry are derived
 /// from the declaration — this is the paper's address decoder table, now
-/// computed instead of hand-maintained.
+/// computed instead of hand-maintained. The default target kind is the
+/// native memory; [`MemorySpec::with_target`] declares protocol targets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemorySpec {
     /// Display name (must be unique in the scenario).
@@ -315,12 +395,16 @@ pub struct MemorySpec {
     pub base: u64,
     /// One past the last byte of the region.
     pub end: u64,
-    /// Access latency of the memory model in cycles.
+    /// Access latency of the IP model in cycles (read latency for
+    /// service blocks).
     pub latency: u32,
-    /// Target NIU request queue capacity.
+    /// Target NIU request queue capacity (memory targets; protocol
+    /// targets flow-control through their own socket machinery).
     pub queue: usize,
     /// Local clock divisor relative to the base clock.
     pub clock_divisor: u64,
+    /// The target-side socket/IP kind.
+    pub target: TargetSpec,
 }
 
 impl MemorySpec {
@@ -333,12 +417,28 @@ impl MemorySpec {
             latency,
             queue: 8,
             clock_divisor: 1,
+            target: TargetSpec::Memory,
         }
     }
 
     /// Declares a memory over a `(base, end)` range tuple.
     pub fn over(name: &str, range: (u64, u64), latency: u32) -> Self {
         Self::new(name, range.0, range.1, latency)
+    }
+
+    /// Declares an AXI-slave-backed target (shorthand for
+    /// [`MemorySpec::with_target`]).
+    pub fn axi_slave(name: &str, base: u64, end: u64, latency: u32, bank_stagger: u32) -> Self {
+        Self::new(name, base, end, latency).with_target(TargetSpec::AxiSlave { bank_stagger })
+    }
+
+    /// Declares a register/service block target (shorthand for
+    /// [`MemorySpec::with_target`]).
+    pub fn service(name: &str, base: u64, end: u64, latency: u32, write_latency: u32) -> Self {
+        Self::new(name, base, end, latency).with_target(TargetSpec::Service {
+            write_latency,
+            exclusive: false,
+        })
     }
 
     /// Sets the target NIU queue capacity.
@@ -348,11 +448,53 @@ impl MemorySpec {
         self
     }
 
-    /// Runs this memory on a divided clock.
+    /// Runs this target on a divided clock.
     #[must_use]
     pub fn with_clock_divisor(mut self, divisor: u64) -> Self {
         self.clock_divisor = divisor.max(1);
         self
+    }
+
+    /// Sets the target-side socket/IP kind.
+    #[must_use]
+    pub fn with_target(mut self, target: TargetSpec) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Marks a service block as accepting synchronisation traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the declared target is not a service block — the flag
+    /// has no meaning elsewhere (memories and AXI slaves always accept
+    /// synchronisation opcodes).
+    #[must_use]
+    pub fn with_exclusive(mut self) -> Self {
+        match &mut self.target {
+            TargetSpec::Service { exclusive, .. } => *exclusive = true,
+            other => panic!("with_exclusive applies to service targets, not {other}"),
+        }
+        self
+    }
+
+    /// Instantiates the NoC target NIU for this declaration.
+    fn build_niu(&self, node: u16) -> Box<dyn noc_niu::NocEndpoint> {
+        let config = TargetNiuConfig::new(SlvAddr::new(node));
+        match self.target {
+            TargetSpec::Memory => Box::new(TargetNiu::new(
+                MemoryTarget::new(MemoryModel::new(self.latency), self.queue),
+                config,
+            )),
+            TargetSpec::AxiSlave { bank_stagger } => Box::new(TargetNiu::new(
+                AxiTargetFe::new(AxiSlave::new(MemoryModel::new(self.latency), bank_stagger)),
+                config,
+            )),
+            TargetSpec::Service { write_latency, .. } => Box::new(TargetNiu::new(
+                ServiceTarget::new(MemoryModel::new(self.latency), write_latency, self.queue),
+                config,
+            )),
+        }
     }
 }
 
@@ -542,6 +684,29 @@ pub enum ScenarioError {
         /// Its declared divisor.
         divisor: u64,
     },
+    /// The chosen backend cannot model a declared target kind: the
+    /// shared bus centralises exclusive arbitration in its own monitor,
+    /// so a service block that owns its exclusive port cannot attach —
+    /// compiling it would silently drop the declared semantics.
+    UnsupportedTarget {
+        /// The backend that rejected the spec.
+        backend: &'static str,
+        /// The offending target declaration's name.
+        target: String,
+        /// The rejected target kind ("service+exclusive", …).
+        kind: String,
+    },
+    /// A program sends synchronisation traffic (exclusive or locked
+    /// opcodes) to a target whose declaration does not accept it (a
+    /// service block without the `exclusive` flag).
+    SyncUnsupported {
+        /// The issuing initiator.
+        initiator: String,
+        /// The addressed target.
+        target: String,
+        /// The rejected opcode.
+        opcode: Opcode,
+    },
     /// A scenario text file failed to parse (see [`crate::text`]); the
     /// inner error pinpoints the offending line and column.
     Parse(crate::text::ParseError),
@@ -577,6 +742,23 @@ impl fmt::Display for ScenarioError {
                 f,
                 "{backend} backend cannot model {endpoint:?}'s clk/{divisor} \
                  (baselines run everything on the base clock)"
+            ),
+            ScenarioError::UnsupportedTarget {
+                backend,
+                target,
+                kind,
+            } => write!(
+                f,
+                "{backend} backend cannot model {target:?}'s {kind} target"
+            ),
+            ScenarioError::SyncUnsupported {
+                initiator,
+                target,
+                opcode,
+            } => write!(
+                f,
+                "{initiator:?} sends {opcode} to {target:?}, which does not \
+                 accept synchronisation traffic (declare the target exclusive)"
             ),
             ScenarioError::Parse(e) => write!(f, "scenario text: {e}"),
         }
@@ -733,6 +915,17 @@ impl ScenarioSpec {
                         addr: cmd.addr,
                     });
                 }
+                // Synchronisation traffic needs a target that accepts it.
+                if cmd.opcode.is_exclusive() || cmd.opcode.is_locking() {
+                    let region = region.expect("containment checked above");
+                    if !region.target.accepts_sync() {
+                        return Err(ScenarioError::SyncUnsupported {
+                            initiator: ini.name.clone(),
+                            target: region.name.clone(),
+                            opcode: cmd.opcode,
+                        });
+                    }
+                }
             }
         }
         self.topology.placement(self.num_endpoints())?;
@@ -809,11 +1002,8 @@ impl ScenarioSpec {
         }
         for (i, mem) in self.memories.iter().enumerate() {
             let node = self.memory_node(i);
-            let tgt = TargetNiu::new(
-                MemoryTarget::new(MemoryModel::new(mem.latency), mem.queue),
-                TargetNiuConfig::new(SlvAddr::new(node)),
-            );
-            builder = builder.target_clocked(&mem.name, node, Box::new(tgt), mem.clock_divisor);
+            builder =
+                builder.target_clocked(&mem.name, node, mem.build_niu(node), mem.clock_divisor);
         }
         let soc = builder.build().map_err(|e| ScenarioError::BadTopology {
             reason: e.to_string(),
@@ -841,6 +1031,25 @@ impl ScenarioSpec {
         }
     }
 
+    /// Rejects target declarations the bus cannot model: its exclusive
+    /// arbitration is centralised in the bus monitor, so a service block
+    /// that owns its exclusive port has no honest bus attachment.
+    fn reject_bus_targets(&self) -> Result<(), ScenarioError> {
+        for mem in &self.memories {
+            if let TargetSpec::Service {
+                exclusive: true, ..
+            } = mem.target
+            {
+                return Err(ScenarioError::UnsupportedTarget {
+                    backend: "bus",
+                    target: mem.name.clone(),
+                    kind: "service+exclusive".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Compiles the spec onto the Fig-2 bridged reference-socket
     /// interconnect.
     ///
@@ -859,10 +1068,11 @@ impl ScenarioSpec {
             ));
         }
         for (i, mem) in self.memories.iter().enumerate() {
-            ic.add_slave(
+            ic.add_slave_timed(
                 SlvAddr::new(self.memory_node(i)),
                 mem.base,
                 MemoryModel::new(mem.latency),
+                mem.target.slave_timing(),
             );
         }
         Ok(BridgedSim::new(ic, self.master_names()))
@@ -872,10 +1082,13 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`ScenarioError`] if the declaration is inconsistent or
-    /// declares divided clocks ([`ScenarioError::UnsupportedClock`]).
+    /// Returns [`ScenarioError`] if the declaration is inconsistent,
+    /// declares divided clocks ([`ScenarioError::UnsupportedClock`]) or
+    /// declares a target kind the bus cannot model
+    /// ([`ScenarioError::UnsupportedTarget`]).
     pub fn build_bus(&self, config: BusConfig) -> Result<BusSim, ScenarioError> {
         self.reject_clocked("bus")?;
+        self.reject_bus_targets()?;
         let map = self.address_map()?;
         let mut bus = SharedBus::new(config, map);
         for ini in &self.initiators {
@@ -885,7 +1098,11 @@ impl ScenarioSpec {
             ));
         }
         for mem in &self.memories {
-            bus.add_slave(mem.base, MemoryModel::new(mem.latency));
+            bus.add_slave_timed(
+                mem.base,
+                MemoryModel::new(mem.latency),
+                mem.target.slave_timing(),
+            );
         }
         Ok(BusSim::new(bus, self.master_names()))
     }

@@ -43,6 +43,16 @@
 //! queue = 8                     # optional, default 8
 //! clock_divisor = 1             # optional, default 1
 //!
+//! [[target]]                    # non-memory target socket; [[memory]]
+//! name = "regs"                 # and [[target]] are interchangeable
+//! kind = "service"              # memory | axi | service
+//! base = 0x1000
+//! end = 0x2000
+//! latency = 1                   # read latency for service blocks
+//! write_latency = 3             # service only; defaults to latency
+//! exclusive = true              # service only; accepts sync traffic
+//! # axi instead takes: bank_stagger = N (banked-latency spread)
+//!
 //! [sweep]                       # sweep files only
 //! max_cycles = 2000000          # optional per-point budget
 //! threads = 4                   # optional worker cap
@@ -94,7 +104,8 @@
 
 use crate::sim::StepMode;
 use crate::spec::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TopologySpec,
+    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TargetSpec,
+    TopologySpec,
 };
 use crate::sweep::{Sweep, SweepPoint};
 use noc_protocols::vci::VciFlavor;
@@ -488,11 +499,37 @@ fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
     }
     for mem in &spec.memories {
         out.push('\n');
-        out.push_str("[[memory]]\n");
-        out.push_str(&format!("name = {}\n", quoted("memory name", &mem.name)));
+        // Plain memories keep the classic [[memory]] section; protocol
+        // targets are emitted as [[target]] blocks with a kind. The
+        // parser accepts both section names interchangeably.
+        match mem.target {
+            TargetSpec::Memory => out.push_str("[[memory]]\n"),
+            _ => out.push_str("[[target]]\n"),
+        }
+        out.push_str(&format!("name = {}\n", quoted("target name", &mem.name)));
+        match mem.target {
+            TargetSpec::Memory => {}
+            TargetSpec::AxiSlave { .. } => out.push_str("kind = \"axi\"\n"),
+            TargetSpec::Service { .. } => out.push_str("kind = \"service\"\n"),
+        }
         out.push_str(&format!("base = {:#x}\n", mem.base));
         out.push_str(&format!("end = {:#x}\n", mem.end));
         out.push_str(&format!("latency = {}\n", mem.latency));
+        match mem.target {
+            TargetSpec::Memory => {}
+            TargetSpec::AxiSlave { bank_stagger } => {
+                out.push_str(&format!("bank_stagger = {bank_stagger}\n"));
+            }
+            TargetSpec::Service {
+                write_latency,
+                exclusive,
+            } => {
+                out.push_str(&format!("write_latency = {write_latency}\n"));
+                if exclusive {
+                    out.push_str("exclusive = true\n");
+                }
+            }
+        }
         out.push_str(&format!("queue = {}\n", mem.queue));
         if mem.clock_divisor != 1 {
             out.push_str(&format!("clock_divisor = {}\n", mem.clock_divisor));
@@ -507,6 +544,7 @@ fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
 #[derive(Debug, Clone, PartialEq)]
 enum Value {
     Int(u64),
+    Bool(bool),
     Str(String),
     Ints(Vec<u64>),
     Pairs(Vec<(u64, u64)>),
@@ -544,6 +582,13 @@ impl Entry {
         match self.value {
             Value::Int(n) => Ok(n),
             _ => Err(self.bad("expected an integer")),
+        }
+    }
+
+    fn bool(&self) -> Result<bool, ParseError> {
+        match self.value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(self.bad("expected true or false")),
         }
     }
 
@@ -739,6 +784,12 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
                     doc.memories.push(Section::new("memory", no));
                     Cursor::Memory
                 }
+                ("target", true) => {
+                    // [[target]] is [[memory]] with a protocol kind; both
+                    // names land in the same declaration list.
+                    doc.memories.push(Section::new("target", no));
+                    Cursor::Memory
+                }
                 ("sweep", false) => {
                     if sweep_header.is_some() {
                         return Err(syntax(no, col, "second [sweep] section"));
@@ -770,7 +821,7 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
                 ("topology" | "sweep", true) => {
                     return Err(syntax(no, col, format!("[{name}] takes single brackets")));
                 }
-                ("initiator" | "memory" | "sweep.point", false) => {
+                ("initiator" | "memory" | "target" | "sweep.point", false) => {
                     return Err(syntax(
                         no,
                         col,
@@ -973,7 +1024,11 @@ fn parse_value(s: &str, line: usize, col: usize) -> Result<Value, ParseError> {
         }
         return Ok(Value::Ints(ints));
     }
-    Ok(Value::Int(parse_int(s, line, col)?))
+    match s {
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
+        _ => Ok(Value::Int(parse_int(s, line, col)?)),
+    }
 }
 
 /// Splits `[a, b], [c, d]` on commas outside brackets.
@@ -1342,7 +1397,34 @@ fn finalize_memory(mut sec: Section) -> Result<Named<MemorySpec>, ParseError> {
         return Err(end_entry.bad(format!("empty region: end {end:#x} <= base {base:#x}")));
     }
     let latency = sec.take_req("latency")?.int_max(u32::MAX as u64)? as u32;
-    let mut mem = MemorySpec::new(&name, base, end, latency);
+    let target = match sec.take("kind")? {
+        None => TargetSpec::Memory,
+        Some(kind_entry) => match kind_entry.str()? {
+            "memory" => TargetSpec::Memory,
+            "axi" => TargetSpec::AxiSlave {
+                bank_stagger: match sec.take("bank_stagger")? {
+                    Some(e) => e.int_max(u32::MAX as u64)? as u32,
+                    None => 0,
+                },
+            },
+            "service" => TargetSpec::Service {
+                write_latency: match sec.take("write_latency")? {
+                    Some(e) => e.int_max(u32::MAX as u64)? as u32,
+                    None => latency,
+                },
+                exclusive: match sec.take("exclusive")? {
+                    Some(e) => e.bool()?,
+                    None => false,
+                },
+            },
+            other => {
+                return Err(kind_entry.bad(format!(
+                    "unknown target kind {other:?} (memory|axi|service)"
+                )))
+            }
+        },
+    };
+    let mut mem = MemorySpec::new(&name, base, end, latency).with_target(target);
     if let Some(e) = sec.take("queue")? {
         mem.queue = e.nonzero(1 << 20)? as usize;
     }

@@ -189,6 +189,114 @@ fn legacy_lock_throttles_bystanders() {
     );
 }
 
+/// Satellite matrix for declarative targets: interleaved exclusive
+/// read/write pairs from two initiators, through both target kinds that
+/// accept synchronisation traffic (a plain memory and an exclusive
+/// service block), on every backend that models them, in both step
+/// modes — asserting exactly one success per contended pair. The NoC
+/// decides in target-NIU state, the bus in its central monitor, the
+/// bridged crossbar in its crossbar monitor; the verdicts must agree.
+#[test]
+fn contended_exclusive_pairs_have_exactly_one_winner_everywhere() {
+    use noc_scenario::{
+        Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, StepMode,
+    };
+
+    const ROUNDS: usize = 3;
+    // Delays pin the per-round interleave on every backend: both
+    // masters arm (a then b), then a's exclusive write wins and clears
+    // b's reservation, so b's write must fail. The 150-cycle stagger
+    // dwarfs any backend's transaction latency.
+    let pair_program = |first_delay: u32| -> Program {
+        (0..ROUNDS as u32)
+            .flat_map(|k| {
+                vec![
+                    SocketCommand::read(SEM, 4)
+                        .with_opcode(Opcode::ReadExclusive)
+                        .with_delay(if k == 0 { first_delay } else { 300 }),
+                    SocketCommand::write(SEM, 4, 1)
+                        .with_opcode(Opcode::WriteExclusive)
+                        .with_delay(300),
+                ]
+            })
+            .collect()
+    };
+    let ocp = SocketSpec::Ocp {
+        threads: 1,
+        per_thread: 1,
+    };
+    let targets = [
+        ("memory", MemorySpec::new("sem", 0x0, 0x1000, 2)),
+        (
+            "service",
+            MemorySpec::service("sem", 0x0, 0x1000, 2, 2).with_exclusive(),
+        ),
+    ];
+    for (kind, sem) in targets {
+        let spec = ScenarioSpec::new()
+            .initiator(InitiatorSpec::new("a", ocp, pair_program(0)))
+            .initiator(InitiatorSpec::new("b", ocp, pair_program(150)))
+            .memory(sem);
+        for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+            for mode in [StepMode::Dense, StepMode::Horizon] {
+                let mut sim = match spec.build(&backend) {
+                    Ok(sim) => sim,
+                    Err(ScenarioError::UnsupportedTarget { .. }) => {
+                        // The bus cannot host a target-owned exclusive
+                        // port; everything else must compile.
+                        assert!(
+                            kind == "service" && matches!(backend, Backend::Bus(_)),
+                            "only the bus may reject the exclusive service block"
+                        );
+                        continue;
+                    }
+                    Err(e) => panic!("{kind}/{backend}: {e}"),
+                };
+                assert!(
+                    sim.run_until_with(1_000_000, mode),
+                    "{kind}/{backend}/{mode} must drain"
+                );
+                // Exclusive-write verdicts per master, in round order
+                // (odd program indices are the writes).
+                let verdicts: Vec<Vec<RespStatus>> = sim
+                    .logs()
+                    .iter()
+                    .map(|(_, log)| {
+                        let mut writes: Vec<(usize, RespStatus)> = log
+                            .records()
+                            .iter()
+                            .filter(|r| r.index % 2 == 1)
+                            .map(|r| (r.index, r.status))
+                            .collect();
+                        writes.sort_unstable_by_key(|w| w.0);
+                        writes.into_iter().map(|(_, s)| s).collect()
+                    })
+                    .collect();
+                assert!(verdicts.iter().all(|v| v.len() == ROUNDS));
+                for (round, pair) in verdicts[0]
+                    .iter()
+                    .zip(&verdicts[1])
+                    .map(|(a, b)| [*a, *b])
+                    .enumerate()
+                {
+                    assert_eq!(
+                        pair.iter().filter(|s| **s == RespStatus::ExOkay).count(),
+                        1,
+                        "{kind}/{backend}/{mode} round {round}: exactly one \
+                         contended exclusive write may win, got {pair:?}"
+                    );
+                    assert_eq!(
+                        pair.iter().filter(|s| **s == RespStatus::ExFail).count(),
+                        1,
+                        "{kind}/{backend}/{mode} round {round}: the loser must \
+                         fail cleanly, got {pair:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn failed_exclusive_write_leaves_memory_untouched_across_fabric() {
     let sync = vec![

@@ -273,12 +273,15 @@ fn endianness_is_involution() {
 }
 
 /// A random valid scenario exercising every serializable knob: socket
-/// mixes and parameters, ordering/outstanding/pressure/flit overrides,
-/// clock divisors, burst kinds, delays and all four topology shapes.
+/// mixes and parameters, target kinds (memory, AXI slave, service
+/// block), ordering/outstanding/pressure/flit overrides, clock
+/// divisors, burst kinds, delays and all four topology shapes.
 #[cfg(test)]
 fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSpec {
     use noc_protocols::SocketCommand;
-    use noc_scenario::{InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, TopologySpec};
+    use noc_scenario::{
+        InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, TargetSpec, TopologySpec,
+    };
     use noc_transaction::Opcode;
 
     let masters = rng.next_range(1, 4) as usize;
@@ -368,6 +371,22 @@ fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSp
             rng.next_range(1, 6) as u32,
         )
         .with_queue(rng.next_range(2, 10) as usize);
+        // Half the targets are plain memories; the rest exercise the
+        // declarative target sockets.
+        match rng.next_below(4) {
+            0 | 1 => {}
+            2 => {
+                mem = mem.with_target(TargetSpec::AxiSlave {
+                    bank_stagger: rng.next_below(3) as u32,
+                })
+            }
+            _ => {
+                mem = mem.with_target(TargetSpec::Service {
+                    write_latency: rng.next_range(1, 6) as u32,
+                    exclusive: rng.chance(0.3),
+                })
+            }
+        }
         if clocked && rng.chance(0.3) {
             mem = mem.with_clock_divisor(rng.next_range(1, 3));
         }
@@ -391,12 +410,14 @@ fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSp
     })
 }
 
-/// Text round-trip: `parse(emit(spec))` reproduces random specs
-/// knob-for-knob, and the round-tripped spec runs record-identically
-/// (timestamps included) to the original on every backend.
+/// Text round-trip: `parse(emit(spec))` reproduces random specs —
+/// target declarations included — knob-for-knob with `emit` a fixpoint,
+/// and the round-tripped spec runs record-identically (timestamps
+/// included) to the original on every backend that models it, under
+/// dense *and* horizon stepping.
 #[test]
 fn scenario_text_round_trips_and_runs_identically() {
-    use noc_scenario::{Backend, ScenarioSpec, StepMode};
+    use noc_scenario::{Backend, ScenarioSpec, StepMode, TargetSpec};
 
     let mut rng = SplitMix64::new(0x7E47);
     for case in 0..40 {
@@ -406,20 +427,42 @@ fn scenario_text_round_trips_and_runs_identically() {
         let back = ScenarioSpec::from_text(&text)
             .unwrap_or_else(|e| panic!("case {case}: emitted text must parse: {e}\n{text}"));
         assert_eq!(back, spec, "case {case}: round-trip changed the spec");
+        assert_eq!(back.to_text(), text, "case {case}: emit is not a fixpoint");
 
         // Only a subset needs the (much slower) execution comparison.
         if case % 4 != 0 {
             continue;
         }
-        let backends: &[Backend] = if clocked {
-            &[Backend::noc()]
-        } else {
-            &[Backend::noc(), Backend::bridged(), Backend::bus()]
-        };
-        for backend in backends {
-            let run = |s: &ScenarioSpec| {
+        // The bus cannot host a target-owned exclusive port; it must say
+        // so with the typed error instead of running the spec wrong.
+        let bus_ok = !spec.memories.iter().any(|m| {
+            matches!(
+                m.target,
+                TargetSpec::Service {
+                    exclusive: true,
+                    ..
+                }
+            )
+        });
+        let mut backends = vec![Backend::noc()];
+        if !clocked {
+            backends.push(Backend::bridged());
+            if bus_ok {
+                backends.push(Backend::bus());
+            } else {
+                assert!(
+                    matches!(
+                        spec.build(&Backend::bus()),
+                        Err(noc_scenario::ScenarioError::UnsupportedTarget { .. })
+                    ),
+                    "case {case}: bus must reject the exclusive service target"
+                );
+            }
+        }
+        for backend in &backends {
+            let run = |s: &ScenarioSpec, mode: StepMode| {
                 let mut sim = s.build(backend).expect("valid random spec");
-                let drained = sim.run_until_with(3_000_000, StepMode::Horizon);
+                let drained = sim.run_until_with(3_000_000, mode);
                 let logs: Vec<Vec<noc_protocols::CompletionRecord>> = sim
                     .logs()
                     .iter()
@@ -427,12 +470,17 @@ fn scenario_text_round_trips_and_runs_identically() {
                     .collect();
                 (drained, sim.now(), logs)
             };
-            let original = run(&spec);
-            let round_tripped = run(&back);
+            let original = run(&spec, StepMode::Horizon);
+            let round_tripped = run(&back, StepMode::Horizon);
+            let dense = run(&spec, StepMode::Dense);
             assert!(original.0, "case {case}: {backend} must drain\n{text}");
             assert_eq!(
                 original, round_tripped,
                 "case {case}: round-tripped spec diverges on {backend}"
+            );
+            assert_eq!(
+                original, dense,
+                "case {case}: dense and horizon stepping diverge on {backend}"
             );
         }
     }

@@ -198,6 +198,89 @@ fn completion_logs_are_backend_invariant() {
     }
 }
 
+/// Record-for-record backend invariance for *target* protocols,
+/// mirroring [`completion_logs_are_backend_invariant`] for the two
+/// target-side corpus files: the spec declares an AXI slave, a service
+/// block and a memory (or an exclusive semaphore block), and every
+/// backend that can model the declaration must produce the same
+/// per-command opcode/address/data/status — the slave half of the
+/// paper's VC-neutrality claim. Backends that cannot model a target
+/// kind must say so with the typed error, never silently diverge.
+#[test]
+fn target_protocol_logs_are_backend_invariant() {
+    // (program index, opcode, addr, data, status) — status included:
+    // exclusive verdicts are the whole point of the semaphore target.
+    type RecordKey = (usize, u8, u64, Vec<u8>, u8);
+    /// One backend's observation: (backend label, per-master records).
+    type BackendLogs = (String, Vec<(String, Vec<RecordKey>)>);
+    let corpus = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios");
+    for file in ["services.scn", "exclusive_locks.scn"] {
+        let text = std::fs::read_to_string(corpus.join(file)).expect("corpus file exists");
+        let specs: Vec<(String, ScenarioSpec)> =
+            match noc_scenario::parse_document(&text).expect("corpus parses") {
+                noc_scenario::Document::Scenario(spec) => vec![("-".into(), spec)],
+                noc_scenario::Document::Sweep(sweep) => sweep
+                    .points()
+                    .iter()
+                    .map(|p| (p.label.clone(), p.spec.clone()))
+                    .collect(),
+            };
+        for (label, spec) in specs {
+            let mut per_backend: Vec<BackendLogs> = Vec::new();
+            for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+                let mut sim = match spec.build(&backend) {
+                    Ok(sim) => sim,
+                    Err(ScenarioError::UnsupportedTarget { backend: b, .. }) => {
+                        // Only the bus may reject, and only over the
+                        // exclusive semaphore service block.
+                        assert_eq!(b, "bus", "{file}/{label}");
+                        assert!(
+                            matches!(backend, Backend::Bus(_)),
+                            "{file}/{label}: wrong backend rejected"
+                        );
+                        continue;
+                    }
+                    Err(e) => panic!("{file}/{label}: {backend} failed to compile: {e}"),
+                };
+                assert!(sim.run_until(2_000_000), "{file}/{label}: {backend} drains");
+                let logs = sim
+                    .logs()
+                    .iter()
+                    .map(|(name, log)| {
+                        let mut records: Vec<RecordKey> = log
+                            .records()
+                            .iter()
+                            .map(|r| {
+                                (
+                                    r.index,
+                                    r.opcode as u8,
+                                    r.addr,
+                                    r.data.clone(),
+                                    r.status as u8,
+                                )
+                            })
+                            .collect();
+                        records.sort_unstable_by_key(|r| r.0);
+                        (name.to_string(), records)
+                    })
+                    .collect();
+                per_backend.push((backend.label().to_owned(), logs));
+            }
+            assert!(
+                per_backend.len() >= 2,
+                "{file}/{label}: at least two backends must model the targets"
+            );
+            let (ref_label, reference) = &per_backend[0];
+            for (other_label, other) in &per_backend[1..] {
+                assert_eq!(
+                    reference, other,
+                    "{file}/{label}: completion logs diverge between {ref_label} and {other_label}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn reports_carry_master_names_and_fabric_stats() {
     let spec = race_free_spec();

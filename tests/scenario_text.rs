@@ -61,17 +61,20 @@ fn run(
 }
 
 /// Dense and horizon stepping must agree record-for-record on every
-/// backend the spec supports; clocked specs are rejected (with the
-/// typed error) by the baselines and must still run on the NoC.
+/// backend the spec supports; clocked specs and unsupported target
+/// kinds are rejected (with the typed errors) by the baselines and must
+/// still run on the NoC.
 fn assert_dense_horizon_identical(file: &str, label: &str, spec: &ScenarioSpec) {
     let mut supported = 0;
     for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
         let dense = match run(spec, &backend, StepMode::Dense) {
             Ok(outcome) => outcome,
-            Err(ScenarioError::UnsupportedClock { .. }) => {
+            Err(
+                ScenarioError::UnsupportedClock { .. } | ScenarioError::UnsupportedTarget { .. },
+            ) => {
                 assert!(
                     !matches!(backend, Backend::Noc(_)),
-                    "{file}/{label}: the NoC backend must accept divided clocks"
+                    "{file}/{label}: the NoC backend must accept every declarable spec"
                 );
                 continue;
             }
@@ -135,6 +138,18 @@ fn corpus_covers_the_required_shapes() {
             "corpus never uses the {socket} socket"
         );
     }
+    // target-side protocols: both non-memory target kinds appear, and
+    // the exclusive service flag is exercised
+    for kind in ["axi", "service"] {
+        assert!(
+            any(&|t| t.contains(&format!("kind = \"{kind}\""))),
+            "corpus never declares a {kind} target"
+        );
+    }
+    assert!(
+        any(&|t| t.contains("exclusive = true")),
+        "corpus needs an exclusive service target"
+    );
 }
 
 #[test]
@@ -305,6 +320,99 @@ fn bad_integer_and_unterminated_string_are_syntax_errors() {
     let e = parse_err("[[initiator]]\nname = \"m\nsocket = \"ahb\"\n");
     assert_eq!(e.line, 2);
     assert!(matches!(e.kind, ParseErrorKind::Syntax(_)));
+}
+
+#[test]
+fn unknown_target_kind_reports_its_line() {
+    let text = "[[target]]\nname = \"t\"\nkind = \"dimm\"\nbase = 0\nend = 0x100\nlatency = 1\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 3);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, ref reason }
+            if key == "kind" && reason.contains("dimm")),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn target_block_missing_latency_points_at_the_section() {
+    let e = parse_err("[[target]]\nname = \"t\"\nkind = \"service\"\nbase = 0\nend = 0x100\n");
+    assert_eq!(e.line, 1);
+    assert_eq!(
+        e.kind,
+        ParseErrorKind::MissingKey {
+            section: "target".into(),
+            key: "latency".into()
+        }
+    );
+}
+
+#[test]
+fn target_param_on_wrong_kind_is_rejected() {
+    // `bank_stagger` belongs to AXI slaves, not service blocks.
+    let text = "[[target]]\nname = \"t\"\nkind = \"service\"\nbase = 0\nend = 0x100\nlatency = 1\nbank_stagger = 2\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 7);
+    assert_eq!(e.kind, ParseErrorKind::UnknownKey("bank_stagger".into()));
+    // …and on a plain memory, `kind`-specific params are equally unknown.
+    let text = "[[memory]]\nname = \"t\"\nbase = 0\nend = 0x100\nlatency = 1\nwrite_latency = 3\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 6);
+    assert_eq!(e.kind, ParseErrorKind::UnknownKey("write_latency".into()));
+}
+
+#[test]
+fn non_boolean_exclusive_flag_is_rejected() {
+    let text = "[[target]]\nname = \"t\"\nkind = \"service\"\nbase = 0\nend = 0x100\nlatency = 1\nexclusive = 1\n";
+    let e = parse_err(text);
+    assert_eq!(e.line, 7);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, ref reason }
+            if key == "exclusive" && reason.contains("true or false")),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn exclusive_service_target_on_bus_backend_is_the_typed_build_error() {
+    // Parsing succeeds — whether a backend can model a target kind is
+    // the backend's decision, made at compile time with a typed error.
+    let text = "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\ncmd = \"read_ex 0x40 1x4\"\ncmd = \"write_ex 0x40 1x4 seed=1\"\n\n[[target]]\nname = \"sem\"\nkind = \"service\"\nbase = 0\nend = 0x1000\nlatency = 1\nwrite_latency = 2\nexclusive = true\n";
+    let spec = ScenarioSpec::from_text(text).expect("exclusive service targets parse");
+    match spec.build(&Backend::bus()) {
+        Err(ScenarioError::UnsupportedTarget {
+            backend,
+            target,
+            kind,
+        }) => {
+            assert_eq!(backend, "bus");
+            assert_eq!(target, "sem");
+            assert_eq!(kind, "service+exclusive");
+        }
+        other => panic!("expected UnsupportedTarget, got {:?}", other.map(|_| ())),
+    }
+    // The NoC and the bridged crossbar both model it.
+    assert!(spec.build(&Backend::noc()).is_ok());
+    assert!(spec.build(&Backend::bridged()).is_ok());
+}
+
+#[test]
+fn sync_traffic_to_a_plain_service_block_is_a_validation_error() {
+    // Without the exclusive flag a register file rejects exclusive and
+    // locked opcodes at validation time, before anything is built.
+    let text = "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\ncmd = \"read_ex 0x40 1x4\"\n\n[[target]]\nname = \"regs\"\nkind = \"service\"\nbase = 0\nend = 0x1000\nlatency = 1\n";
+    let spec = ScenarioSpec::from_text(text).expect("parses");
+    match spec.validate() {
+        Err(ScenarioError::SyncUnsupported {
+            initiator, target, ..
+        }) => {
+            assert_eq!(initiator, "m");
+            assert_eq!(target, "regs");
+        }
+        other => panic!("expected SyncUnsupported, got {other:?}"),
+    }
 }
 
 #[test]
