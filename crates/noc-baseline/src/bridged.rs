@@ -98,6 +98,7 @@ pub struct BridgedInterconnect {
     slaves: Vec<CentralSlave>,
     monitor: ExclusiveMonitor,
     now: u64,
+    steps: u64,
     chopped: u64,
 }
 
@@ -112,6 +113,7 @@ impl BridgedInterconnect {
             slaves: Vec::new(),
             monitor: ExclusiveMonitor::new(64, 16),
             now: 0,
+            steps: 0,
             chopped: 0,
         }
     }
@@ -178,6 +180,7 @@ impl BridgedInterconnect {
 impl Interconnect for BridgedInterconnect {
     fn step(&mut self) {
         let now = self.now;
+        self.steps += 1;
         for m in &mut self.masters {
             m.fe.tick(now);
         }
@@ -419,26 +422,61 @@ impl Interconnect for BridgedInterconnect {
         self.now
     }
 
-    /// While any bridge holds sub-requests or in-flight parents the
-    /// pipeline moves (or may move) every cycle, so the answer is the
-    /// current cycle; with all bridges drained only master
-    /// self-activity (idle countdowns expiring) remains.
+    fn executed_steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The true event horizon of the bridged pipeline, min-combined from
+    /// every timestamp the machinery already carries — in-flight traffic
+    /// no longer forces dense stepping:
+    ///
+    /// - master self-activity (idle countdowns expiring, mapped exactly
+    ///   like the bus does);
+    /// - per bridge, the front sub-request's service time: its
+    ///   `eligible_at` (bridge request pipeline) combined with the
+    ///   addressed slave's `busy_until` (only queue fronts compete for
+    ///   the crossbar, so only fronts carry events). Lock gating is
+    ///   deliberately ignored: that can only make the estimate *early*,
+    ///   which costs a recomputation, never skips a real event;
+    /// - per bridge, the oldest in-flight parent's `respond_at` once all
+    ///   its chunks are answered (the reference socket returns responses
+    ///   strictly oldest-first, so only the order front can deliver).
     fn next_activity(&self) -> Option<u64> {
-        if self
-            .bridges
-            .iter()
-            .any(|b| !b.subs.is_empty() || b.occupancy() > 0)
-        {
-            return Some(self.now);
-        }
-        let mut idle = u64::MAX;
+        let mut horizon = noc_kernel::Horizon::new();
         for m in &self.masters {
-            idle = idle.min(m.fe.idle_ticks());
-            if idle == 0 {
+            horizon.merge_idle_ticks(self.now, m.fe.idle_ticks());
+            // Nothing can merge earlier than `now`; stop scanning.
+            if horizon.earliest() == Some(self.now) {
                 return Some(self.now);
             }
         }
-        (idle < u64::MAX).then(|| self.now.saturating_add(idle))
+        for bridge in &self.bridges {
+            if horizon.earliest_from(self.now) == Some(self.now) {
+                return Some(self.now);
+            }
+            if let Some(front) = bridge.subs.front() {
+                // Decode misses are consumed (as DECERR) the first time
+                // any free slave's crossbar pass reaches them — `now`
+                // under-approximates that safely.
+                let slave_free_at = match self.map.decode(front.addr) {
+                    Ok(dst) => self
+                        .slaves
+                        .iter()
+                        .find(|s| s.node == dst)
+                        .map_or(self.now, |s| s.busy_until),
+                    Err(_) => self.now,
+                };
+                horizon.merge_at(front.eligible_at.max(slave_free_at));
+            }
+            if let Some(&slot) = bridge.order.front() {
+                if let Some(parent) = &bridge.inflight[slot] {
+                    if parent.remaining == 0 {
+                        horizon.merge_at(parent.respond_at);
+                    }
+                }
+            }
+        }
+        horizon.earliest_from(self.now)
     }
 
     fn skip_to(&mut self, target: u64) {

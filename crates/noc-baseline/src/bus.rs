@@ -49,6 +49,7 @@ pub struct SharedBus {
     /// In-service transaction: (master, request, completion cycle).
     busy: Option<(usize, TransactionRequest, u64)>,
     now: u64,
+    steps: u64,
     granted: u64,
 }
 
@@ -65,6 +66,7 @@ impl SharedBus {
             lock_owner: None,
             busy: None,
             now: 0,
+            steps: 0,
             granted: 0,
         }
     }
@@ -109,6 +111,7 @@ impl SharedBus {
 impl Interconnect for SharedBus {
     fn step(&mut self) {
         let now = self.now;
+        self.steps += 1;
         for m in &mut self.masters {
             m.fe.tick(now);
         }
@@ -245,24 +248,22 @@ impl Interconnect for SharedBus {
         self.now
     }
 
+    fn executed_steps(&self) -> u64 {
+        self.steps
+    }
+
     /// The nearest master self-activity (idle countdowns expiring) or
-    /// the in-service transaction completing, whichever comes first.
+    /// the in-service transaction completing (`done_at`), whichever
+    /// comes first.
     fn next_activity(&self) -> Option<u64> {
-        let mut idle = u64::MAX;
+        let mut horizon = noc_kernel::Horizon::new();
         for m in &self.masters {
-            idle = idle.min(m.fe.idle_ticks());
-            if idle == 0 {
-                return Some(self.now);
-            }
+            horizon.merge_idle_ticks(self.now, m.fe.idle_ticks());
         }
-        let fe_next = (idle < u64::MAX).then(|| self.now.saturating_add(idle));
-        match self.busy {
-            Some((_, _, done_at)) => {
-                let done = done_at.max(self.now);
-                Some(fe_next.map_or(done, |t| t.min(done)))
-            }
-            None => fe_next,
+        if let Some((_, _, done_at)) = self.busy {
+            horizon.merge_at(done_at);
         }
+        horizon.earliest_from(self.now)
     }
 
     fn skip_to(&mut self, target: u64) {

@@ -39,6 +39,13 @@ pub trait Interconnect {
     fn logs(&self) -> Vec<&CompletionLog>;
     /// Cycles simulated so far.
     fn now(&self) -> u64;
+    /// Cycles actually stepped, excluding the cycles horizon stepping
+    /// jumped over. Dense runs execute exactly [`Interconnect::now`]
+    /// steps, so the dense/horizon ratio measures the skip win; the
+    /// default (for backends without a skip path) reports just that.
+    fn executed_steps(&self) -> u64 {
+        self.now()
+    }
 
     /// The earliest cycle at which the interconnect's state can
     /// possibly change, or `None` when nothing will ever happen again.

@@ -71,10 +71,23 @@ impl Harness {
 
     /// Writes the results as JSON to `$BENCH_JSON` if set (hand-rolled:
     /// group/name are workspace-controlled identifiers, no escaping
-    /// needed).
+    /// needed). Cargo runs bench binaries with the *package* directory
+    /// (`crates/noc-bench`) as working directory, so a relative path
+    /// would land there, invisible to CI's repo-root `cat`/upload steps;
+    /// the rebasing below deliberately forces relative paths onto the
+    /// workspace root instead, next to the committed
+    /// `BENCH_baseline.json` anchor. Do not remove it as "redundant".
     fn write_json(&self) {
         let Ok(path) = std::env::var("BENCH_JSON") else {
             return;
+        };
+        let path = std::path::PathBuf::from(&path);
+        let path = if path.is_absolute() {
+            path
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(path)
         };
         let mut out = String::from("[\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -86,7 +99,7 @@ impl Harness {
         }
         out.push_str("]\n");
         std::fs::write(&path, out).expect("BENCH_JSON path is writable");
-        println!("\nwrote {} cases to {path}", self.results.len());
+        println!("\nwrote {} cases to {}", self.results.len(), path.display());
     }
 }
 
@@ -200,6 +213,43 @@ fn main() {
             let mut sim = spec
                 .build(&noc_scenario::Backend::noc())
                 .expect("consistent");
+            assert!(sim.run_until_with(5_000_000, mode));
+            sim.now()
+        });
+    }
+
+    // The deep-pipeline mesh (the corpus `deep_pipeline.scn` scenario):
+    // traffic is in flight almost every cycle, so before the per-layer
+    // event horizons this workload ran dense under both modes. The NoC
+    // rows skip through 16-stage link crossings and memory service
+    // windows; the bridged rows skip through the bridge pipeline's
+    // eligible_at / busy_until / respond_at stamps.
+    let deep = noc_bench::scenarios::deep_pipeline_spec();
+    for (name, backend, mode) in [
+        (
+            "mesh_deep_pipeline_horizon",
+            noc_scenario::Backend::noc(),
+            StepMode::Horizon,
+        ),
+        (
+            "mesh_deep_pipeline_dense",
+            noc_scenario::Backend::noc(),
+            StepMode::Dense,
+        ),
+        (
+            "bridged_deep_pipeline_horizon",
+            noc_scenario::Backend::bridged(),
+            StepMode::Horizon,
+        ),
+        (
+            "bridged_deep_pipeline_dense",
+            noc_scenario::Backend::bridged(),
+            StepMode::Dense,
+        ),
+    ] {
+        let spec = &deep;
+        h.case("step_mode", name, 500, move || {
+            let mut sim = spec.build(&backend).expect("consistent");
             assert!(sim.run_until_with(5_000_000, mode));
             sim.now()
         });

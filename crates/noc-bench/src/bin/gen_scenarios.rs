@@ -5,8 +5,8 @@
 //! after changing a builder or the text format, then commit the diff.
 
 use noc_bench::scenarios::{
-    clocked_mixed_spec, exclusive_sweep, ordering_sweep, qos_spec, ring_mixed_spec, scale_sweep,
-    services_spec,
+    clocked_mixed_spec, deep_pipeline_spec, exclusive_sweep, ordering_sweep, qos_spec,
+    ring_mixed_spec, scale_sweep, services_spec,
 };
 use noc_workloads::{SetTop, SetTopConfig};
 use std::path::Path;
@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("scale_mesh.scn", scale_sweep(&[2, 3], 24).to_text()),
         ("clocked_mixed.scn", clocked_mixed_spec().to_text()),
         ("ring_mixed.scn", ring_mixed_spec().to_text()),
+        ("deep_pipeline.scn", deep_pipeline_spec().to_text()),
         ("services.scn", services_spec().to_text()),
         ("exclusive_locks.scn", exclusive_sweep().to_text()),
     ];

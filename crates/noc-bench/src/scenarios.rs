@@ -4,8 +4,8 @@
 
 use noc_protocols::{Program, SocketCommand};
 use noc_scenario::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, StepMode, Sweep, SweepPoint,
-    TopologySpec,
+    Backend, InitiatorSpec, MemorySpec, NocConfigSpec, ScenarioSpec, SocketSpec, StepMode, Sweep,
+    SweepPoint, TopologySpec,
 };
 use noc_topology::RouteAlgorithm;
 use noc_transaction::{BurstKind, Opcode, StreamId};
@@ -332,6 +332,67 @@ pub fn exclusive_sweep() -> Sweep {
         )
     })
     .with_max_cycles(2_000_000)
+}
+
+/// The deep-pipeline scenario: a 2x2 mesh whose links carry 16 pipeline
+/// register stages (declared in the `[config]` section, so the physical
+/// shape lives in the `.scn` file), slow memories, and masters that
+/// issue back-to-back — traffic is in flight on almost every cycle.
+///
+/// This is the workload the event-horizon machinery exists for: dense
+/// stepping pays every one of those cycles, while per-layer
+/// `next_event_at` horizons jump through the link crossings and memory
+/// service windows. The step-collapse acceptance test pins a ≥ 3x
+/// executed-step ratio on the NoC *and* bridged backends (the bridged
+/// pipeline skips through its `eligible_at`/`busy_until`/`respond_at`
+/// stamps), so clocks stay undivided to keep the spec portable to the
+/// baselines.
+pub fn deep_pipeline_spec() -> ScenarioSpec {
+    let cpu: Program = (0..12)
+        .flat_map(|i| {
+            vec![
+                SocketCommand::write(0x100 + 0x40 * i, 4, 0xDEE9 + i),
+                SocketCommand::read(0x100 + 0x40 * i, 4),
+                SocketCommand::read(0x1100 + 0x40 * i, 4).with_burst(BurstKind::Incr, 2),
+            ]
+        })
+        .collect();
+    // Single outstanding on purpose: a second thread would park a
+    // request at the (1-deep) bridge and pin the master's front end
+    // hot, forcing dense stepping for the whole run.
+    let dma: Program = (0..16)
+        .map(|i| {
+            SocketCommand::read(0x1800 + 0x20 * i, 4)
+                .with_burst(BurstKind::Incr, 2)
+                .with_delay(6)
+        })
+        .collect();
+    let mut config = NocConfigSpec::new()
+        .with_link_pipeline(16)
+        .with_link_capacity(32);
+    // Endpoint attachments are short wires next to the switch; the long
+    // pipelined crossings are the inter-switch links.
+    config.endpoint.pipeline = Some(2);
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("cpu", SocketSpec::Ahb, cpu))
+        .initiator(
+            InitiatorSpec::new(
+                "dma",
+                SocketSpec::Ocp {
+                    threads: 1,
+                    per_thread: 1,
+                },
+                dma,
+            )
+            .with_outstanding(2),
+        )
+        .memory(MemorySpec::new("m0", 0x0, 0x1000, 12))
+        .memory(MemorySpec::new("m1", 0x1000, 0x2000, 12))
+        .with_topology(TopologySpec::Mesh {
+            width: 2,
+            height: 2,
+        })
+        .with_config(config)
 }
 
 /// A ring-topology scenario with VCI/AXI masters and no divided clocks,

@@ -7,13 +7,21 @@
 //!                                   (default all; sweep files carry
 //!                                   their own backends per point)
 //!   --step dense|horizon|both       step mode; "both" runs each
-//!                                   simulation twice and fails unless
+//!                                   simulation twice, fails unless
 //!                                   the logs, timestamps included, are
-//!                                   identical. Default: horizon for
-//!                                   scenario files, the file's own
-//!                                   step settings for sweeps (an
-//!                                   explicit --step overrides them,
-//!                                   per-point overrides included)
+//!                                   identical, and reports per-backend
+//!                                   executed-step counts plus the
+//!                                   dense/horizon ratio. Default:
+//!                                   horizon for scenario files, the
+//!                                   file's own step settings for
+//!                                   sweeps (an explicit --step
+//!                                   overrides them, per-point
+//!                                   overrides included)
+//!   --assert-fewer-steps            with --step both: fail unless
+//!                                   horizon executed strictly fewer
+//!                                   steps than dense on every row (the
+//!                                   CI guard keeping the optimisation
+//!                                   from silently regressing to dense)
 //!   --max-cycles N                  drain budget (default 10_000_000
 //!                                   for scenario files, the file's
 //!                                   budget for sweeps)
@@ -53,11 +61,14 @@ struct Options {
     /// `None` until `--max-cycles` is given: scenario files default to
     /// 10M cycles, sweep files to their own budget.
     max_cycles: Option<u64>,
+    /// With `--step both`: fail unless horizon executed strictly fewer
+    /// steps than dense on every row.
+    assert_fewer_steps: bool,
 }
 
 fn usage() -> &'static str {
     "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|both] \
-     [--max-cycles N] FILE..."
+     [--assert-fewer-steps] [--max-cycles N] FILE..."
 }
 
 fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
@@ -66,6 +77,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
         backend: BackendSel::All,
         step: None,
         max_cycles: None,
+        assert_fewer_steps: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,6 +103,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
                 let v = args.next().ok_or("--max-cycles needs a number")?;
                 opts.max_cycles = Some(v.parse().map_err(|_| format!("bad --max-cycles {v:?}"))?);
             }
+            "--assert-fewer-steps" => opts.assert_fewer_steps = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -104,6 +117,11 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     if opts.files.is_empty() {
         return Err(format!("no scenario files given\n{}", usage()).into());
     }
+    // A guard that cannot guard is a misconfiguration: the step
+    // comparison only exists when both modes run.
+    if opts.assert_fewer_steps && opts.step != Some(StepSel::Both) {
+        return Err(format!("--assert-fewer-steps requires --step both\n{}", usage()).into());
+    }
     Ok(opts)
 }
 
@@ -116,7 +134,12 @@ fn backend_by_label(label: &str) -> Backend {
     }
 }
 
-type RunOutcome = (bool, u64, Vec<Vec<CompletionRecord>>);
+/// The comparable part of a run (logs with timestamps) plus the
+/// executed-step count, which legitimately differs between step modes.
+struct RunOutcome {
+    compared: (bool, u64, Vec<Vec<CompletionRecord>>),
+    steps: u64,
+}
 
 fn run_once(
     spec: &ScenarioSpec,
@@ -131,7 +154,10 @@ fn run_once(
         .iter()
         .map(|(_, log)| log.records().to_vec())
         .collect();
-    Ok((drained, sim.now(), logs))
+    Ok(RunOutcome {
+        compared: (drained, sim.now(), logs),
+        steps: sim.executed_steps(),
+    })
 }
 
 /// Runs a spec on one backend under the step selection; returns the
@@ -143,6 +169,7 @@ fn run_spec(
     step: StepSel,
     max_cycles: u64,
     skip_unsupported: bool,
+    assert_fewer_steps: bool,
 ) -> Result<Option<Vec<String>>, Box<dyn std::error::Error>> {
     let modes: &[StepMode] = match step {
         StepSel::One(StepMode::Dense) => &[StepMode::Dense],
@@ -163,10 +190,10 @@ fn run_spec(
             Err(e) => return Err(e.into()),
         }
     }
-    if outcomes.len() == 2 && outcomes[0] != outcomes[1] {
+    if outcomes.len() == 2 && outcomes[0].compared != outcomes[1].compared {
         return Err(format!("{backend}: dense and horizon stepping diverge").into());
     }
-    let (drained, cycles, logs) = &outcomes[0];
+    let (drained, cycles, logs) = &outcomes[0].compared;
     if !drained {
         return Err(format!("{backend}: failed to drain in {max_cycles} cycles").into());
     }
@@ -187,12 +214,34 @@ fn run_spec(
         }
         let _ = write!(step_cell, "{mode}");
     }
+    // Executed-step accounting: one count per mode, plus the
+    // dense/horizon collapse ratio when both ran.
+    let steps_cell = outcomes
+        .iter()
+        .map(|o| o.steps.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let ratio_cell = if outcomes.len() == 2 {
+        let (dense, horizon) = (outcomes[0].steps, outcomes[1].steps);
+        if assert_fewer_steps && horizon >= dense {
+            return Err(format!(
+                "{backend}: horizon executed {horizon} steps, dense {dense} — \
+                 the horizon machinery regressed to dense stepping"
+            )
+            .into());
+        }
+        format!("{:.1}x", dense as f64 / horizon.max(1) as f64)
+    } else {
+        "-".to_owned()
+    };
     Ok(Some(vec![
         backend.label().to_owned(),
         step_cell,
         cycles.to_string(),
         completions.to_string(),
         format!("{mean:.1}"),
+        steps_cell,
+        ratio_cell,
     ]))
 }
 
@@ -206,12 +255,27 @@ fn run_scenario_file(
     };
     let step = opts.step.unwrap_or(StepSel::One(StepMode::Horizon));
     let max_cycles = opts.max_cycles.unwrap_or(10_000_000);
-    let mut t = Table::new(&["backend", "step", "cycles", "completions", "mean lat (cy)"]);
+    let mut t = Table::new(&[
+        "backend",
+        "step",
+        "cycles",
+        "completions",
+        "mean lat (cy)",
+        "steps",
+        "dense/horizon",
+    ]);
     t.numeric();
     for label in labels {
         let backend = backend_by_label(label);
         let skip = opts.backend == BackendSel::All;
-        if let Some(row) = run_spec(spec, &backend, step, max_cycles, skip)? {
+        if let Some(row) = run_spec(
+            spec,
+            &backend,
+            step,
+            max_cycles,
+            skip,
+            opts.assert_fewer_steps,
+        )? {
             t.row(&row);
         }
     }
@@ -231,11 +295,20 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
             "cycles",
             "completions",
             "mean lat (cy)",
+            "steps",
+            "dense/horizon",
         ]);
         t.numeric();
         for p in sweep.points() {
-            let row = run_spec(&p.spec, &p.backend, StepSel::Both, max_cycles, false)?
-                .expect("skipping is disabled");
+            let row = run_spec(
+                &p.spec,
+                &p.backend,
+                StepSel::Both,
+                max_cycles,
+                false,
+                opts.assert_fewer_steps,
+            )?
+            .expect("skipping is disabled");
             let mut cells = vec![p.label.clone()];
             cells.extend(row);
             t.row(&cells);
@@ -264,7 +337,14 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
         sweep = forced;
     }
     let results = sweep.run()?;
-    let mut t = Table::new(&["point", "backend", "cycles", "completions", "mean lat (cy)"]);
+    let mut t = Table::new(&[
+        "point",
+        "backend",
+        "cycles",
+        "completions",
+        "mean lat (cy)",
+        "steps",
+    ]);
     t.numeric();
     for (p, r) in sweep.points().iter().zip(&results) {
         t.row(&[
@@ -273,6 +353,7 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
             r.report.cycles.to_string(),
             r.report.total_completions().to_string(),
             format!("{:.1}", r.report.mean_latency()),
+            r.report.steps.to_string(),
         ]);
     }
     println!("{t}");

@@ -8,6 +8,8 @@
 //!   user-supplied *world* type;
 //! - [`ClockDomain`] / [`ClockSet`], divisor-based clock domains so that
 //!   mixed-clock systems stay deterministic;
+//! - [`Horizon`], the min-combining accumulator for per-component event
+//!   horizons used by quiescence-aware stepping;
 //! - [`SplitMix64`], a tiny deterministic RNG used to seed all stochastic
 //!   behaviour in the workspace.
 //!
@@ -36,11 +38,13 @@
 
 pub mod clock;
 pub mod event;
+pub mod horizon;
 pub mod rng;
 pub mod time;
 
 pub use clock::{ClockDomain, ClockId, ClockSet};
 pub use event::{Event, EventId, Scheduler};
+pub use horizon::Horizon;
 pub use rng::SplitMix64;
 pub use time::SimTime;
 

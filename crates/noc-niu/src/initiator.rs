@@ -352,11 +352,15 @@ impl<FE: SocketInitiator> InitiatorNiu<FE> {
     }
 
     /// Quiescence: upcoming local ticks that are provably no-ops absent
-    /// incoming flits. With a stalled request, queued egress flits or
-    /// outstanding transactions the NIU must tick densely; otherwise the
-    /// horizon is whatever the socket front end reports.
+    /// incoming flits. With a stalled request or queued egress flits the
+    /// NIU must tick densely (the stall retries and the flits inject
+    /// every cycle); otherwise the horizon is whatever the socket front
+    /// end reports. Outstanding transactions alone do *not* force dense
+    /// ticking — a front end waiting on responses reports its own
+    /// quiescence, and the wait is the fabric's and target's business,
+    /// tracked by their horizons.
     pub fn idle_ticks(&self) -> u64 {
-        if self.pending.is_some() || !self.egress.is_empty() || self.table.occupancy() > 0 {
+        if self.pending.is_some() || !self.egress.is_empty() {
             return 0;
         }
         self.fe.idle_ticks()

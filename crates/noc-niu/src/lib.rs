@@ -67,6 +67,25 @@ pub trait NocEndpoint {
     /// in exactly the state that many dense no-op ticks would have left
     /// it in.
     fn skip_ticks(&mut self, _ticks: u64) {}
+    /// Absolute-time refinement of [`NocEndpoint::idle_ticks`]: when the
+    /// endpoint's next self-activity is pinned to a *base cycle* rather
+    /// than a count of local ticks — a memory service completing at a
+    /// known cycle — it reports that cycle here, and every local tick
+    /// strictly before it is provably a no-op (absent incoming flits).
+    /// `None` (the default) makes no absolute claim;
+    /// [`NocEndpoint::idle_ticks`] alone governs.
+    ///
+    /// Combining rule for callers: a `u64::MAX` from `idle_ticks` is the
+    /// *no-tick-based-claim* sentinel, not a proof of eternal deadness —
+    /// an endpoint may return it together with `ready_at = Some(r)`
+    /// precisely because its wake-up is time-pinned, not tick-counted
+    /// (so `max`-ing the sentinel against `r` would skip past the event
+    /// forever). When *both* hooks make real claims (finite ticks and
+    /// `Some(r)`), each independently proves its prefix dead and the
+    /// endpoint's next possible action is at the later bound.
+    fn ready_at(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Convenience alias for the request type NIUs translate.

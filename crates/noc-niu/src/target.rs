@@ -36,6 +36,14 @@ pub trait SocketTarget {
     /// Accounts `ticks` skipped no-op ticks (see
     /// [`crate::NocEndpoint::skip_ticks`]).
     fn skip_ticks(&mut self, _ticks: u64) {}
+    /// The base cycle at which the earliest in-service access completes
+    /// (its response becomes pullable), for targets that stamp absolute
+    /// ready times. `None` when nothing is in service *or* the target
+    /// cannot bound completion — callers then fall back to
+    /// [`SocketTarget::idle_ticks`].
+    fn next_ready_at(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Configuration of a target NIU back end.
@@ -305,16 +313,39 @@ impl<T: SocketTarget> TargetNiu<T> {
         self.ingress.is_empty() && self.inflight.is_empty() && self.egress.is_empty()
     }
 
-    /// Quiescence: with queued requests, responses in flight toward the
-    /// IP or undrained egress the NIU must tick densely; otherwise the
-    /// horizon is whatever the IP front end reports. A held legacy lock
-    /// is pure state — it only matters once a request arrives, which
-    /// resumes dense ticking.
+    /// Quiescence: with queued requests or undrained egress the NIU must
+    /// tick densely (ingress heads arbitrate locks and count stall
+    /// cycles; egress flits inject). With *only* IP-side service in
+    /// flight, ticking is a no-op until the IP's next completion — which
+    /// [`TargetNiu::ready_at`] pins to a base cycle when the IP can, so
+    /// the service-latency window is skippable instead of forcing dense
+    /// ticking for the whole transaction. A held legacy lock is pure
+    /// state — it only matters once a request arrives, which resumes
+    /// dense ticking.
     pub fn idle_ticks(&self) -> u64 {
-        if !self.is_done() {
+        if !self.ingress.is_empty() || !self.egress.is_empty() {
             return 0;
         }
-        self.target.idle_ticks()
+        if self.inflight.is_empty() {
+            return self.target.idle_ticks();
+        }
+        // Waiting on the IP only: quiescent until the absolute ready
+        // cycle when the IP stamps one, dense otherwise.
+        if self.target.next_ready_at().is_some() {
+            u64::MAX
+        } else {
+            self.target.idle_ticks()
+        }
+    }
+
+    /// Absolute-time refinement (see [`crate::NocEndpoint::ready_at`]):
+    /// the IP's next completion cycle, valid only while nothing is
+    /// queued on the NoC side of the NIU.
+    pub fn ready_at(&self) -> Option<u64> {
+        if !self.ingress.is_empty() || !self.egress.is_empty() {
+            return None;
+        }
+        self.target.next_ready_at()
     }
 
     /// Accounts skipped no-op ticks (forwarded to the IP front end).
@@ -344,6 +375,9 @@ impl<T: SocketTarget> crate::NocEndpoint for TargetNiu<T> {
     }
     fn skip_ticks(&mut self, ticks: u64) {
         TargetNiu::skip_ticks(self, ticks);
+    }
+    fn ready_at(&self) -> Option<u64> {
+        TargetNiu::ready_at(self)
     }
 }
 
@@ -377,6 +411,11 @@ impl ReadyQueue {
             Some(&(ready, _)) if ready <= now => self.pending.pop_front().map(|(_, r)| r),
             _ => None,
         }
+    }
+
+    /// The base cycle the earliest queued response matures, if any.
+    fn next_ready(&self) -> Option<u64> {
+        self.pending.front().map(|&(ready, _)| ready)
     }
 
     fn len(&self) -> usize {
@@ -455,6 +494,12 @@ impl SocketTarget for MemoryTarget {
         } else {
             0
         }
+    }
+
+    fn next_ready_at(&self) -> Option<u64> {
+        // Every in-service access carries an absolute ready stamp, so
+        // the latency window is dead time the caller may skip.
+        self.pending.next_ready()
     }
 }
 
@@ -548,5 +593,9 @@ impl SocketTarget for ServiceTarget {
         } else {
             0
         }
+    }
+
+    fn next_ready_at(&self) -> Option<u64> {
+        self.pending.next_ready()
     }
 }

@@ -266,6 +266,30 @@ impl<T> Link<T> {
     pub fn next_arrival(&self) -> Option<u64> {
         self.in_flight.front().map(|&(at, _)| at)
     }
+
+    /// The link's event horizon: the earliest base cycle at or after
+    /// `now` at which [`Link::deliver`] can return an item, or `None`
+    /// when nothing is in flight. Until that cycle, polling the link is
+    /// provably a no-op — a flit nine pipeline stages deep yields a
+    /// nine-cycle skip instead of nine empty polls, and a CDC crossing's
+    /// horizon lands on a destination-clock edge because arrivals are
+    /// aligned to one at send time.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let &(at, _) = self.in_flight.front()?;
+        let mut t = at.max(now);
+        // Deliveries only happen on destination-clock edges (arrivals
+        // are edge-aligned at send time; the rounding here also covers
+        // direct callers probing from an off-edge `now`).
+        let rem = t % self.config.dst_divisor;
+        if rem != 0 {
+            t += self.config.dst_divisor - rem;
+        }
+        // At most one delivery per destination edge.
+        if self.last_delivery == Some(t) {
+            t += self.config.dst_divisor;
+        }
+        Some(t)
+    }
 }
 
 impl<T> fmt::Display for Link<T> {
@@ -416,6 +440,37 @@ mod tests {
         assert_eq!(link.deliver(2), Some(1));
         assert_eq!(link.delivered(), 1);
         assert!((link.mean_latency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_event_at_skips_deep_pipelines() {
+        let cfg = LinkConfig::new().with_pipeline(9);
+        let mut link: Link<u8> = Link::new(cfg);
+        assert_eq!(link.next_event_at(0), None);
+        link.send(1, 0).unwrap();
+        // arrival at 0 + 1 (ser) + 9 (pipe) = 10: a 10-cycle skip
+        assert_eq!(link.next_event_at(0), Some(10));
+        for now in 0..10 {
+            assert_eq!(link.deliver(now), None);
+        }
+        assert_eq!(link.deliver(10), Some(1));
+        assert_eq!(link.next_event_at(10), None);
+    }
+
+    #[test]
+    fn next_event_at_lands_on_destination_edges() {
+        let cfg = LinkConfig::new().with_clocks(1, 3).with_cdc_latency(2);
+        let mut link: Link<u8> = Link::new(cfg);
+        link.send(9, 0).unwrap();
+        // arrival 7 aligned up to the /3 edge at 9 (see the CDC test)
+        assert_eq!(link.next_event_at(0), Some(9));
+        // probing from beyond the arrival rounds up to the next edge
+        assert_eq!(link.next_event_at(10), Some(12));
+        // one delivery per destination edge: after delivering at 9, a
+        // second queued flit waits for the next edge
+        link.send(5, 1).unwrap();
+        assert_eq!(link.deliver(9), Some(9));
+        assert_eq!(link.next_event_at(9), Some(12));
     }
 
     #[test]

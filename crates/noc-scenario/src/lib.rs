@@ -51,8 +51,8 @@ pub mod text;
 
 pub use sim::{BridgedSim, BusSim, NocSim, ScenarioReport, Simulation, StepMode};
 pub use spec::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TargetSpec,
-    TopologySpec,
+    Backend, InitiatorSpec, LinkClassSpec, MemorySpec, NocConfigSpec, ScenarioError, ScenarioSpec,
+    SocketSpec, TargetSpec, TopologySpec,
 };
 pub use sweep::{Sweep, SweepPoint, SweepResult};
 pub use text::{parse_document, Document, ParseError, ParseErrorKind};

@@ -49,13 +49,24 @@ pub trait Simulation {
     /// A backend-neutral report of the current state.
     fn report(&self) -> ScenarioReport;
 
+    /// Base cycles actually stepped, excluding the cycles horizon
+    /// stepping jumped over. A dense run executes exactly
+    /// [`Simulation::now`] steps (the default), so
+    /// `dense.executed_steps() / horizon.executed_steps()` is the
+    /// executed-step collapse the horizon machinery buys on a workload.
+    fn executed_steps(&self) -> u64 {
+        self.now()
+    }
+
     /// The earliest base cycle at which the system's state can possibly
     /// change, or `None` when no component will ever act again.
     ///
     /// The default claims activity on every cycle — always correct, and
     /// exactly what dense stepping assumes. Backends override it with
-    /// real activity horizons (traffic-generator countdowns, in-flight
-    /// delay lines, pending retries) so `advance_to` can skip dead time.
+    /// real per-component event horizons (traffic-generator countdowns,
+    /// in-flight link arrivals, slave `busy_until` / bridge `respond_at`
+    /// stamps) min-combined so `advance_to` can skip dead time even
+    /// while traffic is in flight.
     fn next_activity(&self) -> Option<u64> {
         Some(self.now())
     }
@@ -99,6 +110,9 @@ pub struct ScenarioReport {
     pub backend: &'static str,
     /// Base cycles simulated.
     pub cycles: u64,
+    /// Base cycles actually stepped (skipped cycles excluded); equals
+    /// `cycles` for dense runs, so `cycles / steps` is the horizon win.
+    pub steps: u64,
     /// Whether every master drained.
     pub all_done: bool,
     /// Per-master reports, in declaration order.
@@ -235,6 +249,9 @@ impl Simulation for NocSim {
     fn logs(&self) -> Vec<(&str, &CompletionLog)> {
         self.soc.completion_logs()
     }
+    fn executed_steps(&self) -> u64 {
+        self.soc.executed_steps()
+    }
     fn next_activity(&self) -> Option<u64> {
         self.soc.next_activity()
     }
@@ -246,6 +263,7 @@ impl Simulation for NocSim {
         ScenarioReport {
             backend: "noc",
             cycles: r.cycles,
+            steps: self.soc.executed_steps(),
             all_done: r.all_done,
             masters: r.masters,
             fabric: Some(r.fabric),
@@ -273,6 +291,7 @@ fn baseline_report<I: Interconnect>(
     ScenarioReport {
         backend,
         cycles: ic.now(),
+        steps: ic.executed_steps(),
         all_done: ic.is_done(),
         masters,
         fabric: None,
@@ -323,6 +342,9 @@ impl Simulation for BridgedSim {
     fn logs(&self) -> Vec<(&str, &CompletionLog)> {
         baseline_logs(&self.ic, &self.names)
     }
+    fn executed_steps(&self) -> u64 {
+        self.ic.executed_steps()
+    }
     fn next_activity(&self) -> Option<u64> {
         self.ic.next_activity()
     }
@@ -370,6 +392,9 @@ impl Simulation for BusSim {
     }
     fn logs(&self) -> Vec<(&str, &CompletionLog)> {
         baseline_logs(&self.bus, &self.names)
+    }
+    fn executed_steps(&self) -> u64 {
+        self.bus.executed_steps()
     }
     fn next_activity(&self) -> Option<u64> {
         self.bus.next_activity()

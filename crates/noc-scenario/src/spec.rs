@@ -11,6 +11,7 @@ use noc_niu::{
     InitiatorNiu, InitiatorNiuConfig, MemoryTarget, ServiceTarget, SocketInitiator, TargetNiu,
     TargetNiuConfig,
 };
+use noc_physical::LinkConfig;
 use noc_protocols::ahb::AhbMaster;
 use noc_protocols::axi::{AxiMaster, AxiSlave};
 use noc_protocols::ocp::OcpMaster;
@@ -209,6 +210,119 @@ impl SocketSpec {
                 Box::new(VciInitiator::new(VciMaster::new(program, flavor, pipeline)))
             }
         }
+    }
+}
+
+/// Physical-link knob overrides for one link class of the NoC fabric
+/// (`[config]` section keys). A knob left `None` keeps the value the
+/// backend configuration already carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkClassSpec {
+    /// Pipeline register stages (pure latency) along the wire.
+    pub pipeline: Option<u32>,
+    /// Phits per flit (serialisation ratio; 1 = full width).
+    pub phits: Option<u32>,
+    /// Synchroniser depth of asynchronous (CDC) crossings, in
+    /// destination cycles.
+    pub cdc_latency: Option<u32>,
+    /// Maximum flits in flight per link.
+    pub capacity: Option<usize>,
+}
+
+impl LinkClassSpec {
+    /// Returns `true` when no knob is set.
+    pub fn is_empty(&self) -> bool {
+        *self == LinkClassSpec::default()
+    }
+
+    fn apply(&self, mut link: LinkConfig) -> LinkConfig {
+        if let Some(p) = self.pipeline {
+            link.pipeline = p;
+        }
+        if let Some(p) = self.phits {
+            link.phits_per_flit = p;
+        }
+        if let Some(c) = self.cdc_latency {
+            link.cdc_latency = c;
+        }
+        if let Some(c) = self.capacity {
+            link.capacity = c;
+        }
+        link
+    }
+}
+
+/// Spec-level NoC configuration — the serializable first slice of
+/// [`NocConfig`], carried by the `[config]` text section so that
+/// deep-pipeline and CDC-heavy scenarios are files, not recompiles.
+///
+/// The knobs cover what the event-horizon machinery makes matter:
+/// switch buffering plus the physical shape of the two link classes
+/// (switch-to-switch wires and the endpoint injection/ejection links,
+/// whose CDC *divisors* still come from each endpoint's declared
+/// `clock_divisor`). Values are applied on top of the [`NocConfig`]
+/// passed to [`ScenarioSpec::build_noc`]; the baselines have no fabric,
+/// so — like the `routing` knob — the section is NoC-only and ignored
+/// elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NocConfigSpec {
+    /// Switch input buffer depth in flits.
+    pub buffer_depth: Option<usize>,
+    /// Knobs for the switch-to-switch link class (and the default for
+    /// the endpoint class).
+    pub link: LinkClassSpec,
+    /// Endpoint (injection/ejection) link class overrides; a knob left
+    /// `None` falls back to the (possibly overridden) switch class.
+    pub endpoint: LinkClassSpec,
+}
+
+impl NocConfigSpec {
+    /// No overrides.
+    pub fn new() -> Self {
+        NocConfigSpec::default()
+    }
+
+    /// Sets the pipeline depth of both link classes.
+    #[must_use]
+    pub fn with_link_pipeline(mut self, stages: u32) -> Self {
+        self.link.pipeline = Some(stages);
+        self
+    }
+
+    /// Sets the CDC synchroniser depth of both link classes.
+    #[must_use]
+    pub fn with_cdc_latency(mut self, stages: u32) -> Self {
+        self.link.cdc_latency = Some(stages);
+        self
+    }
+
+    /// Sets the in-flight capacity of both link classes.
+    #[must_use]
+    pub fn with_link_capacity(mut self, capacity: usize) -> Self {
+        self.link.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the switch buffer depth.
+    #[must_use]
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = Some(depth);
+        self
+    }
+
+    /// Applies the overrides to a backend configuration. The `link`
+    /// knobs cover both classes; `endpoint` knobs then override the
+    /// endpoint class on top.
+    pub fn apply(&self, mut config: NocConfig) -> NocConfig {
+        if let Some(depth) = self.buffer_depth {
+            config.buffer_depth = depth;
+        }
+        config.link = self.link.apply(config.link);
+        if !self.endpoint.is_empty() || config.endpoint_link.is_some() {
+            let base = self.link.apply(config.endpoint_link.unwrap_or(config.link));
+            config.endpoint_link = Some(self.endpoint.apply(base));
+        }
+        config
     }
 }
 
@@ -795,6 +909,9 @@ pub struct ScenarioSpec {
     pub topology: TopologySpec,
     /// Explicit routing choice; `None` derives it from the topology.
     pub routing: Option<RouteAlgorithm>,
+    /// Spec-level NoC configuration overrides (the `[config]` section);
+    /// `None` keeps whatever the backend configuration carries.
+    pub config: Option<NocConfigSpec>,
 }
 
 impl ScenarioSpec {
@@ -805,6 +922,7 @@ impl ScenarioSpec {
             memories: Vec::new(),
             topology: TopologySpec::Crossbar,
             routing: None,
+            config: None,
         }
     }
 
@@ -836,6 +954,15 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_routing(mut self, routing: RouteAlgorithm) -> Self {
         self.routing = Some(routing);
+        self
+    }
+
+    /// Declares spec-level NoC configuration overrides (serialized as
+    /// the `[config]` section), applied on top of the [`NocConfig`]
+    /// passed to [`ScenarioSpec::build_noc`].
+    #[must_use]
+    pub fn with_config(mut self, config: NocConfigSpec) -> Self {
+        self.config = Some(config);
         self
     }
 
@@ -982,6 +1109,9 @@ impl ScenarioSpec {
     /// Returns [`ScenarioError`] if the declaration is inconsistent.
     pub fn build_noc(&self, mut config: NocConfig) -> Result<NocSim, ScenarioError> {
         let map = self.address_map()?;
+        if let Some(overrides) = &self.config {
+            config = overrides.apply(config);
+        }
         if let Some(routing) = self.routing {
             config.routing = routing;
         } else if matches!(config.routing, RouteAlgorithm::ShortestPath)

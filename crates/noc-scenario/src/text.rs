@@ -21,6 +21,18 @@
 //! # custom: switches = N, links = [[0, 1], …], placement = [0, 0, 1, …]
 //! routing = "xy:2x2"            # optional: shortest | updown | xy:WxH
 //!
+//! [config]                      # optional NoC transport/physical knobs
+//! buffer_depth = 8              # switch input buffers, in flits
+//! link_pipeline = 9             # both link classes unless overridden:
+//! link_phits = 1                #   pipeline stages, phits per flit,
+//! link_cdc_latency = 2          #   CDC synchroniser depth, in-flight
+//! link_capacity = 16            #   capacity
+//! endpoint_pipeline = 2         # endpoint (injection/ejection) link
+//! # endpoint_phits / endpoint_cdc_latency / endpoint_capacity likewise
+//! # override the endpoint class; CDC *divisors* of that class come from
+//! # each endpoint's clock_divisor. NoC backend only (baselines have no
+//! # fabric), like `routing`.
+//!
 //! [[initiator]]
 //! name = "dma"
 //! socket = "axi"                # ahb | ocp | axi | strm | pvci | bvci | avci
@@ -104,8 +116,8 @@
 
 use crate::sim::StepMode;
 use crate::spec::{
-    Backend, InitiatorSpec, MemorySpec, ScenarioError, ScenarioSpec, SocketSpec, TargetSpec,
-    TopologySpec,
+    Backend, InitiatorSpec, LinkClassSpec, MemorySpec, NocConfigSpec, ScenarioError, ScenarioSpec,
+    SocketSpec, TargetSpec, TopologySpec,
 };
 use crate::sweep::{Sweep, SweepPoint};
 use noc_protocols::vci::VciFlavor;
@@ -409,6 +421,21 @@ fn emit_command(cmd: &SocketCommand) -> String {
     s
 }
 
+fn emit_link_class(out: &mut String, prefix: &str, class: &LinkClassSpec) {
+    if let Some(p) = class.pipeline {
+        out.push_str(&format!("{prefix}_pipeline = {p}\n"));
+    }
+    if let Some(p) = class.phits {
+        out.push_str(&format!("{prefix}_phits = {p}\n"));
+    }
+    if let Some(c) = class.cdc_latency {
+        out.push_str(&format!("{prefix}_cdc_latency = {c}\n"));
+    }
+    if let Some(c) = class.capacity {
+        out.push_str(&format!("{prefix}_capacity = {c}\n"));
+    }
+}
+
 fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
     out.push_str("[topology]\n");
     match &spec.topology {
@@ -437,6 +464,15 @@ fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
     }
     if let Some(r) = spec.routing {
         out.push_str(&format!("routing = \"{}\"\n", routing_name(r)));
+    }
+    if let Some(cfg) = &spec.config {
+        out.push('\n');
+        out.push_str("[config]\n");
+        if let Some(depth) = cfg.buffer_depth {
+            out.push_str(&format!("buffer_depth = {depth}\n"));
+        }
+        emit_link_class(out, "link", &cfg.link);
+        emit_link_class(out, "endpoint", &cfg.endpoint);
     }
     for ini in &spec.initiators {
         out.push('\n');
@@ -715,13 +751,17 @@ impl Section {
 #[derive(Debug, Default)]
 struct DocBuf {
     topology: Option<Section>,
+    config: Option<Section>,
     initiators: Vec<Section>,
     memories: Vec<Section>,
 }
 
 impl DocBuf {
     fn is_empty(&self) -> bool {
-        self.topology.is_none() && self.initiators.is_empty() && self.memories.is_empty()
+        self.topology.is_none()
+            && self.config.is_none()
+            && self.initiators.is_empty()
+            && self.memories.is_empty()
     }
 }
 
@@ -736,6 +776,7 @@ struct PointBuf {
 enum Cursor {
     None,
     Topology,
+    Config,
     Initiator,
     Memory,
     Sweep,
@@ -775,6 +816,13 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
                     }
                     doc.topology = Some(Section::new("topology", no));
                     Cursor::Topology
+                }
+                ("config", false) => {
+                    if doc.config.is_some() {
+                        return Err(syntax(no, col, "second [config] section in one scenario"));
+                    }
+                    doc.config = Some(Section::new("config", no));
+                    Cursor::Config
                 }
                 ("initiator", true) => {
                     doc.initiators.push(Section::new("initiator", no));
@@ -818,7 +866,7 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
                     });
                     Cursor::Point
                 }
-                ("topology" | "sweep", true) => {
+                ("topology" | "config" | "sweep", true) => {
                     return Err(syntax(no, col, format!("[{name}] takes single brackets")));
                 }
                 ("initiator" | "memory" | "target" | "sweep.point", false) => {
@@ -846,6 +894,11 @@ pub fn parse_document(text: &str) -> Result<Document, ParseError> {
             }
             Cursor::Topology => doc
                 .topology
+                .as_mut()
+                .expect("cursor points at a live section")
+                .push(entry),
+            Cursor::Config => doc
+                .config
                 .as_mut()
                 .expect("cursor points at a live section")
                 .push(entry),
@@ -1348,6 +1401,38 @@ fn finalize_topology(
     Ok((topology, routing))
 }
 
+fn finalize_link_class(sec: &mut Section, prefix: &str) -> Result<LinkClassSpec, ParseError> {
+    let key = |suffix: &str| format!("{prefix}_{suffix}");
+    let mut class = LinkClassSpec::default();
+    if let Some(e) = sec.take(&key("pipeline"))? {
+        class.pipeline = Some(e.int_max(u32::MAX as u64)? as u32);
+    }
+    if let Some(e) = sec.take(&key("phits"))? {
+        class.phits = Some(e.nonzero(u32::MAX as u64)? as u32);
+    }
+    if let Some(e) = sec.take(&key("cdc_latency"))? {
+        class.cdc_latency = Some(e.int_max(u32::MAX as u64)? as u32);
+    }
+    if let Some(e) = sec.take(&key("capacity"))? {
+        class.capacity = Some(e.nonzero(1 << 20)? as usize);
+    }
+    Ok(class)
+}
+
+fn finalize_config(section: Option<Section>) -> Result<Option<NocConfigSpec>, ParseError> {
+    let Some(mut sec) = section else {
+        return Ok(None);
+    };
+    let mut cfg = NocConfigSpec::default();
+    if let Some(e) = sec.take("buffer_depth")? {
+        cfg.buffer_depth = Some(e.nonzero(1 << 20)? as usize);
+    }
+    cfg.link = finalize_link_class(&mut sec, "link")?;
+    cfg.endpoint = finalize_link_class(&mut sec, "endpoint")?;
+    sec.finish()?;
+    Ok(Some(cfg))
+}
+
 /// Finalized endpoint plus the line its name was declared on, for
 /// document-level duplicate/overlap diagnostics.
 struct Named<T> {
@@ -1442,6 +1527,7 @@ fn finalize_doc(doc: DocBuf) -> Result<ScenarioSpec, ParseError> {
     let (topology, routing) = finalize_topology(doc.topology)?;
     let mut spec = ScenarioSpec::new().with_topology(topology);
     spec.routing = routing;
+    spec.config = finalize_config(doc.config)?;
     let mut names: Vec<(String, usize)> = Vec::new();
     let check_name = |name: &str, line: usize, names: &mut Vec<(String, usize)>| {
         if names.iter().any(|(n, _)| n == name) {
@@ -1518,6 +1604,48 @@ mod tests {
             .memory(MemorySpec::new("lo", 0x0, 0x1000, 2))
             .memory(MemorySpec::new("hi", 0x1000, 0x2000, 5).with_queue(4))
             .with_topology(TopologySpec::Ring { switches: 3 })
+    }
+
+    #[test]
+    fn config_section_round_trips() {
+        let mut cfg = NocConfigSpec::new()
+            .with_link_pipeline(9)
+            .with_link_capacity(32)
+            .with_buffer_depth(4);
+        cfg.link.phits = Some(2);
+        cfg.endpoint.pipeline = Some(1);
+        cfg.endpoint.cdc_latency = Some(4);
+        let spec = ScenarioSpec::new()
+            .initiator(InitiatorSpec::new("m", SocketSpec::Ahb, Vec::new()))
+            .memory(MemorySpec::new("mem", 0, 0x100, 1))
+            .with_config(cfg);
+        let text = spec.to_text();
+        assert!(text.contains("[config]"), "{text}");
+        assert!(text.contains("link_pipeline = 9"), "{text}");
+        assert!(text.contains("endpoint_cdc_latency = 4"), "{text}");
+        let back = ScenarioSpec::from_text(&text).expect("emitted text parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_text(), text);
+        // An empty [config] section is a valid (if pointless) fixpoint.
+        let bare = spec.clone().with_config(NocConfigSpec::default());
+        let back = ScenarioSpec::from_text(&bare.to_text()).expect("parses");
+        assert_eq!(back.config, Some(NocConfigSpec::default()));
+    }
+
+    #[test]
+    fn config_rejects_unknown_and_zero_width_knobs() {
+        let prefix = "[config]\n";
+        let err = ScenarioSpec::from_text(&format!("{prefix}link_width = 2\n")).unwrap_err();
+        let ScenarioError::Parse(e) = err else {
+            panic!("expected parse error");
+        };
+        assert_eq!(e.kind, ParseErrorKind::UnknownKey("link_width".into()));
+        assert_eq!(e.line, 2);
+        let err = ScenarioSpec::from_text(&format!("{prefix}link_phits = 0\n")).unwrap_err();
+        let ScenarioError::Parse(e) = err else {
+            panic!("expected parse error");
+        };
+        assert!(matches!(e.kind, ParseErrorKind::BadValue { ref key, .. } if key == "link_phits"));
     }
 
     #[test]

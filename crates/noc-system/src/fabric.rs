@@ -1,6 +1,7 @@
 //! One direction of the NoC: switches plus physical links, wired from a
 //! topology, with end-to-end credit flow control.
 
+use noc_kernel::Horizon;
 use noc_physical::{Link, LinkConfig};
 use noc_topology::{RouteAlgorithm, Topology};
 use noc_transport::{Flit, PortId, RoutingTable, Switch, SwitchConfig, SwitchMode};
@@ -52,7 +53,10 @@ pub struct Fabric {
 
 impl Fabric {
     /// Builds the fabric over `topology` with the given switch mode,
-    /// buffer depth, link configuration and routing algorithm.
+    /// buffer depth, per-class link configurations and routing
+    /// algorithm. `link_cfg` shapes the switch-to-switch links,
+    /// `endpoint_link_cfg` the injection/ejection links — the two
+    /// physical link classes of the fabric.
     ///
     /// Endpoint clock divisors (`node → divisor`) shape the injection and
     /// ejection links' CDC behaviour; switches run on the base clock.
@@ -65,6 +69,7 @@ impl Fabric {
         mode: SwitchMode,
         buffer_depth: usize,
         link_cfg: LinkConfig,
+        endpoint_link_cfg: LinkConfig,
         routing: RouteAlgorithm,
         clock_of: &dyn Fn(u16) -> u64,
     ) -> Result<Fabric, noc_topology::TopologyError> {
@@ -136,12 +141,12 @@ impl Fabric {
             let inj_cfg = LinkConfig {
                 src_divisor: div,
                 dst_divisor: 1,
-                ..link_cfg
+                ..endpoint_link_cfg
             };
             let ej_cfg = LinkConfig {
                 src_divisor: 1,
                 dst_divisor: div,
-                ..link_cfg
+                ..endpoint_link_cfg
             };
             let inj_idx = fabric.links.len();
             fabric.links.push(FabricLink {
@@ -286,14 +291,48 @@ impl Fabric {
             && self.stash.iter().flatten().all(|q| q.is_empty())
     }
 
-    /// Returns `true` when ticking the fabric is provably a no-op until
-    /// the next injection: nothing buffered or in flight, and no switch
-    /// output pinned by a locked sequence (a pinned output counts lock
-    /// statistics every cycle, see [`Switch::is_quiescent`]).
-    pub fn is_quiescent(&self) -> bool {
-        self.switches.iter().all(|s| s.is_quiescent())
-            && self.links.iter().all(|l| l.link.in_flight() == 0)
-            && self.stash.iter().flatten().all(|q| q.is_empty())
+    /// The fabric's event horizon: the earliest base cycle at or after
+    /// `now` at which ticking it can change state, or `None` when every
+    /// switch, stash and link is empty.
+    ///
+    /// Buffered flits demand dense ticking (switches arbitrate, stall
+    /// and count every cycle), but a fabric whose only traffic is *in
+    /// flight on links* — deep in a pipelined crossing, or waiting out a
+    /// CDC synchroniser — reports the earliest arrival instead, so the
+    /// caller can jump straight to it. Idle switches with pinned locks
+    /// constrain nothing here; their per-cycle lock-idle statistics are
+    /// bulk-accounted by [`Fabric::skip_cycles`].
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        // Any buffered flit pins the answer to `now`; stop scanning —
+        // nothing can merge earlier (saturated fabrics hit this every
+        // cycle, so the short-circuit keeps horizon bookkeeping cheap
+        // exactly where it wins nothing).
+        for s in &self.switches {
+            if s.next_event_at(now).is_some() {
+                return Some(now);
+            }
+        }
+        if self.stash.iter().flatten().any(|q| !q.is_empty()) {
+            return Some(now);
+        }
+        let mut horizon = Horizon::new();
+        for l in &self.links {
+            horizon.merge(l.link.next_event_at(now));
+        }
+        horizon.earliest()
+    }
+
+    /// Accounts `cycles` skipped fabric ticks: forwards the bulk
+    /// lock-idle accounting to every switch (see
+    /// [`Switch::skip_cycles`]). Links and stashes need nothing — their
+    /// state is timestamped, not counted per cycle.
+    ///
+    /// Callers must only skip cycles [`Fabric::next_event_at`] proved
+    /// dead.
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        for s in &mut self.switches {
+            s.skip_cycles(cycles);
+        }
     }
 
     /// Aggregate switch statistics.

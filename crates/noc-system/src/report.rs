@@ -46,7 +46,7 @@ impl fmt::Display for MasterReport {
 }
 
 /// Aggregate fabric results.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FabricReport {
     /// Flits delivered to targets (request network).
     pub request_flits: u64,

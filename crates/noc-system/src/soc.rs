@@ -18,8 +18,13 @@ pub struct NocConfig {
     pub mode: SwitchMode,
     /// Switch input buffer depth in flits.
     pub buffer_depth: usize,
-    /// Physical link configuration applied to every link.
+    /// Physical link configuration of the switch-to-switch link class
+    /// (and, unless overridden, of the endpoint links too).
     pub link: LinkConfig,
+    /// Physical link configuration of the endpoint (injection/ejection)
+    /// link class; `None` uses [`NocConfig::link`]. Divisors are still
+    /// derived per endpoint from its clock declaration.
+    pub endpoint_link: Option<LinkConfig>,
     /// Routing algorithm.
     pub routing: RouteAlgorithm,
 }
@@ -32,6 +37,7 @@ impl NocConfig {
             mode: SwitchMode::Wormhole,
             buffer_depth: 8,
             link: LinkConfig::new(),
+            endpoint_link: None,
             routing: RouteAlgorithm::ShortestPath,
         }
     }
@@ -50,10 +56,19 @@ impl NocConfig {
         self
     }
 
-    /// Sets the link configuration.
+    /// Sets the link configuration (both classes, unless an endpoint
+    /// class override is also set).
     #[must_use]
     pub fn with_link(mut self, link: LinkConfig) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Overrides the endpoint (injection/ejection) link class, leaving
+    /// switch-to-switch links on [`NocConfig::link`].
+    #[must_use]
+    pub fn with_endpoint_link(mut self, link: LinkConfig) -> Self {
+        self.endpoint_link = Some(link);
         self
     }
 
@@ -224,11 +239,13 @@ impl SocBuilder {
                 .map(|&(_, d)| d)
                 .unwrap_or(1)
         };
+        let endpoint_link = self.config.endpoint_link.unwrap_or(self.config.link);
         let request = Fabric::new(
             &self.topology,
             self.config.mode,
             self.config.buffer_depth,
             self.config.link,
+            endpoint_link,
             self.config.routing,
             &clock_of,
         )?;
@@ -237,6 +254,7 @@ impl SocBuilder {
             self.config.mode,
             self.config.buffer_depth,
             self.config.link,
+            endpoint_link,
             self.config.routing,
             &clock_of,
         )?;
@@ -253,6 +271,7 @@ impl SocBuilder {
             request,
             response,
             now: 0,
+            steps: 0,
         })
     }
 }
@@ -266,6 +285,8 @@ pub struct Soc {
     request: Fabric,
     response: Fabric,
     now: u64,
+    /// Base cycles actually executed (skipped cycles excluded).
+    steps: u64,
 }
 
 impl Soc {
@@ -274,9 +295,17 @@ impl Soc {
         self.now
     }
 
+    /// Base cycles actually stepped, excluding the cycles horizon
+    /// stepping jumped over — dense runs execute exactly [`Soc::now`]
+    /// steps, so the dense/horizon ratio measures the skip win.
+    pub fn executed_steps(&self) -> u64 {
+        self.steps
+    }
+
     /// Advances the whole system one base cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        self.steps += 1;
         // 1. Endpoint compute on their clock edges.
         for (i, ep) in self.endpoints.iter_mut().enumerate() {
             if self.clocks.is_active(self.clock_ids[i], now) {
@@ -329,36 +358,54 @@ impl Soc {
 
     /// The earliest base cycle at which the system's state can possibly
     /// change, or `None` when no component will ever act again absent
-    /// external input.
+    /// external input: the min-combine of every layer's event horizon.
     ///
-    /// While either fabric carries traffic (or holds a pinned lock) the
-    /// answer is the current cycle — flits move every base cycle. With
-    /// both fabrics quiescent, only endpoint clock edges matter: each
-    /// endpoint reports how many of its upcoming local ticks are no-ops
-    /// ([`NocEndpoint::idle_ticks`]) and the [`ClockSet`] maps that local
-    /// horizon back onto the base timeline.
+    /// - Each fabric reports [`Fabric::next_event_at`]: dense while any
+    ///   switch buffers a flit, but the earliest in-flight *link*
+    ///   arrival when the only traffic is deep inside pipelined or CDC
+    ///   crossings — in-flight flits no longer force per-cycle ticking.
+    /// - Each endpoint reports its local-tick horizon
+    ///   ([`NocEndpoint::idle_ticks`], mapped onto the base timeline
+    ///   through the [`ClockSet`]) and, when its next action is pinned
+    ///   to an absolute cycle (a memory service completing), the
+    ///   [`NocEndpoint::ready_at`] refinement — both proofs of deadness
+    ///   hold, so the later one wins for that endpoint.
     pub fn next_activity(&self) -> Option<u64> {
-        if !self.request.is_quiescent() || !self.response.is_quiescent() {
-            return Some(self.now);
-        }
-        let mut next: Option<u64> = None;
+        let mut horizon = noc_kernel::Horizon::new();
+        horizon.merge(self.request.next_event_at(self.now));
+        horizon.merge(self.response.next_event_at(self.now));
         for (i, ep) in self.endpoints.iter().enumerate() {
-            let idle = ep.inner.idle_ticks();
-            if idle == u64::MAX {
-                continue; // quiescent until input: no self-activity
+            // Every contribution is ≥ now, so once the fold reaches
+            // `now` nothing can improve it — stop scanning (the common
+            // case on busy fabrics, where this runs every cycle).
+            if horizon.earliest() == Some(self.now) {
+                return Some(self.now);
             }
             let domain = self.clocks.domain(self.clock_ids[i]);
             let edge = domain.next_active(self.now);
-            let t = edge.saturating_add(idle.saturating_mul(domain.divisor()));
-            next = Some(next.map_or(t, |n| n.min(t)));
+            let idle = ep.inner.idle_ticks();
+            let from_idle = (idle != u64::MAX)
+                .then(|| edge.saturating_add(idle.saturating_mul(domain.divisor())));
+            let from_ready = ep
+                .inner
+                .ready_at()
+                .map(|ready| domain.next_active(ready.max(self.now)));
+            // Each hook independently proves every tick before its cycle
+            // a no-op; the endpoint's next activity is at the *later*
+            // bound (the union of the dead regions).
+            horizon.merge(match (from_idle, from_ready) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            });
         }
-        next
+        horizon.earliest()
     }
 
     /// Jumps simulation time to `target` across a provably-dead gap: for
     /// every endpoint the clock edges inside `[now, target)` are
-    /// accounted through [`NocEndpoint::skip_ticks`] instead of being
-    /// stepped, leaving bit-identical state.
+    /// accounted through [`NocEndpoint::skip_ticks`], and both fabrics
+    /// bulk-account their lock-idle statistics through
+    /// [`Fabric::skip_cycles`], leaving bit-identical state.
     ///
     /// Callers must only pass targets at or before the cycle returned by
     /// [`Soc::next_activity`].
@@ -370,6 +417,9 @@ impl Soc {
                 ep.inner.skip_ticks(ticks);
             }
         }
+        let cycles = target - self.now;
+        self.request.skip_cycles(cycles);
+        self.response.skip_cycles(cycles);
         self.now = target;
     }
 

@@ -228,13 +228,35 @@ impl Switch {
         self.inputs.iter().all(|f| f.is_empty()) && self.in_alloc.iter().all(|a| a.is_none())
     }
 
-    /// Returns `true` if ticking the switch is provably a no-op until new
-    /// flits arrive. Stricter than [`Switch::is_idle`]: an idle switch
-    /// with an output still pinned by a locked sequence keeps counting
-    /// [`SwitchStats::lock_idle_cycles`] every cycle, so it must be
-    /// ticked densely.
-    pub fn is_quiescent(&self) -> bool {
-        self.is_idle() && self.out_lock.iter().all(|l| l.is_none())
+    /// The switch's event horizon: the earliest base cycle at or after
+    /// `now` at which ticking it can move a flit, or `None` when no
+    /// buffered flit exists. A switch holding any flit (or streaming
+    /// allocation) may move — and accrues stall counters — every cycle,
+    /// so it reports `Some(now)`; an idle switch reports `None` even
+    /// when an output is still pinned by a locked sequence, because the
+    /// only thing dense ticks would do then is count
+    /// [`SwitchStats::lock_idle_cycles`] — which
+    /// [`Switch::skip_cycles`] accounts in bulk, bit-identically.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    /// Accounts `cycles` skipped ticks of an idle switch: every output
+    /// pinned by a locked sequence would have counted one
+    /// [`SwitchStats::lock_idle_cycles`] per tick (it has no candidate
+    /// flits — the switch is idle), so the bulk add leaves the counters
+    /// exactly as dense ticking would have.
+    ///
+    /// Callers must only skip while [`Switch::next_event_at`] returns
+    /// `None`.
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.is_idle(), "skipping a switch that holds flits");
+        let locked = self.out_lock.iter().filter(|l| l.is_some()).count() as u64;
+        self.stats.lock_idle_cycles += locked * cycles;
     }
 
     /// Advances the switch one cycle: allocates outputs to waiting heads,
@@ -578,6 +600,34 @@ mod tests {
         inject(&mut sw, 1, &packet(0, 2, 0, 0));
         let _ = drain(&mut sw, 6);
         assert!(sw.stats().lock_idle_cycles > 0);
+    }
+
+    #[test]
+    fn next_event_at_is_dense_while_flits_are_buffered() {
+        let mut sw = switch2x2(SwitchMode::Wormhole);
+        assert_eq!(sw.next_event_at(7), None);
+        inject(&mut sw, 0, &packet(1, 7, 0, 0));
+        assert_eq!(sw.next_event_at(7), Some(7));
+        let _ = drain(&mut sw, 3);
+        assert_eq!(sw.next_event_at(10), None);
+    }
+
+    #[test]
+    fn skip_cycles_matches_dense_lock_idle_accounting() {
+        // Two identical switches holding an idle pinned lock: one ticked
+        // densely, one bulk-skipped — counters must agree exactly.
+        let mut dense = switch2x2(SwitchMode::Wormhole);
+        inject(&mut dense, 0, &locked_packet(0, 1, false));
+        let _ = drain(&mut dense, 3); // locked packet fully forwarded
+        assert!(dense.is_idle());
+        assert!(dense.is_output_locked(0));
+        assert_eq!(dense.next_event_at(5), None, "idle lock is skippable");
+        let mut skipped = dense.clone();
+        for _ in 0..17 {
+            let _ = dense.tick();
+        }
+        skipped.skip_cycles(17);
+        assert_eq!(dense.stats(), skipped.stats());
     }
 
     #[test]

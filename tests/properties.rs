@@ -275,16 +275,25 @@ fn endianness_is_involution() {
 /// A random valid scenario exercising every serializable knob: socket
 /// mixes and parameters, target kinds (memory, AXI slave, service
 /// block), ordering/outstanding/pressure/flit overrides, clock
-/// divisors, burst kinds, delays and all four topology shapes.
+/// divisors, burst kinds, delays, `[config]` link-class overrides
+/// (pipeline depth, CDC synchroniser depth, per-class splits) and all
+/// four topology shapes. Half the time the programs issue back-to-back
+/// (no delays), so the dense ≡ horizon property is checked *while
+/// traffic is in flight*, not just across quiescent gaps.
 #[cfg(test)]
 fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSpec {
     use noc_protocols::SocketCommand;
     use noc_scenario::{
-        InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, TargetSpec, TopologySpec,
+        InitiatorSpec, MemorySpec, NocConfigSpec, ScenarioSpec, SocketSpec, TargetSpec,
+        TopologySpec,
     };
     use noc_transaction::Opcode;
 
     let masters = rng.next_range(1, 4) as usize;
+    // Back-to-back mode: no inter-command delays anywhere, so horizon
+    // skips can only come from in-flight horizons (links, service
+    // windows), never from quiescent gaps.
+    let back_to_back = rng.chance(0.5);
     let mut spec = ScenarioSpec::new();
     for m in 0..masters {
         let base = m as u64 * 0x1000;
@@ -338,9 +347,14 @@ fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSp
                 } else {
                     BurstKind::Incr
                 };
+                let delay = if back_to_back {
+                    0
+                } else {
+                    rng.next_below(200) as u32 * (i as u32 % 3)
+                };
                 let mut cmd = cmd
                     .with_burst(kind, beats)
-                    .with_delay(rng.next_below(200) as u32 * (i as u32 % 3))
+                    .with_delay(delay)
                     .with_stream(StreamId::new(rng.next_below(streams) as u16));
                 if posted_ok && cmd.opcode == Opcode::Write && rng.chance(0.3) {
                     cmd = cmd.with_opcode(Opcode::WritePosted);
@@ -391,6 +405,32 @@ fn arb_scenario(rng: &mut SplitMix64, clocked: bool) -> noc_scenario::ScenarioSp
             mem = mem.with_clock_divisor(rng.next_range(1, 3));
         }
         spec = spec.memory(mem);
+    }
+    // The `[config]` section: random link pipeline depths, CDC
+    // synchroniser depths and a per-class endpoint split — the knobs
+    // the event-horizon machinery must time-warp through exactly.
+    if rng.chance(0.5) {
+        let mut cfg = NocConfigSpec::new();
+        if rng.chance(0.8) {
+            cfg.link.pipeline = Some(rng.next_below(13) as u32);
+        }
+        if rng.chance(0.3) {
+            cfg.link.phits = Some(1 << rng.next_below(2));
+        }
+        if rng.chance(0.4) {
+            cfg.link.cdc_latency = Some(rng.next_range(1, 6) as u32);
+        }
+        if rng.chance(0.4) {
+            cfg.endpoint.pipeline = Some(rng.next_below(5) as u32);
+        }
+        // Ample capacity keeps deep pipelines from starving on the
+        // default 16-flit window (back-pressure is still correct, just
+        // slower to simulate densely).
+        cfg.link.capacity = Some(64);
+        if rng.chance(0.3) {
+            cfg.buffer_depth = Some(rng.next_range(4, 17) as usize);
+        }
+        spec = spec.with_config(cfg);
     }
     let endpoints = 2 * masters;
     spec.with_topology(match rng.next_below(4) {
@@ -488,61 +528,38 @@ fn scenario_text_round_trips_and_runs_identically() {
 
 /// Randomised scenarios: horizon stepping must be record-identical
 /// (timestamps included) to dense polling on every backend, across
-/// random programs, gaps, socket mixes and clock divisors.
+/// random programs, gaps, socket mixes, target kinds, clock divisors
+/// and `[config]` link shapes — including the back-to-back cases where
+/// every skipped cycle lies *inside* an in-flight transaction (deep
+/// pipelined crossings, CDC synchronisers, memory service windows)
+/// rather than in a quiescent gap.
 #[test]
 fn horizon_stepping_equals_dense_on_random_scenarios() {
-    use noc_protocols::SocketCommand;
-    use noc_scenario::{Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, StepMode};
+    use noc_scenario::{Backend, StepMode, TargetSpec};
 
     let mut rng = SplitMix64::new(0x40712);
-    for case in 0..25 {
-        let masters = rng.next_range(1, 4) as usize;
-        let mut spec = ScenarioSpec::new();
+    for case in 0..30 {
         let clocked = rng.chance(0.4); // divided clocks → NoC only
-        for m in 0..masters {
-            let base = m as u64 * 0x1000;
-            let n_cmds = rng.next_range(2, 8) as usize;
-            let program: Vec<SocketCommand> = (0..n_cmds)
-                .map(|i| {
-                    let addr = (base + 0x40 + rng.next_below(0xE00)) & !0x3F;
-                    let cmd = if rng.chance(0.5) {
-                        SocketCommand::read(addr, 4)
-                    } else {
-                        SocketCommand::write(addr, 4, rng.next_u64())
-                    };
-                    cmd.with_burst(BurstKind::Incr, 1 << rng.next_below(3))
-                        .with_delay(rng.next_below(400) as u32 * (i as u32 % 3))
-                })
-                .collect();
-            let socket = match rng.next_below(4) {
-                0 => SocketSpec::Ahb,
-                1 => SocketSpec::bvci(),
-                2 => SocketSpec::strm(),
-                _ => SocketSpec::Ocp {
-                    threads: 1,
-                    per_thread: 2,
-                },
-            };
-            let mut ini = InitiatorSpec::new(&format!("m{m}"), socket, program);
-            if clocked {
-                ini = ini.with_clock_divisor(rng.next_range(1, 4));
+        let spec = arb_scenario(&mut rng, clocked);
+        // The bus rejects target-owned exclusive ports with a typed
+        // error; skip it for those specs (covered in scenario_api.rs).
+        let bus_ok = !spec.memories.iter().any(|m| {
+            matches!(
+                m.target,
+                TargetSpec::Service {
+                    exclusive: true,
+                    ..
+                }
+            )
+        });
+        let mut backends = vec![Backend::noc()];
+        if !clocked {
+            backends.push(Backend::bridged());
+            if bus_ok {
+                backends.push(Backend::bus());
             }
-            spec = spec.initiator(ini);
         }
-        for m in 0..masters {
-            spec = spec.memory(MemorySpec::new(
-                &format!("mem{m}"),
-                m as u64 * 0x1000,
-                (m as u64 + 1) * 0x1000,
-                rng.next_range(1, 6) as u32,
-            ));
-        }
-        let backends: &[Backend] = if clocked {
-            &[Backend::noc()]
-        } else {
-            &[Backend::noc(), Backend::bridged(), Backend::bus()]
-        };
-        for backend in backends {
+        for backend in &backends {
             let run = |mode: StepMode| {
                 let mut sim = spec.build(backend).expect("valid random spec");
                 let drained = sim.run_until_with(3_000_000, mode);
