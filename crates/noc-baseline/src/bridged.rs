@@ -37,6 +37,7 @@ impl Default for BridgeConfig {
     }
 }
 
+#[derive(Clone)]
 struct SubRequest {
     parent_slot: usize,
     addr: u64,
@@ -44,6 +45,7 @@ struct SubRequest {
     eligible_at: u64,
 }
 
+#[derive(Clone)]
 struct InflightParent {
     req: TransactionRequest,
     collected: Vec<u8>,
@@ -55,7 +57,7 @@ struct InflightParent {
     exclusive_ok: Option<bool>,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct BridgeState {
     /// In-flight socket transactions (bounded by `bridge_outstanding`).
     inflight: Vec<Option<InflightParent>>,
@@ -72,6 +74,7 @@ impl BridgeState {
     }
 }
 
+#[derive(Clone)]
 struct CentralSlave {
     node: SlvAddr,
     /// Base address, kept for debugging/reporting symmetry with the bus.
@@ -90,6 +93,7 @@ struct CentralSlave {
 /// not a bus), but each bridge clamps its master to
 /// [`BridgeConfig::bridge_outstanding`] transactions and chops bursts —
 /// the protocol-feature loss of Fig 2.
+#[derive(Clone)]
 pub struct BridgedInterconnect {
     config: BridgeConfig,
     masters: Vec<AttachedMaster>,
@@ -127,6 +131,30 @@ impl BridgedInterconnect {
             .resize_with(self.config.bridge_outstanding as usize, || None);
         self.bridges.push(state);
         self
+    }
+
+    /// Loads one socket program per attached master (attachment order)
+    /// into an interconnect that has not started executing — the
+    /// warm-state forking hook (see `Soc::load_programs` in
+    /// `noc-system`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interconnect already stepped, or if the program
+    /// count does not match the master count.
+    pub fn load_programs(&mut self, programs: &[noc_protocols::Program]) {
+        assert!(
+            self.now == 0 && self.steps == 0,
+            "programs can only be loaded before execution starts"
+        );
+        assert_eq!(
+            programs.len(),
+            self.masters.len(),
+            "one program per attached master"
+        );
+        for (master, program) in self.masters.iter_mut().zip(programs) {
+            master.fe.load_program(program.clone());
+        }
     }
 
     /// Attaches a memory slave at crossbar port `node`, identified inside

@@ -26,6 +26,7 @@ impl Default for BusConfig {
     }
 }
 
+#[derive(Clone)]
 struct BusSlave {
     base: u64,
     mem: MemoryModel,
@@ -38,6 +39,7 @@ struct BusSlave {
 /// Multi-threaded and ID-based masters lose their concurrency here —
 /// everything is serialised, which is exactly what the Fig 1 / Fig 2
 /// comparison measures.
+#[derive(Clone)]
 pub struct SharedBus {
     config: BusConfig,
     masters: Vec<AttachedMaster>,
@@ -75,6 +77,29 @@ impl SharedBus {
     pub fn add_master(&mut self, master: AttachedMaster) -> &mut Self {
         self.masters.push(master);
         self
+    }
+
+    /// Loads one socket program per attached master (attachment order)
+    /// into a bus that has not started executing — the warm-state
+    /// forking hook (see `Soc::load_programs` in `noc-system`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus already stepped, or if the program count does
+    /// not match the master count.
+    pub fn load_programs(&mut self, programs: &[noc_protocols::Program]) {
+        assert!(
+            self.now == 0 && self.steps == 0,
+            "programs can only be loaded before execution starts"
+        );
+        assert_eq!(
+            programs.len(),
+            self.masters.len(),
+            "one program per attached master"
+        );
+        for (master, program) in self.masters.iter_mut().zip(programs) {
+            master.fe.load_program(program.clone());
+        }
     }
 
     /// Attaches a memory slave serving the address range that the map

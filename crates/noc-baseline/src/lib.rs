@@ -120,6 +120,7 @@ impl SlaveTiming {
 }
 
 /// A master attached to a baseline: its front end plus a name.
+#[derive(Clone)]
 pub struct AttachedMaster {
     /// Display name.
     pub name: String,

@@ -108,7 +108,25 @@ fn set_top(commands: usize, seed: u64) -> (noc_scenario::ScenarioSpec, SetTopCon
     (SetTop::new(cfg).spec(), cfg)
 }
 
+/// The one-shot runner the serve benchmark spawns: parse one scenario
+/// file, build the NoC backend, run to completion — the work a fresh
+/// `scn` process does per request, startup cost included.
+fn oneshot_point(path: &str) {
+    let text = std::fs::read_to_string(path).expect("point file");
+    let spec = noc_scenario::ScenarioSpec::from_text(&text).expect("point parses");
+    let mut sim = spec
+        .build(&noc_scenario::Backend::noc())
+        .expect("consistent");
+    assert!(sim.run_until(1_000_000));
+    println!("{} cycles, {} steps", sim.now(), sim.executed_steps());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--oneshot") {
+        oneshot_point(&args[i + 1]);
+        return;
+    }
     let mut h = Harness::default();
     println!("{:<22} {:<28} {:>22}", "group", "case", "mean");
 
@@ -254,6 +272,86 @@ fn main() {
             sim.now()
         });
     }
+
+    // Warm-state reuse vs one-shot execution on a prefix-sharing
+    // 100-point sweep (6x6 mesh platform, tiny per-point programs —
+    // the parameter-study shape `scn serve` exists for). "oneshot"
+    // answers each point the way a one-shot `scn` invocation does:
+    // a fresh process that parses the point's file, builds the
+    // platform and runs it (this binary re-executes itself in the
+    // `--oneshot` runner mode below). "warm" hands the whole sweep to
+    // the serve executor as one request against a resident checkpoint
+    // cache: the file is parsed once and every point forks from the
+    // already-built platform. Both sides are single-threaded. The bar —
+    // warm turns the same 100 requests around at least twice as fast —
+    // is asserted below, not just recorded.
+    let serve_sweep = noc_bench::scenarios::serve_sweep(6, 100);
+    let serve_dir = std::env::temp_dir().join(format!("noc-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&serve_dir).expect("temp dir");
+    let point_files: Vec<std::path::PathBuf> = serve_sweep
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(k, p)| {
+            let path = serve_dir.join(format!("p{k:02}.scn"));
+            std::fs::write(&path, p.spec.to_text()).expect("temp point file");
+            path
+        })
+        .collect();
+    let exe = std::env::current_exe().expect("self path");
+    h.case("serve", "oneshot_scn_100pt_mesh6", 2000, || {
+        for file in &point_files {
+            let status = std::process::Command::new(&exe)
+                .arg("--oneshot")
+                .arg(file)
+                .stdout(std::process::Stdio::null())
+                .status()
+                .expect("spawn one-shot runner");
+            assert!(status.success());
+        }
+    });
+    let sweep_text = serve_sweep.to_text();
+    let serve_cache = std::sync::Mutex::new(noc_serve::CheckpointCache::new(8));
+    let serve_config = noc_serve::ServeConfig {
+        threads: Some(1),
+        ..noc_serve::ServeConfig::default()
+    };
+    h.case("serve", "warm_serve_100pt_mesh6", 2000, || {
+        let request = noc_serve::Request::from_text("bench", "bench.scn", &sweep_text)
+            .expect("emitter output");
+        let mut records = Vec::new();
+        let mut stats = noc_serve::ServeStats::default();
+        noc_serve::server::execute_request(
+            &request,
+            &serve_config,
+            &serve_cache,
+            &mut records,
+            &mut stats,
+        )
+        .expect("writes to a Vec");
+        assert_eq!(stats.points_failed, 0);
+        records.len()
+    });
+    std::fs::remove_dir_all(&serve_dir).ok();
+    assert_eq!(
+        serve_cache.lock().unwrap().misses(),
+        1,
+        "the platform must be built exactly once across every warm pass"
+    );
+    let serve_ns = |h: &Harness, name: &str| {
+        h.results
+            .iter()
+            .find(|r| r.group == "serve" && r.name == name)
+            .expect("case just ran")
+            .ns_per_iter
+    };
+    let speedup = serve_ns(&h, "oneshot_scn_100pt_mesh6") / serve_ns(&h, "warm_serve_100pt_mesh6");
+    println!("{:<22} {:<28} {speedup:>20.1}x", "serve", "warm_speedup");
+    assert!(
+        speedup >= 2.0,
+        "a warm server must turn the 100-point sweep around at least 2x \
+         faster than one-shot runs, got {speedup:.2}x"
+    );
 
     h.case(
         "exp_ordering_policy",

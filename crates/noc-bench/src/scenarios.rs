@@ -167,6 +167,37 @@ pub fn scale_sweep(widths: &[usize], commands: usize) -> Sweep {
     .with_max_cycles(20_000_000)
 }
 
+/// A prefix-sharing sweep for the serve layer: every point reuses one
+/// `w` x `w` mesh platform — identical topology, routing, socket shapes
+/// and memory map — and varies only the traffic programs. A warm
+/// `scn serve` process builds the platform once and forks every further
+/// point from the checkpoint cache; a one-shot runner rebuilds it per
+/// point. The serve benchmark group measures exactly that gap.
+pub fn serve_sweep(w: usize, points: usize) -> Sweep {
+    let platform = scale_mesh_spec(w, 1);
+    let slices = (w * w) / 2;
+    Sweep::over(0..points, |k| {
+        let mut spec = platform.clone();
+        for (m, ini) in spec.initiators.iter_mut().enumerate() {
+            ini.program = serve_point_program(k, m, slices);
+        }
+        (format!("p{k:02}"), spec, Backend::noc())
+    })
+    .with_max_cycles(1_000_000)
+}
+
+/// A tiny per-point program (one read), varied by point and master so
+/// every sweep cell is distinct traffic on the shared platform while
+/// platform construction stays the dominant per-point cost.
+fn serve_point_program(point: usize, master: usize, slices: usize) -> Program {
+    let mut x = ((point as u64) << 40) ^ ((master as u64) << 20) ^ 1;
+    x ^= x >> 12;
+    x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    x ^= x >> 27;
+    let addr = x % (slices as u64 * SLICE - 64);
+    vec![SocketCommand::read(addr & !7, 8)]
+}
+
 /// A mixed-clock scenario on a 2x2 mesh: three sockets and two memories
 /// on divided clocks (NoC backend only — the baselines reject divided
 /// clocks by design).

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scn [OPTIONS] FILE...
+//! scn serve [SERVE-OPTIONS]
 //!
 //!   --backend noc|bridged|bus|all   backend for plain scenario files
 //!                                   (default all; sweep files carry
@@ -32,6 +33,24 @@
 //! the backends that reject them; naming such a backend explicitly is
 //! an error. Exit status is non-zero on parse errors, failed drains and
 //! dense/horizon divergence.
+//!
+//! `scn serve` starts the long-running service instead: requests come
+//! in as `run <id> <path>` lines on stdin and/or `*.scn` files dropped
+//! into `--spool DIR`, and one JSON result record per point streams to
+//! stdout. Platforms are compiled once and reused across points via the
+//! checkpoint cache (see the `noc-serve` crate and README).
+//!
+//! ```text
+//!   --spool DIR        watch DIR for *.scn request files (consumed
+//!                      files are renamed *.scn.done; a file named
+//!                      "shutdown" stops the server)
+//!   --threads N        worker threads per request (default: all cores)
+//!   --queue N          request queue depth before intake blocks (16)
+//!   --cache-cap N      platform checkpoints kept, LRU beyond (8)
+//!   --max-cycles N     budget for plain scenario requests (10_000_000)
+//!   --step dense|horizon   step mode for plain scenario requests
+//!   --poll-ms N        spool scan interval in milliseconds (50)
+//! ```
 
 use noc_protocols::CompletionRecord;
 use noc_scenario::{
@@ -336,7 +355,6 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
         }
         sweep = forced;
     }
-    let results = sweep.run()?;
     let mut t = Table::new(&[
         "point",
         "backend",
@@ -346,21 +364,95 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
         "steps",
     ]);
     t.numeric();
-    for (p, r) in sweep.points().iter().zip(&results) {
+    // Stream results into the table as points finish (in declaration
+    // order) instead of buffering the whole grid first.
+    sweep.run_streaming(|i, r| {
         t.row(&[
             r.label.clone(),
-            p.backend.label().to_owned(),
+            sweep.points()[i].backend.label().to_owned(),
             r.report.cycles.to_string(),
             r.report.total_completions().to_string(),
             format!("{:.1}", r.report.mean_latency()),
             r.report.steps.to_string(),
         ]);
-    }
+    })?;
     println!("{t}");
     Ok(())
 }
 
+/// Parses and runs `scn serve ...` (everything after the subcommand
+/// word).
+fn run_serve(args: impl Iterator<Item = String>) -> Result<(), Box<dyn std::error::Error>> {
+    let usage = "usage: scn serve [--spool DIR] [--threads N] [--queue N] [--cache-cap N] \
+         [--max-cycles N] [--step dense|horizon] [--poll-ms N]";
+    let mut config = noc_serve::ServeConfig::default();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spool" => {
+                let dir = args.next().ok_or("--spool needs a directory")?;
+                config.spool = Some(std::path::PathBuf::from(dir));
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a number")?;
+                config.threads = Some(v.parse().map_err(|_| format!("bad --threads {v:?}"))?);
+            }
+            "--queue" => {
+                let v = args.next().ok_or("--queue needs a number")?;
+                config.queue_depth = v.parse().map_err(|_| format!("bad --queue {v:?}"))?;
+            }
+            "--cache-cap" => {
+                let v = args.next().ok_or("--cache-cap needs a number")?;
+                config.cache_capacity = v.parse().map_err(|_| format!("bad --cache-cap {v:?}"))?;
+            }
+            "--max-cycles" => {
+                let v = args.next().ok_or("--max-cycles needs a number")?;
+                config.max_cycles = v.parse().map_err(|_| format!("bad --max-cycles {v:?}"))?;
+            }
+            "--step" => {
+                config.step_mode = match args.next().as_deref() {
+                    Some("dense") => StepMode::Dense,
+                    Some("horizon") => StepMode::Horizon,
+                    other => return Err(format!("bad --step {other:?}\n{usage}").into()),
+                };
+            }
+            "--poll-ms" => {
+                let v = args.next().ok_or("--poll-ms needs a number")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --poll-ms {v:?}"))?;
+                config.poll = std::time::Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown serve option {other:?}\n{usage}").into()),
+        }
+    }
+    if let Some(dir) = &config.spool {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--spool {}: {e}", dir.display()))?;
+    }
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let mut stdout = std::io::stdout().lock();
+    let stats = noc_serve::serve(config, stdin, &mut stdout)?;
+    eprintln!(
+        "served {} requests ({} rejected): {} points ok, {} failed; \
+         cache {} warm / {} cold",
+        stats.requests,
+        stats.rejected,
+        stats.points_ok,
+        stats.points_failed,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return run_serve(args);
+    }
     let opts = parse_args()?;
     for file in &opts.files {
         let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;

@@ -2,7 +2,7 @@
 
 use crate::initiator::SocketInitiator;
 use noc_protocols::ahb::{AhbMaster, AhbPort, AhbResp};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_transaction::{
     Opcode, RespStatus, ServiceBits, StreamId, TransactionRequest, TransactionResponse,
 };
@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 /// Hosts an [`AhbMaster`] and converts its port traffic to neutral
 /// transactions. AHB is fully ordered: the back end should be configured
 /// with [`noc_transaction::OrderingModel::FullyOrdered`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AhbInitiator {
     master: AhbMaster,
     port: AhbPort,
@@ -88,5 +88,13 @@ impl SocketInitiator for AhbInitiator {
 
     fn skip_ticks(&mut self, ticks: u64) {
         self.master.skip_ticks(ticks);
+    }
+
+    fn load_program(&mut self, program: Program) {
+        self.master.load_program(program);
+    }
+
+    fn clone_box(&self) -> Box<dyn SocketInitiator> {
+        Box::new(self.clone())
     }
 }

@@ -2,14 +2,14 @@
 
 use crate::initiator::SocketInitiator;
 use noc_protocols::axi::{AxiB, AxiMaster, AxiPort, AxiR};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_transaction::{Opcode, StreamId, TransactionRequest, TransactionResponse};
 use std::collections::VecDeque;
 
 /// Hosts an [`AxiMaster`]; socket IDs are renamed onto NoC tags by the
 /// back end, so pair this with
 /// [`noc_transaction::OrderingModel::IdBased`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AxiInitiator {
     master: AxiMaster,
     port: AxiPort,
@@ -121,5 +121,13 @@ impl SocketInitiator for AxiInitiator {
 
     fn skip_ticks(&mut self, ticks: u64) {
         self.master.skip_ticks(ticks);
+    }
+
+    fn load_program(&mut self, program: Program) {
+        self.master.load_program(program);
+    }
+
+    fn clone_box(&self) -> Box<dyn SocketInitiator> {
+        Box::new(self.clone())
     }
 }

@@ -18,7 +18,7 @@ use std::collections::{HashMap, VecDeque};
 /// silently instead of surfacing a response the NIU never asked for.
 type PendingFifo = VecDeque<(MstAddr, SlvAddr, Tag, bool)>;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AxiTargetFe {
     slave: AxiSlave,
     port: AxiPort,

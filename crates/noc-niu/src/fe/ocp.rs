@@ -2,13 +2,13 @@
 
 use crate::initiator::SocketInitiator;
 use noc_protocols::ocp::{OcpMaster, OcpPort, OcpResp};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_transaction::{Opcode, StreamId, TransactionRequest, TransactionResponse};
 use std::collections::VecDeque;
 
 /// Hosts an [`OcpMaster`]; threads map one-to-one onto NoC tags, so pair
 /// this with [`noc_transaction::OrderingModel::Threaded`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OcpInitiator {
     master: OcpMaster,
     port: OcpPort,
@@ -77,5 +77,13 @@ impl SocketInitiator for OcpInitiator {
 
     fn skip_ticks(&mut self, ticks: u64) {
         self.master.skip_ticks(ticks);
+    }
+
+    fn load_program(&mut self, program: Program) {
+        self.master.load_program(program);
+    }
+
+    fn clone_box(&self) -> Box<dyn SocketInitiator> {
+        Box::new(self.clone())
     }
 }

@@ -6,13 +6,13 @@
 
 use crate::initiator::SocketInitiator;
 use noc_protocols::strm::{StrmMaster, StrmPort, StrmReadData};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_transaction::{Opcode, StreamId, TransactionRequest, TransactionResponse};
 use std::collections::VecDeque;
 
 /// Hosts a [`StrmMaster`]; fully ordered reads → pair with
 /// [`noc_transaction::OrderingModel::FullyOrdered`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StrmInitiator {
     master: StrmMaster,
     port: StrmPort,
@@ -98,5 +98,13 @@ impl SocketInitiator for StrmInitiator {
 
     fn skip_ticks(&mut self, ticks: u64) {
         self.master.skip_ticks(ticks);
+    }
+
+    fn load_program(&mut self, program: Program) {
+        self.master.load_program(program);
+    }
+
+    fn clone_box(&self) -> Box<dyn SocketInitiator> {
+        Box::new(self.clone())
     }
 }

@@ -2,14 +2,14 @@
 
 use crate::initiator::SocketInitiator;
 use noc_protocols::vci::{VciMaster, VciPort, VciResp};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_transaction::{Opcode, StreamId, TransactionRequest, TransactionResponse};
 use std::collections::VecDeque;
 
 /// Hosts a [`VciMaster`]. Pair PVCI/BVCI with
 /// [`noc_transaction::OrderingModel::FullyOrdered`] and AVCI with
 /// [`noc_transaction::OrderingModel::Threaded`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VciInitiator {
     master: VciMaster,
     port: VciPort,
@@ -83,5 +83,13 @@ impl SocketInitiator for VciInitiator {
 
     fn skip_ticks(&mut self, ticks: u64) {
         self.master.skip_ticks(ticks);
+    }
+
+    fn load_program(&mut self, program: Program) {
+        self.master.load_program(program);
+    }
+
+    fn clone_box(&self) -> Box<dyn SocketInitiator> {
+        Box::new(self.clone())
     }
 }

@@ -1,7 +1,7 @@
 //! The protocol-neutral initiator NIU back end.
 
 use crate::codec::{decode_response, encode_request};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_transaction::{
     AddressMap, MstAddr, Opcode, OrderingModel, OrderingPolicy, RespStatus, ServiceBits,
     ServiceConfig, StreamId, TargetRule, TransactionRequest, TransactionResponse, TransactionTable,
@@ -15,7 +15,11 @@ use std::fmt;
 ///
 /// Implementations live in [`crate::fe`]; writing one of these is *all*
 /// it takes to plug a new socket protocol into the NoC (paper §2).
-pub trait SocketInitiator {
+///
+/// Front ends are plain owned state (`Send`), so built simulations can
+/// be checkpointed and moved across threads — the enabler for snapshot/
+/// restore and warm-state forking in the serve layer.
+pub trait SocketInitiator: Send {
     /// Advances the socket agent and conversion logic one cycle.
     fn tick(&mut self, cycle: u64);
     /// Takes the next neutral request, if the socket produced one.
@@ -40,6 +44,25 @@ pub trait SocketInitiator {
     /// Accounts `ticks` skipped no-op ticks (see
     /// [`crate::NocEndpoint::skip_ticks`]).
     fn skip_ticks(&mut self, _ticks: u64) {}
+    /// Replaces the socket's program before execution starts (see the
+    /// per-master `load_program` methods for the contract). Warm-state
+    /// forking loads real workloads into checkpointed programless front
+    /// ends through this hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket already issued or completed a command.
+    fn load_program(&mut self, program: Program);
+    /// Clones the front end behind the object-safe interface, enabling
+    /// `Clone` for `Box<dyn SocketInitiator>` and therefore snapshots of
+    /// whole simulations.
+    fn clone_box(&self) -> Box<dyn SocketInitiator>;
+}
+
+impl Clone for Box<dyn SocketInitiator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Configuration of an initiator NIU back end.
@@ -138,6 +161,7 @@ pub struct NiuStats {
 ///
 /// Loopback through a [`crate::TargetNiu`] is exercised in the crate
 /// tests; system-level wiring lives in `noc-system`.
+#[derive(Clone)]
 pub struct InitiatorNiu<FE: SocketInitiator> {
     fe: FE,
     config: InitiatorNiuConfig,
@@ -372,7 +396,7 @@ impl<FE: SocketInitiator> InitiatorNiu<FE> {
     }
 }
 
-impl<FE: SocketInitiator> crate::NocEndpoint for InitiatorNiu<FE> {
+impl<FE: SocketInitiator + Clone + 'static> crate::NocEndpoint for InitiatorNiu<FE> {
     fn tick(&mut self, cycle: u64) {
         InitiatorNiu::tick(self, cycle);
     }
@@ -396,6 +420,12 @@ impl<FE: SocketInitiator> crate::NocEndpoint for InitiatorNiu<FE> {
     }
     fn skip_ticks(&mut self, ticks: u64) {
         InitiatorNiu::skip_ticks(self, ticks);
+    }
+    fn load_program(&mut self, program: Program) {
+        self.fe.load_program(program);
+    }
+    fn clone_box(&self) -> Box<dyn crate::NocEndpoint> {
+        Box::new(self.clone())
     }
 }
 

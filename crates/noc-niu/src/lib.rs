@@ -35,7 +35,11 @@ use noc_transaction::{TransactionRequest, TransactionResponse};
 
 /// Object-safe endpoint view used by the system assembler: everything a
 /// fabric port needs from an NIU, regardless of socket protocol.
-pub trait NocEndpoint {
+///
+/// Endpoints are plain owned state (`Send`) and cloneable behind the
+/// trait object ([`NocEndpoint::clone_box`]), so a whole built system
+/// can be checkpointed mid-run and the checkpoint moved across threads.
+pub trait NocEndpoint: Send {
     /// Advances the endpoint (socket agent + front end + back end) one
     /// cycle of its local clock.
     fn tick(&mut self, cycle: u64);
@@ -85,6 +89,27 @@ pub trait NocEndpoint {
     /// endpoint's next possible action is at the later bound.
     fn ready_at(&self) -> Option<u64> {
         None
+    }
+    /// Replaces the program of an initiator endpoint's socket before
+    /// execution starts (warm-state forking). Target endpoints never
+    /// receive this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics by default: only initiator endpoints execute programs.
+    fn load_program(&mut self, program: noc_protocols::Program) {
+        let _ = program;
+        panic!("this endpoint does not execute a socket program");
+    }
+    /// Clones the endpoint behind the object-safe interface, enabling
+    /// `Clone` for `Box<dyn NocEndpoint>` and therefore whole-system
+    /// snapshots.
+    fn clone_box(&self) -> Box<dyn NocEndpoint>;
+}
+
+impl Clone for Box<dyn NocEndpoint> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

@@ -17,7 +17,10 @@ use std::fmt;
 ///
 /// The built-in [`MemoryTarget`] is the "native" NoC target; protocol
 /// front ends (e.g. an AXI DRAM controller) live in [`crate::fe`].
-pub trait SocketTarget {
+///
+/// Targets are plain owned state (`Send`), so built simulations can be
+/// checkpointed and moved across threads.
+pub trait SocketTarget: Send {
     /// Advances the IP/slave model one cycle.
     fn tick(&mut self, cycle: u64);
     /// Offers a request; returns `false` when the target cannot accept
@@ -97,6 +100,7 @@ impl TargetNiuConfig {
 /// - **legacy locks**: `ReadLocked` acquires the [`LockArbiter`];
 ///   requests from other masters stall while held (in addition to the
 ///   transport-level path pinning the LOCKED service bit causes).
+#[derive(Clone)]
 pub struct TargetNiu<T: SocketTarget> {
     target: T,
     config: TargetNiuConfig,
@@ -354,7 +358,7 @@ impl<T: SocketTarget> TargetNiu<T> {
     }
 }
 
-impl<T: SocketTarget> crate::NocEndpoint for TargetNiu<T> {
+impl<T: SocketTarget + Clone + 'static> crate::NocEndpoint for TargetNiu<T> {
     fn tick(&mut self, cycle: u64) {
         TargetNiu::tick(self, cycle);
     }
@@ -378,6 +382,9 @@ impl<T: SocketTarget> crate::NocEndpoint for TargetNiu<T> {
     }
     fn ready_at(&self) -> Option<u64> {
         TargetNiu::ready_at(self)
+    }
+    fn clone_box(&self) -> Box<dyn crate::NocEndpoint> {
+        Box::new(self.clone())
     }
 }
 

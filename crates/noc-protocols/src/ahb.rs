@@ -112,6 +112,21 @@ impl AhbMaster {
         }
     }
 
+    /// Replaces the program of a master that has not started executing.
+    /// Equivalent to constructing the master with `program` in the first
+    /// place — warm-state forking relies on that equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master already issued or completed a command.
+    pub fn load_program(&mut self, program: Program) {
+        assert!(
+            self.pc == 0 && self.outstanding.is_none() && self.log.is_empty(),
+            "programs can only be loaded before execution starts"
+        );
+        *self = AhbMaster::new(program);
+    }
+
     /// Returns `true` when every command has completed.
     pub fn done(&self) -> bool {
         self.pc >= self.program.len() && self.outstanding.is_none()

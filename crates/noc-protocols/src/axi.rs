@@ -161,6 +161,22 @@ impl AxiMaster {
         }
     }
 
+    /// Replaces the program of a master that has not started executing,
+    /// keeping the outstanding limits. Equivalent to constructing the
+    /// master with `program` in the first place — warm-state forking
+    /// relies on that equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master already issued or completed a command.
+    pub fn load_program(&mut self, program: Program) {
+        assert!(
+            self.pc == 0 && self.outstanding == 0 && self.log.is_empty(),
+            "programs can only be loaded before execution starts"
+        );
+        *self = AxiMaster::new(program, self.per_id_limit, self.total_limit);
+    }
+
     /// Returns `true` when every command has completed.
     pub fn done(&self) -> bool {
         self.pc >= self.program.len() && self.outstanding == 0

@@ -141,6 +141,23 @@ impl OcpMaster {
         }
     }
 
+    /// Replaces the program of a master that has not started executing,
+    /// keeping the thread count and per-thread limit. Equivalent to
+    /// constructing the master with `program` in the first place —
+    /// warm-state forking relies on that equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master already issued or completed a command, or if
+    /// a new command's stream exceeds the thread count.
+    pub fn load_program(&mut self, program: Program) {
+        assert!(
+            self.log.is_empty() && self.threads.iter().all(|t| t.outstanding.is_empty()),
+            "programs can only be loaded before execution starts"
+        );
+        *self = OcpMaster::new(program, self.threads.len() as u8, self.per_thread_limit);
+    }
+
     /// Returns `true` when every command has completed.
     pub fn done(&self) -> bool {
         self.threads

@@ -142,6 +142,23 @@ impl StrmMaster {
         }
     }
 
+    /// Replaces the program of a master that has not started executing,
+    /// keeping the read limit. Equivalent to constructing the master with
+    /// `program` in the first place — warm-state forking relies on that
+    /// equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master already issued or completed a command, or if
+    /// the new program contains opcodes the socket cannot express.
+    pub fn load_program(&mut self, program: Program) {
+        assert!(
+            self.pc == 0 && self.outstanding_reads.is_empty() && self.log.is_empty(),
+            "programs can only be loaded before execution starts"
+        );
+        *self = StrmMaster::new(program, self.read_limit);
+    }
+
     /// Returns `true` when every command has completed.
     pub fn done(&self) -> bool {
         self.pc >= self.program.len() && self.outstanding_reads.is_empty()

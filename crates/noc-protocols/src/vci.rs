@@ -184,6 +184,23 @@ impl VciMaster {
         self.flavor
     }
 
+    /// Replaces the program of a master that has not started executing,
+    /// keeping the flavour and pipeline depth. Equivalent to constructing
+    /// the master with `program` in the first place — warm-state forking
+    /// relies on that equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master already issued or completed a command, or if
+    /// the new program violates the flavour's constraints.
+    pub fn load_program(&mut self, program: Program) {
+        assert!(
+            self.log.is_empty() && self.outstanding.iter().all(|o| o.is_empty()),
+            "programs can only be loaded before execution starts"
+        );
+        *self = VciMaster::new(program, self.flavor, self.per_thread_limit);
+    }
+
     /// Returns `true` when every command has completed.
     pub fn done(&self) -> bool {
         self.queues.iter().all(|q| q.is_empty()) && self.outstanding.iter().all(|o| o.is_empty())

@@ -1,7 +1,7 @@
 //! The common simulation surface every backend realisation exposes.
 
 use noc_baseline::{BridgedInterconnect, Interconnect, SharedBus};
-use noc_protocols::CompletionLog;
+use noc_protocols::{CompletionLog, Program};
 use noc_stats::Histogram;
 use noc_system::{FabricReport, MasterReport, Soc, SocReport};
 use noc_transaction::Fingerprint;
@@ -36,7 +36,12 @@ impl fmt::Display for StepMode {
 /// All three interconnects — NoC, bridged, bus — implement this, so
 /// experiment code written against the trait runs unchanged on any of
 /// them: the paper's VC-neutrality claim, restated as an API.
-pub trait Simulation {
+///
+/// Simulations are plain owned state: `Send` (a built simulation can
+/// move across threads) and checkpointable via
+/// [`Simulation::snapshot`], which the serve layer uses for warm-state
+/// reuse across prefix-sharing sweep points.
+pub trait Simulation: Send {
     /// Advances the whole system one base cycle.
     fn step(&mut self);
     /// The current base cycle.
@@ -100,6 +105,23 @@ pub trait Simulation {
     fn run_until(&mut self, max_cycles: u64) -> bool {
         self.run_until_with(max_cycles, StepMode::Horizon)
     }
+
+    /// A full checkpoint of the simulation at its current cycle.
+    /// Restore is implicit: continue the returned copy. Both copies
+    /// replay exactly the cycles an uninterrupted run would execute —
+    /// bit-identical logs and counters, pinned by the snapshot suite.
+    fn snapshot(&self) -> Box<dyn Simulation>;
+
+    /// Loads one socket program per master (declaration order) into a
+    /// simulation that has not started executing. Warm-state forking
+    /// snapshots a programless checkpoint and injects each point's real
+    /// workload through this hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already stepped or the program count
+    /// does not match the master count.
+    fn load_programs(&mut self, programs: &[Program]);
 }
 
 /// A backend-neutral simulation report: per-master results plus fabric
@@ -211,6 +233,7 @@ fn master_report_from_log(name: &str, node: u16, log: &CompletionLog) -> MasterR
 }
 
 /// The NoC realisation of a scenario (paper Fig 1).
+#[derive(Clone)]
 pub struct NocSim {
     soc: Soc,
 }
@@ -269,6 +292,12 @@ impl Simulation for NocSim {
             fabric: Some(r.fabric),
         }
     }
+    fn snapshot(&self) -> Box<dyn Simulation> {
+        Box::new(self.clone())
+    }
+    fn load_programs(&mut self, programs: &[Program]) {
+        self.soc.load_programs(programs);
+    }
 }
 
 impl fmt::Debug for NocSim {
@@ -306,7 +335,7 @@ fn baseline_logs<'a, I: Interconnect>(
 }
 
 /// The Fig-2 bridged reference-socket realisation of a scenario.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BridgedSim {
     ic: BridgedInterconnect,
     names: Vec<String>,
@@ -354,10 +383,16 @@ impl Simulation for BridgedSim {
     fn report(&self) -> ScenarioReport {
         baseline_report("bridged", &self.ic, &self.names)
     }
+    fn snapshot(&self) -> Box<dyn Simulation> {
+        Box::new(self.clone())
+    }
+    fn load_programs(&mut self, programs: &[Program]) {
+        self.ic.load_programs(programs);
+    }
 }
 
 /// The shared-bus realisation of a scenario.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BusSim {
     bus: SharedBus,
     names: Vec<String>,
@@ -404,5 +439,11 @@ impl Simulation for BusSim {
     }
     fn report(&self) -> ScenarioReport {
         baseline_report("bus", &self.bus, &self.names)
+    }
+    fn snapshot(&self) -> Box<dyn Simulation> {
+        Box::new(self.clone())
+    }
+    fn load_programs(&mut self, programs: &[Program]) {
+        self.bus.load_programs(programs);
     }
 }

@@ -1079,6 +1079,35 @@ impl ScenarioSpec {
         self.initiators.iter().map(|i| i.name.clone()).collect()
     }
 
+    /// The per-initiator programs, in declaration order — the "tail" a
+    /// warm fork injects via [`Simulation::load_programs`].
+    pub fn programs(&self) -> Vec<Program> {
+        self.initiators.iter().map(|i| i.program.clone()).collect()
+    }
+
+    /// The spec with every initiator program removed: the shareable
+    /// "prefix" (topology, `[config]`, routing, endpoint shapes and NIU
+    /// knobs). Two grid points that differ only in their programs have
+    /// equal stripped specs, so one compiled checkpoint serves both.
+    #[must_use]
+    pub fn without_programs(&self) -> ScenarioSpec {
+        let mut stripped = self.clone();
+        for ini in &mut stripped.initiators {
+            ini.program = Vec::new();
+        }
+        stripped
+    }
+
+    /// A stable key identifying the compiled prefix this spec shares
+    /// with other grid points on `backend`: the program-stripped spec's
+    /// canonical text plus the backend's full configuration. Equal keys
+    /// guarantee that [`ScenarioSpec::without_programs`] compiles to
+    /// identical simulations, so a checkpoint cache may serve either
+    /// point from one warmed entry.
+    pub fn prefix_key(&self, backend: &Backend) -> String {
+        format!("{:?}\n{}", backend, self.without_programs().to_text())
+    }
+
     /// Compiles the spec for the given backend.
     ///
     /// # Errors
@@ -1240,6 +1269,7 @@ impl ScenarioSpec {
 
 /// Adapter: a boxed front end is itself a front end, letting one code
 /// path build heterogeneous NIUs.
+#[derive(Clone)]
 struct BoxedFe(Box<dyn SocketInitiator>);
 
 impl SocketInitiator for BoxedFe {
@@ -1268,5 +1298,11 @@ impl SocketInitiator for BoxedFe {
     }
     fn skip_ticks(&mut self, ticks: u64) {
         self.0.skip_ticks(ticks)
+    }
+    fn load_program(&mut self, program: Program) {
+        self.0.load_program(program)
+    }
+    fn clone_box(&self) -> Box<dyn SocketInitiator> {
+        Box::new(BoxedFe(self.0.clone_box()))
     }
 }

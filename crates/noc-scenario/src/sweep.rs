@@ -9,8 +9,9 @@
 
 use crate::sim::{ScenarioReport, StepMode};
 use crate::spec::{Backend, ScenarioError, ScenarioSpec};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// One cell of a sweep: a labelled spec/backend pair.
 #[derive(Debug, Clone)]
@@ -175,6 +176,115 @@ impl Sweep {
         })
     }
 
+    fn worker_count(&self, n: usize) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .min(n.max(1))
+    }
+
+    /// The generic fan-out under every sweep runner: executes `exec`
+    /// once per point across the worker threads and hands each outcome
+    /// to `emit` in declaration order, as soon as the point and all its
+    /// predecessors have finished — no whole-grid buffering.
+    ///
+    /// `exec` decides what running a point *means*, which is how the
+    /// serve layer reuses this machinery with checkpoint forking and
+    /// per-point error capture instead of [`Sweep::run`]'s
+    /// build-and-drain semantics.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `exec` after the surviving workers finish
+    /// their in-flight points.
+    pub fn run_streaming_with<T, E, F>(&self, exec: E, mut emit: F)
+    where
+        T: Send,
+        E: Fn(usize, &SweepPoint) -> T + Sync,
+        F: FnMut(usize, T),
+    {
+        let n = self.points.len();
+        let workers = self.worker_count(n);
+        if workers <= 1 {
+            for (i, p) in self.points.iter().enumerate() {
+                emit(i, exec(i, p));
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let exec = &exec;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = exec(i, &self.points[i]);
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Reorder completions into declaration order; emit each
+            // point the moment its predecessors are out. A worker panic
+            // drops its sender without sending, so the channel
+            // disconnects once the others drain and the scope join
+            // propagates the panic.
+            let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+            let mut emitted = 0;
+            while emitted < n {
+                let Ok((i, outcome)) = rx.recv() else {
+                    break;
+                };
+                pending.insert(i, outcome);
+                while let Some(ready) = pending.remove(&emitted) {
+                    emit(emitted, ready);
+                    emitted += 1;
+                }
+            }
+        });
+    }
+
+    /// Streaming variant of [`Sweep::run`]: identical semantics (upfront
+    /// compile check, drain-or-panic), but each result is handed to
+    /// `emit` in declaration order as soon as it — and everything before
+    /// it — has finished, instead of buffering the whole grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] in declaration order before
+    /// anything is simulated or emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point fails to drain within the cycle budget.
+    pub fn run_streaming(&self, emit: impl FnMut(usize, SweepResult)) -> Result<(), ScenarioError> {
+        // Fail fast before burning simulated cycles: compiling a point
+        // is microseconds next to running it, so check them all (in
+        // declaration order) before the fan-out. This also keeps a
+        // later point's failure-to-drain panic from masking an earlier
+        // point's typed error.
+        for p in &self.points {
+            drop(p.spec.build(&p.backend)?);
+        }
+        self.run_streaming_with(
+            |_, p| {
+                self.run_point(p)
+                    .expect("points compile-checked before the fan-out")
+            },
+            emit,
+        );
+        Ok(())
+    }
+
     /// Builds and runs every point, fanned out across threads; results
     /// come back in declaration order.
     ///
@@ -190,53 +300,9 @@ impl Sweep {
     /// sweep result with missing completions would silently skew every
     /// downstream table.
     pub fn run(&self) -> Result<Vec<SweepResult>, ScenarioError> {
-        // Fail fast before burning simulated cycles: compiling a point
-        // is microseconds next to running it, so check them all (in
-        // declaration order) before the fan-out. This also keeps a
-        // later point's failure-to-drain panic from masking an earlier
-        // point's typed error.
-        for p in &self.points {
-            drop(p.spec.build(&p.backend)?);
-        }
-        let n = self.points.len();
-        let workers = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            })
-            .min(n.max(1));
-        let mut slots: Vec<Option<Result<SweepResult, ScenarioError>>> = Vec::new();
-        if workers <= 1 {
-            for p in &self.points {
-                slots.push(Some(self.run_point(p)));
-            }
-        } else {
-            let filled: Vec<Mutex<Option<Result<SweepResult, ScenarioError>>>> =
-                (0..n).map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let result = self.run_point(&self.points[i]);
-                        *filled[i].lock().expect("no poisoned sweep slot") = Some(result);
-                    });
-                }
-            });
-            slots = filled
-                .into_iter()
-                .map(|m| m.into_inner().expect("no poisoned sweep slot"))
-                .collect();
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every sweep slot filled"))
-            .collect()
+        let mut results = Vec::with_capacity(self.points.len());
+        self.run_streaming(|_, result| results.push(result))?;
+        Ok(results)
     }
 }
 

@@ -1,0 +1,32 @@
+//! A long-running simulation service with warm-state reuse.
+//!
+//! The experiment workflow this repo grew up around is batch-shaped:
+//! write a scenario file, run `scn` on it, read the table. That is fine
+//! for one-off questions, but parameter studies ask the same question
+//! hundreds of times against the *same* platform — identical topology,
+//! identical `[config]`, identical socket shapes — varying only the
+//! traffic programs. Rebuilding the platform from scratch for every
+//! point throws away all of that shared work.
+//!
+//! This crate is the serving layer: a process that stays up, accepts
+//! scenario/sweep request files over a line protocol on stdin and/or a
+//! watched spool directory, validates and compiles each platform once,
+//! and streams one JSON result record per point as it finishes. The
+//! enabler is snapshot/restore on the simulation state itself
+//! ([`noc_scenario::Simulation::snapshot`]): a [`CheckpointCache`]
+//! keeps never-ticked, program-less platform checkpoints keyed by
+//! their *prefix* (backend + everything in the spec except the
+//! programs), and each incoming point forks from a warmed checkpoint
+//! instead of rebuilding — see [`CheckpointCache::checkout`].
+//!
+//! Malformed requests become typed error records on the output stream
+//! ([`RequestError`]); they never take the server down.
+
+pub mod cache;
+pub mod json;
+pub mod request;
+pub mod server;
+
+pub use cache::CheckpointCache;
+pub use request::{Command, Request, RequestError, RequestErrorKind};
+pub use server::{serve, ServeConfig, ServeStats};

@@ -24,6 +24,7 @@ pub enum LinkEnd {
     },
 }
 
+#[derive(Clone)]
 struct FabricLink {
     link: Link<Flit>,
     src: LinkEnd,
@@ -35,6 +36,7 @@ struct FabricLink {
 ///
 /// Endpoints are *not* owned by the fabric; the [`crate::Soc`] moves flits
 /// between endpoints and the fabric's injection/ejection links each cycle.
+#[derive(Clone)]
 pub struct Fabric {
     switches: Vec<Switch>,
     links: Vec<FabricLink>,

@@ -132,6 +132,7 @@ impl From<TopologyError> for BuildError {
     }
 }
 
+#[derive(Clone)]
 struct Endpoint {
     name: String,
     node: u16,
@@ -277,6 +278,11 @@ impl SocBuilder {
 }
 
 /// A running SoC: endpoints plus request/response fabrics.
+///
+/// `Clone` is the snapshot/restore primitive: a clone is a full, bit-
+/// identical checkpoint of the system — continuing either copy replays
+/// exactly the cycles the original would have executed.
+#[derive(Clone)]
 pub struct Soc {
     endpoints: Vec<Endpoint>,
     /// Per-endpoint clock domain, index-aligned with `endpoints`.
@@ -443,6 +449,31 @@ impl Soc {
     pub fn run(&mut self, max_cycles: u64) -> SocReport {
         self.advance_to(max_cycles);
         self.report()
+    }
+
+    /// Loads one socket program per initiator endpoint (build order)
+    /// into a system that has not started executing — the warm-state
+    /// forking hook: clone a checkpointed programless SoC, then inject
+    /// the point's real workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system already stepped, or if the program count
+    /// does not match the initiator count.
+    pub fn load_programs(&mut self, programs: &[noc_protocols::Program]) {
+        assert!(
+            self.now == 0 && self.steps == 0,
+            "programs can only be loaded before execution starts"
+        );
+        let mut programs = programs.iter();
+        for ep in self.endpoints.iter_mut().filter(|e| e.is_initiator) {
+            let program = programs.next().expect("one program per initiator endpoint");
+            ep.inner.load_program(program.clone());
+        }
+        assert!(
+            programs.next().is_none(),
+            "more programs than initiator endpoints"
+        );
     }
 
     /// Named completion logs of all initiator endpoints (build order).

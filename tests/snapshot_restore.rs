@@ -1,0 +1,165 @@
+//! Snapshot/restore determinism: checkpointing a simulation mid-run and
+//! continuing — the original, the snapshot, either — must reproduce an
+//! uninterrupted run record for record, timestamps and counters
+//! included, on every backend and in both step modes. This is the
+//! contract the serve layer's warm-state forking rests on.
+
+use noc_protocols::CompletionRecord;
+use noc_scenario::{Backend, ScenarioSpec, Simulation, StepMode};
+
+/// A mixed-protocol scenario every backend can compile: no divided
+/// clocks, no service or exclusive targets.
+fn spec() -> ScenarioSpec {
+    let text = "\
+[topology]
+kind = \"mesh\"
+width = 2
+height = 2
+
+[[initiator]]
+name = \"cpu\"
+socket = \"axi\"
+cmd = \"read 0x1000 4x8\"
+cmd = \"write 0x2000 4x8 delay=3\"
+cmd = \"read 0x1100 2x4 stream=1\"
+
+[[initiator]]
+name = \"dsp\"
+socket = \"ocp\"
+cmd = \"write 0x2100 6x4 delay=1\"
+cmd = \"read 0x1200 3x8\"
+
+[[memory]]
+name = \"dram\"
+base = 0x0
+end = 0x2000
+latency = 6
+queue = 2
+
+[[memory]]
+name = \"sram\"
+base = 0x2000
+end = 0x4000
+latency = 2
+queue = 4
+";
+    ScenarioSpec::from_text(text).expect("fixture parses")
+}
+
+const BUDGET: u64 = 100_000;
+
+/// Everything two runs must agree on to count as identical.
+#[derive(Debug, PartialEq)]
+struct Trace {
+    now: u64,
+    steps: u64,
+    logs: Vec<(String, Vec<CompletionRecord>)>,
+    report: String,
+}
+
+fn trace(sim: &dyn Simulation) -> Trace {
+    Trace {
+        now: sim.now(),
+        steps: sim.executed_steps(),
+        logs: sim
+            .logs()
+            .iter()
+            .map(|(name, log)| ((*name).to_owned(), log.records().to_vec()))
+            .collect(),
+        report: format!("{:?}", sim.report()),
+    }
+}
+
+fn backends() -> [Backend; 3] {
+    [Backend::noc(), Backend::bridged(), Backend::bus()]
+}
+
+#[test]
+fn interrupted_runs_match_uninterrupted_runs() {
+    for backend in backends() {
+        for mode in [StepMode::Dense, StepMode::Horizon] {
+            let label = format!("{} / {mode:?}", backend.label());
+
+            // Reference: one uninterrupted run.
+            let mut reference = spec().build(&backend).expect("fixture compiles");
+            assert!(reference.run_until_with(BUDGET, mode), "{label}: drains");
+            let expected = trace(reference.as_ref());
+            assert!(expected.now > 4, "{label}: long enough to interrupt");
+
+            // Interrupted: pause mid-run, snapshot, continue BOTH the
+            // original and the restored copy to completion.
+            let mid = expected.now / 2;
+            let mut original = spec().build(&backend).expect("fixture compiles");
+            assert!(
+                !original.run_until_with(mid, mode),
+                "{label}: not yet drained at cycle {mid}"
+            );
+            let mut restored = original.snapshot();
+            assert_eq!(
+                trace(original.as_ref()),
+                trace(restored.as_ref()),
+                "{label}: a snapshot is the state it was taken from"
+            );
+            assert!(original.run_until_with(BUDGET, mode), "{label}: drains");
+            assert!(restored.run_until_with(BUDGET, mode), "{label}: drains");
+            assert_eq!(
+                trace(original.as_ref()),
+                expected,
+                "{label}: continuing past a checkpoint must not disturb the run"
+            );
+            assert_eq!(
+                trace(restored.as_ref()),
+                expected,
+                "{label}: a restored checkpoint must replay the identical future"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshots_are_independent_copies() {
+    for backend in backends() {
+        let label = backend.label();
+        let mut sim = spec().build(&backend).expect("fixture compiles");
+        assert!(!sim.run_until_with(5, StepMode::Dense), "{label}");
+        let frozen = sim.snapshot();
+        let at_freeze = trace(frozen.as_ref());
+        // Running the parent on must not leak into the snapshot.
+        assert!(sim.run_until_with(BUDGET, StepMode::Dense), "{label}");
+        assert_eq!(
+            trace(frozen.as_ref()),
+            at_freeze,
+            "{label}: snapshot mutated by its parent's progress"
+        );
+        assert_ne!(
+            trace(sim.as_ref()),
+            at_freeze,
+            "{label}: parent visibly advanced past the checkpoint"
+        );
+    }
+}
+
+#[test]
+fn program_loading_equals_building_with_programs() {
+    // The serve-layer fork in miniature: a programless platform,
+    // snapshotted and fed the real programs, must be indistinguishable
+    // from building the full spec directly.
+    let full = spec();
+    for backend in backends() {
+        let label = backend.label();
+        let platform = full
+            .without_programs()
+            .build(&backend)
+            .expect("fixture compiles");
+        let mut forked = platform.snapshot();
+        forked.load_programs(&full.programs());
+        let mut direct = full.build(&backend).expect("fixture compiles");
+        assert!(forked.run_until_with(BUDGET, StepMode::Horizon), "{label}");
+        assert!(direct.run_until_with(BUDGET, StepMode::Horizon), "{label}");
+        assert_eq!(
+            trace(forked.as_ref()),
+            trace(direct.as_ref()),
+            "{label}: forked platform diverged from a direct build"
+        );
+    }
+}
