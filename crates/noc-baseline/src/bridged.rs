@@ -2,12 +2,14 @@
 //! crossbar with per-master protocol bridges.
 
 use crate::{AttachedMaster, Interconnect, SlaveTiming};
+use noc_kernel::{Calendar, Horizon, WakeId};
 use noc_protocols::memory::access;
 use noc_protocols::{CompletionLog, MemoryModel};
 use noc_transaction::{
     AddressMap, ExclusiveMonitor, MstAddr, Opcode, RespStatus, SlvAddr, TransactionRequest,
     TransactionResponse,
 };
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Bridge and reference-socket parameters — the penalties the paper
@@ -104,6 +106,11 @@ pub struct BridgedInterconnect {
     now: u64,
     steps: u64,
     chopped: u64,
+    /// Wakeup calendar over the pipeline's event sources; see
+    /// [`BridgedInterconnect::refresh_calendar`] for the id layout.
+    cal: Calendar,
+    wakes: Vec<WakeId>,
+    polls: Cell<u64>,
 }
 
 impl BridgedInterconnect {
@@ -119,6 +126,9 @@ impl BridgedInterconnect {
             now: 0,
             steps: 0,
             chopped: 0,
+            cal: Calendar::new(),
+            wakes: Vec::new(),
+            polls: Cell::new(0),
         }
     }
 
@@ -188,6 +198,51 @@ impl BridgedInterconnect {
         self.chopped
     }
 
+    /// Re-registers every event source's wakeup after a step. Id layout:
+    /// masters `0..M` (idle countdowns expiring), `M + b` the front
+    /// sub-request of bridge `b` (its service time), `M + B + b` the
+    /// oldest in-flight parent of bridge `b` (its response delivery).
+    /// [`Calendar::set`] no-ops on unchanged cycles, so a step that
+    /// moved nothing costs only the comparisons. Cross-bridge staleness
+    /// — a slave's `busy_until` growing after another bridge's entry was
+    /// computed — only makes entries *early*, which costs a spurious
+    /// dense-identical step, never a missed event.
+    fn refresh_calendar(&mut self) {
+        let now = self.now;
+        let mcount = self.masters.len();
+        let bcount = self.bridges.len();
+        for (m, master) in self.masters.iter().enumerate() {
+            let idle = master.fe.idle_ticks();
+            let at = (idle != u64::MAX).then(|| now.saturating_add(idle));
+            self.cal.set(self.wakes[m], at);
+        }
+        for (b, bridge) in self.bridges.iter().enumerate() {
+            let front = bridge.subs.front().map(|front| {
+                // Decode misses are consumed (as DECERR) the first time
+                // any free slave's crossbar pass reaches them — `now`
+                // under-approximates that safely. Lock gating is also
+                // ignored: both can only make the entry early.
+                let slave_free_at = match self.map.decode(front.addr) {
+                    Ok(dst) => self
+                        .slaves
+                        .iter()
+                        .find(|s| s.node == dst)
+                        .map_or(now, |s| s.busy_until),
+                    Err(_) => now,
+                };
+                front.eligible_at.max(slave_free_at)
+            });
+            self.cal.set(self.wakes[mcount + b], front);
+            let respond = bridge.order.front().and_then(|&slot| {
+                bridge.inflight[slot]
+                    .as_ref()
+                    .filter(|p| p.remaining == 0)
+                    .map(|p| p.respond_at)
+            });
+            self.cal.set(self.wakes[mcount + bcount + b], respond);
+        }
+    }
+
     fn worst(a: RespStatus, b: RespStatus) -> RespStatus {
         use RespStatus::*;
         let rank = |s: RespStatus| match s {
@@ -209,6 +264,17 @@ impl Interconnect for BridgedInterconnect {
     fn step(&mut self) {
         let now = self.now;
         self.steps += 1;
+        // First step: register the wakeup sources (masters and slaves
+        // are all attached by the time stepping starts).
+        if self.wakes.len() != self.masters.len() + 2 * self.bridges.len() {
+            self.cal = Calendar::new();
+            self.wakes = (0..self.masters.len() + 2 * self.bridges.len())
+                .map(|_| self.cal.register())
+                .collect();
+        }
+        // Retire due wakeups; the post-step refresh recomputes every
+        // source, so the fired ids themselves need no dispatch.
+        self.cal.pop_due(now, |_| {});
         for m in &mut self.masters {
             m.fe.tick(now);
         }
@@ -432,6 +498,7 @@ impl Interconnect for BridgedInterconnect {
             }
         }
         self.now += 1;
+        self.refresh_calendar();
     }
 
     fn is_done(&self) -> bool {
@@ -454,57 +521,36 @@ impl Interconnect for BridgedInterconnect {
         self.steps
     }
 
-    /// The true event horizon of the bridged pipeline, min-combined from
-    /// every timestamp the machinery already carries — in-flight traffic
-    /// no longer forces dense stepping:
-    ///
-    /// - master self-activity (idle countdowns expiring, mapped exactly
-    ///   like the bus does);
-    /// - per bridge, the front sub-request's service time: its
-    ///   `eligible_at` (bridge request pipeline) combined with the
-    ///   addressed slave's `busy_until` (only queue fronts compete for
-    ///   the crossbar, so only fronts carry events). Lock gating is
-    ///   deliberately ignored: that can only make the estimate *early*,
-    ///   which costs a recomputation, never skips a real event;
-    /// - per bridge, the oldest in-flight parent's `respond_at` once all
-    ///   its chunks are answered (the reference socket returns responses
-    ///   strictly oldest-first, so only the order front can deliver).
+    /// The true event horizon of the bridged pipeline — in-flight
+    /// traffic no longer forces dense stepping. Every event source
+    /// ([`BridgedInterconnect::refresh_calendar`]: master idle
+    /// countdowns, per-bridge front sub-request service times,
+    /// per-bridge oldest-parent response deliveries) re-registers its
+    /// wakeup after each step, so the answer is a calendar peek, not a
+    /// scan. Stale entries are early, never late; an early wakeup costs
+    /// one spurious dense-identical step. Before the first step the
+    /// calendar is cold (masters carry pre-loaded programs), so the one
+    /// cold poll recomputes the same sources directly.
     fn next_activity(&self) -> Option<u64> {
-        let mut horizon = noc_kernel::Horizon::new();
-        for m in &self.masters {
-            horizon.merge_idle_ticks(self.now, m.fe.idle_ticks());
-            // Nothing can merge earlier than `now`; stop scanning.
-            if horizon.earliest() == Some(self.now) {
-                return Some(self.now);
+        self.polls.set(self.polls.get() + 1);
+        if self.steps == 0 {
+            let mut horizon = Horizon::new();
+            for m in &self.masters {
+                horizon.merge_idle_ticks(self.now, m.fe.idle_ticks());
             }
+            // Sub-requests and in-flight parents only exist once
+            // stepping has started, so masters are the only cold source.
+            return horizon.earliest_from(self.now);
         }
-        for bridge in &self.bridges {
-            if horizon.earliest_from(self.now) == Some(self.now) {
-                return Some(self.now);
-            }
-            if let Some(front) = bridge.subs.front() {
-                // Decode misses are consumed (as DECERR) the first time
-                // any free slave's crossbar pass reaches them — `now`
-                // under-approximates that safely.
-                let slave_free_at = match self.map.decode(front.addr) {
-                    Ok(dst) => self
-                        .slaves
-                        .iter()
-                        .find(|s| s.node == dst)
-                        .map_or(self.now, |s| s.busy_until),
-                    Err(_) => self.now,
-                };
-                horizon.merge_at(front.eligible_at.max(slave_free_at));
-            }
-            if let Some(&slot) = bridge.order.front() {
-                if let Some(parent) = &bridge.inflight[slot] {
-                    if parent.remaining == 0 {
-                        horizon.merge_at(parent.respond_at);
-                    }
-                }
-            }
-        }
-        horizon.earliest_from(self.now)
+        Horizon::from(self.cal.peek()).earliest_from(self.now)
+    }
+
+    fn horizon_polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    fn calendar_pops(&self) -> u64 {
+        self.cal.pops()
     }
 
     fn skip_to(&mut self, target: u64) {

@@ -1,12 +1,14 @@
 //! The shared pipelined bus baseline.
 
 use crate::{AttachedMaster, Interconnect, SlaveTiming};
+use noc_kernel::{Calendar, Horizon, WakeId};
 use noc_protocols::memory::access;
 use noc_protocols::{CompletionLog, MemoryModel};
 use noc_transaction::{
     AddressMap, ExclusiveMonitor, MstAddr, Opcode, RespStatus, TransactionRequest,
     TransactionResponse,
 };
+use std::cell::Cell;
 
 /// Bus timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +55,13 @@ pub struct SharedBus {
     now: u64,
     steps: u64,
     granted: u64,
+    /// Wakeup calendar: ids `0..M` are the masters' idle countdowns,
+    /// id `M` the in-service transaction's completion cycle. Every
+    /// source re-registers after each step ([`Calendar::set`] no-ops on
+    /// unchanged cycles), so `next_activity` is a peek, not a scan.
+    cal: Calendar,
+    wakes: Vec<WakeId>,
+    polls: Cell<u64>,
 }
 
 impl SharedBus {
@@ -70,6 +79,9 @@ impl SharedBus {
             now: 0,
             steps: 0,
             granted: 0,
+            cal: Calendar::new(),
+            wakes: Vec::new(),
+            polls: Cell::new(0),
         }
     }
 
@@ -131,12 +143,36 @@ impl SharedBus {
         let range = self.map.iter().find(|(r, _)| r.contains(addr))?;
         self.slaves.iter_mut().find(|s| range.0.contains(s.base))
     }
+
+    /// Re-registers every event source's wakeup after a step; called on
+    /// every exit path of [`Interconnect::step`].
+    fn refresh_calendar(&mut self) {
+        let now = self.now;
+        for (m, master) in self.masters.iter().enumerate() {
+            let idle = master.fe.idle_ticks();
+            let at = (idle != u64::MAX).then(|| now.saturating_add(idle));
+            self.cal.set(self.wakes[m], at);
+        }
+        let busy_at = self.busy.as_ref().map(|&(_, _, done_at)| done_at);
+        self.cal.set(self.wakes[self.masters.len()], busy_at);
+    }
 }
 
 impl Interconnect for SharedBus {
     fn step(&mut self) {
         let now = self.now;
         self.steps += 1;
+        // First step: register the wakeup sources (all masters are
+        // attached by the time stepping starts).
+        if self.wakes.len() != self.masters.len() + 1 {
+            self.cal = Calendar::new();
+            self.wakes = (0..self.masters.len() + 1)
+                .map(|_| self.cal.register())
+                .collect();
+        }
+        // Retire due wakeups; the post-step refresh recomputes every
+        // source, so the fired ids themselves need no dispatch.
+        self.cal.pop_due(now, |_| {});
         for m in &mut self.masters {
             m.fe.tick(now);
         }
@@ -173,6 +209,7 @@ impl Interconnect for SharedBus {
                                     resp,
                                 );
                                 self.now += 1;
+                                self.refresh_calendar();
                                 return;
                             }
                             op if op.is_write() => {
@@ -259,6 +296,7 @@ impl Interconnect for SharedBus {
             }
         }
         self.now += 1;
+        self.refresh_calendar();
     }
 
     fn is_done(&self) -> bool {
@@ -279,16 +317,31 @@ impl Interconnect for SharedBus {
 
     /// The nearest master self-activity (idle countdowns expiring) or
     /// the in-service transaction completing (`done_at`), whichever
-    /// comes first.
+    /// comes first — answered from the wakeup calendar once stepping
+    /// has started. Before the first step the calendar is cold (masters
+    /// carry pre-loaded programs), so the one cold poll scans the same
+    /// sources directly.
     fn next_activity(&self) -> Option<u64> {
-        let mut horizon = noc_kernel::Horizon::new();
-        for m in &self.masters {
-            horizon.merge_idle_ticks(self.now, m.fe.idle_ticks());
+        self.polls.set(self.polls.get() + 1);
+        if self.steps == 0 {
+            let mut horizon = Horizon::new();
+            for m in &self.masters {
+                horizon.merge_idle_ticks(self.now, m.fe.idle_ticks());
+            }
+            if let Some((_, _, done_at)) = self.busy {
+                horizon.merge_at(done_at);
+            }
+            return horizon.earliest_from(self.now);
         }
-        if let Some((_, _, done_at)) = self.busy {
-            horizon.merge_at(done_at);
-        }
-        horizon.earliest_from(self.now)
+        Horizon::from(self.cal.peek()).earliest_from(self.now)
+    }
+
+    fn horizon_polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    fn calendar_pops(&self) -> u64 {
+        self.cal.pops()
     }
 
     fn skip_to(&mut self, target: u64) {

@@ -57,6 +57,19 @@ pub trait Interconnect {
         Some(self.now())
     }
 
+    /// Times [`Interconnect::next_activity`] was polled — the scan-side
+    /// wakeup-discipline counter. The default (no instrumentation)
+    /// reports 0.
+    fn horizon_polls(&self) -> u64 {
+        0
+    }
+
+    /// Calendar wakeups retired while stepping (stale entries
+    /// included). The default (no calendar) reports 0.
+    fn calendar_pops(&self) -> u64 {
+        0
+    }
+
     /// Jumps to `target`, accounting the skipped cycles so state stays
     /// bit-identical to stepping them. Only meaningful when
     /// [`Interconnect::next_activity`] proved every cycle in

@@ -185,37 +185,11 @@ fn main() {
     }
 
     // The same comparison on a sparse exp_scale-style point: a 4x4 mesh
-    // of AXI readers at a low injection rate (long command gaps).
-    let sparse_mesh = {
-        let mut spec = noc_scenario::ScenarioSpec::new();
-        for m in 0..8usize {
-            let program: Vec<_> = (0..16)
-                .map(|i| {
-                    let addr = (m as u64 % 8) * 0x1000 + i as u64 * 0x40;
-                    noc_protocols::SocketCommand::read(addr, 8)
-                        .with_stream(StreamId::new(i % 4))
-                        .with_delay(400 + (i as u32 % 5) * 137)
-                })
-                .collect();
-            spec = spec.initiator(noc_scenario::InitiatorSpec::new(
-                &format!("m{m}"),
-                noc_scenario::SocketSpec::axi(),
-                program,
-            ));
-        }
-        for k in 0..8u64 {
-            spec = spec.memory(noc_scenario::MemorySpec::new(
-                &format!("mem{k}"),
-                k * 0x1000,
-                (k + 1) * 0x1000,
-                2,
-            ));
-        }
-        spec.with_topology(noc_scenario::TopologySpec::Mesh {
-            width: 4,
-            height: 4,
-        })
-    };
+    // of AXI readers at a low injection rate (long command gaps), plus
+    // the 8x8/16x16 instances of the same fixed traffic spread over
+    // growing fabrics — the scaling rows that pin "per-cycle cost tracks
+    // traffic, not fabric size" as a measurement rather than a claim.
+    let sparse_mesh = noc_bench::scenarios::sparse_mesh_spec(4);
     h.case("step_mode", "mesh_4x4_sparse_build_only", 200, || {
         sparse_mesh
             .build(&noc_scenario::Backend::noc())
@@ -234,6 +208,40 @@ fn main() {
             assert!(sim.run_until_with(5_000_000, mode));
             sim.now()
         });
+    }
+    for w in [8usize, 16] {
+        let spec = noc_bench::scenarios::sparse_mesh_spec(w);
+        // Build cost scales with switch count (routing tables over w*w
+        // nodes) and dominates the larger rows, so pin it separately —
+        // the per-cycle scaling claim reads from horizon minus build.
+        {
+            let spec = spec.clone();
+            h.case(
+                "step_mode",
+                &format!("mesh_{w}x{w}_sparse_build_only"),
+                200,
+                move || {
+                    spec.build(&noc_scenario::Backend::noc())
+                        .expect("consistent")
+                        .now()
+                },
+            );
+        }
+        for (mode_name, mode) in [("horizon", StepMode::Horizon), ("dense", StepMode::Dense)] {
+            let spec = spec.clone();
+            h.case(
+                "step_mode",
+                &format!("mesh_{w}x{w}_sparse_{mode_name}"),
+                300,
+                move || {
+                    let mut sim = spec
+                        .build(&noc_scenario::Backend::noc())
+                        .expect("consistent");
+                    assert!(sim.run_until_with(5_000_000, mode));
+                    sim.now()
+                },
+            );
+        }
     }
 
     // The deep-pipeline mesh (the corpus `deep_pipeline.scn` scenario):

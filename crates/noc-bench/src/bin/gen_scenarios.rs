@@ -6,7 +6,7 @@
 
 use noc_bench::scenarios::{
     clocked_mixed_spec, deep_pipeline_spec, exclusive_sweep, ordering_sweep, qos_spec,
-    ring_mixed_spec, scale_sweep, serve_sweep, services_spec,
+    ring_mixed_spec, scale_sweep, serve_sweep, services_spec, sparse_mesh_spec,
 };
 use noc_workloads::{SetTop, SetTopConfig};
 use std::path::Path;
@@ -32,6 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("services.scn", services_spec().to_text()),
         ("exclusive_locks.scn", exclusive_sweep().to_text()),
         ("serve_sweep.scn", serve_sweep(3, 6).to_text()),
+        ("mesh_8x8_sparse.scn", sparse_mesh_spec(8).to_text()),
+        ("mesh_16x16_sparse.scn", sparse_mesh_spec(16).to_text()),
     ];
     for (name, text) in files {
         let path = dir.join(name);

@@ -155,6 +155,70 @@ fn mesh_links(width: usize, height: usize) -> Vec<(usize, usize)> {
     links
 }
 
+/// A sparse `w` x `w` mesh (`w` a multiple of 4): a *fixed* population
+/// of 8 AXI readers issuing 16 commands each at a low injection rate
+/// (long inter-command gaps) and 8 single-slice memories, spread evenly
+/// over the mesh — the 16 endpoints sit at the positions of a 4x4
+/// sub-grid scaled up by `w/4`, so growing `w` stretches the routes and
+/// multiplies the idle switches without adding traffic. That is exactly
+/// what the `step_mode` bench group's `mesh_*_sparse` rows measure:
+/// wakeup stepping must make per-cycle cost track the (constant)
+/// traffic, not the (growing) fabric. The 8x8/16x16 instances are
+/// serialized into the corpus as `mesh_8x8_sparse.scn` /
+/// `mesh_16x16_sparse.scn`; `sparse_mesh_spec(4)` is exactly the
+/// historical `mesh_4x4_sparse` bench workload.
+pub fn sparse_mesh_spec(w: usize) -> ScenarioSpec {
+    assert!(
+        w >= 4 && w.is_multiple_of(4),
+        "sparse mesh widths are multiples of 4"
+    );
+    let mut spec = ScenarioSpec::new();
+    for m in 0..8u64 {
+        let program: Program = (0..16)
+            .map(|i| {
+                let addr = m * 0x1000 + i as u64 * 0x40;
+                SocketCommand::read(addr, 8)
+                    .with_stream(StreamId::new(i as u16 % 4))
+                    .with_delay(400 + (i as u32 % 5) * 137)
+            })
+            .collect();
+        spec = spec.initiator(InitiatorSpec::new(
+            &format!("m{m}"),
+            SocketSpec::axi(),
+            program,
+        ));
+    }
+    for k in 0..8u64 {
+        spec = spec.memory(MemorySpec::new(
+            &format!("mem{k}"),
+            k * 0x1000,
+            (k + 1) * 0x1000,
+            2,
+        ));
+    }
+    if w == 4 {
+        // 16 endpoints on 16 switches: the default mesh placement
+        // (endpoint i on switch i) already is the scaled sub-grid.
+        return spec.with_topology(TopologySpec::Mesh {
+            width: w,
+            height: w,
+        });
+    }
+    let scale = w / 4;
+    let placement: Vec<usize> = (0..16)
+        .map(|idx| (idx / 4) * scale * w + (idx % 4) * scale)
+        .collect();
+    spec.with_topology(TopologySpec::Custom {
+        switches: w * w,
+        links: mesh_links(w, w),
+        placement,
+    })
+    .with_routing(RouteAlgorithm::XyMesh {
+        width: w,
+        height: w,
+    })
+}
+
 /// The `exp_scale` mesh-size sweep over the given widths.
 pub fn scale_sweep(widths: &[usize], commands: usize) -> Sweep {
     Sweep::over(widths.iter().copied(), |w| {

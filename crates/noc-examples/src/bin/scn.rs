@@ -23,6 +23,13 @@
 //!                                   steps than dense on every row (the
 //!                                   CI guard keeping the optimisation
 //!                                   from silently regressing to dense)
+//!   --assert-wakeup-discipline      with --step both: fail unless the
+//!                                   horizon run's next_activity polls
+//!                                   stay within a fixed factor of its
+//!                                   calendar pops on every row (the CI
+//!                                   guard keeping the advance loop
+//!                                   event-driven rather than
+//!                                   rescan-driven)
 //!   --max-cycles N                  drain budget (default 10_000_000
 //!                                   for scenario files, the file's
 //!                                   budget for sweeps)
@@ -83,11 +90,24 @@ struct Options {
     /// With `--step both`: fail unless horizon executed strictly fewer
     /// steps than dense on every row.
     assert_fewer_steps: bool,
+    /// With `--step both`: fail unless the horizon run's poll count
+    /// stays within [`WAKEUP_POLL_FACTOR`]× its calendar pops (plus
+    /// [`WAKEUP_POLL_SLACK`]) on every row.
+    assert_wakeup_discipline: bool,
 }
+
+/// `--assert-wakeup-discipline` bound: every `next_activity` poll must
+/// be "paid for" by calendar traffic. One advance-loop iteration costs
+/// one poll and retires at least one event on the backends where the
+/// calendar drives stepping, so a healthy run stays well under
+/// `polls <= pops * FACTOR + SLACK`; a regression to dense-style
+/// rescanning sends polls to O(cycles) while pops stay put.
+const WAKEUP_POLL_FACTOR: u64 = 4;
+const WAKEUP_POLL_SLACK: u64 = 64;
 
 fn usage() -> &'static str {
     "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|both] \
-     [--assert-fewer-steps] [--max-cycles N] FILE..."
+     [--assert-fewer-steps] [--assert-wakeup-discipline] [--max-cycles N] FILE..."
 }
 
 fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
@@ -97,6 +117,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
         step: None,
         max_cycles: None,
         assert_fewer_steps: false,
+        assert_wakeup_discipline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,6 +144,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
                 opts.max_cycles = Some(v.parse().map_err(|_| format!("bad --max-cycles {v:?}"))?);
             }
             "--assert-fewer-steps" => opts.assert_fewer_steps = true,
+            "--assert-wakeup-discipline" => opts.assert_wakeup_discipline = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -141,6 +163,13 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     if opts.assert_fewer_steps && opts.step != Some(StepSel::Both) {
         return Err(format!("--assert-fewer-steps requires --step both\n{}", usage()).into());
     }
+    if opts.assert_wakeup_discipline && opts.step != Some(StepSel::Both) {
+        return Err(format!(
+            "--assert-wakeup-discipline requires --step both\n{}",
+            usage()
+        )
+        .into());
+    }
     Ok(opts)
 }
 
@@ -154,10 +183,13 @@ fn backend_by_label(label: &str) -> Backend {
 }
 
 /// The comparable part of a run (logs with timestamps) plus the
-/// executed-step count, which legitimately differs between step modes.
+/// per-mode accounting — executed steps and the horizon machinery's
+/// poll/pop counters — which legitimately differs between step modes.
 struct RunOutcome {
     compared: (bool, u64, Vec<Vec<CompletionRecord>>),
     steps: u64,
+    polls: u64,
+    pops: u64,
 }
 
 fn run_once(
@@ -176,6 +208,8 @@ fn run_once(
     Ok(RunOutcome {
         compared: (drained, sim.now(), logs),
         steps: sim.executed_steps(),
+        polls: sim.horizon_polls(),
+        pops: sim.calendar_pops(),
     })
 }
 
@@ -189,6 +223,7 @@ fn run_spec(
     max_cycles: u64,
     skip_unsupported: bool,
     assert_fewer_steps: bool,
+    assert_wakeup_discipline: bool,
 ) -> Result<Option<Vec<String>>, Box<dyn std::error::Error>> {
     let modes: &[StepMode] = match step {
         StepSel::One(StepMode::Dense) => &[StepMode::Dense],
@@ -253,6 +288,28 @@ fn run_spec(
     } else {
         "-".to_owned()
     };
+    // Wakeup accounting comes from the horizon run (the last outcome:
+    // `modes` lists dense first under Both); dense stepping never
+    // polls, so its counters carry no signal.
+    let horizon_ran = !matches!(step, StepSel::One(StepMode::Dense));
+    let wake_cell = if horizon_ran {
+        let o = outcomes.last().expect("at least one mode ran");
+        if assert_wakeup_discipline {
+            let bound = o.pops.saturating_mul(WAKEUP_POLL_FACTOR) + WAKEUP_POLL_SLACK;
+            if o.polls > bound {
+                return Err(format!(
+                    "{backend}: horizon polled next_activity {} times against {} \
+                     calendar pops (bound {bound}) — the advance loop is rescanning \
+                     instead of riding the calendar",
+                    o.polls, o.pops
+                )
+                .into());
+            }
+        }
+        format!("{}/{}", o.polls, o.pops)
+    } else {
+        "-".to_owned()
+    };
     Ok(Some(vec![
         backend.label().to_owned(),
         step_cell,
@@ -261,6 +318,7 @@ fn run_spec(
         format!("{mean:.1}"),
         steps_cell,
         ratio_cell,
+        wake_cell,
     ]))
 }
 
@@ -282,6 +340,7 @@ fn run_scenario_file(
         "mean lat (cy)",
         "steps",
         "dense/horizon",
+        "polls/pops",
     ]);
     t.numeric();
     for label in labels {
@@ -294,6 +353,7 @@ fn run_scenario_file(
             max_cycles,
             skip,
             opts.assert_fewer_steps,
+            opts.assert_wakeup_discipline,
         )? {
             t.row(&row);
         }
@@ -316,6 +376,7 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
             "mean lat (cy)",
             "steps",
             "dense/horizon",
+            "polls/pops",
         ]);
         t.numeric();
         for p in sweep.points() {
@@ -326,6 +387,7 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
                 max_cycles,
                 false,
                 opts.assert_fewer_steps,
+                opts.assert_wakeup_discipline,
             )?
             .expect("skipping is disabled");
             let mut cells = vec![p.label.clone()];

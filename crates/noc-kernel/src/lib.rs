@@ -10,6 +10,9 @@
 //!   mixed-clock systems stay deterministic;
 //! - [`Horizon`], the min-combining accumulator for per-component event
 //!   horizons used by quiescence-aware stepping;
+//! - [`Calendar`], the wakeup queue that inverts horizon polling:
+//!   components schedule their next-activity cycle once and the advance
+//!   loop pops the earliest instead of rescanning every component;
 //! - [`SplitMix64`], a tiny deterministic RNG used to seed all stochastic
 //!   behaviour in the workspace.
 //!
@@ -36,12 +39,14 @@
 //! assert!(outcome.exhausted());
 //! ```
 
+pub mod calendar;
 pub mod clock;
 pub mod event;
 pub mod horizon;
 pub mod rng;
 pub mod time;
 
+pub use calendar::{Calendar, WakeId};
 pub use clock::{ClockDomain, ClockId, ClockSet};
 pub use event::{Event, EventId, Scheduler};
 pub use horizon::Horizon;

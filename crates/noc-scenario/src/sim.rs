@@ -76,6 +76,22 @@ pub trait Simulation: Send {
         Some(self.now())
     }
 
+    /// Times the advance machinery queried [`Simulation::next_activity`]
+    /// — the scan-side wakeup-discipline counter. With calendar-driven
+    /// stepping each poll is O(1); a backend stuck rescanning shows up
+    /// as polls vastly exceeding [`Simulation::calendar_pops`]. The
+    /// default (no instrumentation) reports 0.
+    fn horizon_polls(&self) -> u64 {
+        0
+    }
+
+    /// Calendar wakeups the backend retired while answering those polls
+    /// (scheduled component wakeups popped, stale entries included).
+    /// The default (no calendar) reports 0.
+    fn calendar_pops(&self) -> u64 {
+        0
+    }
+
     /// Advances until done or `horizon`, skipping provably-dead gaps
     /// where the backend supports it. Must leave state bit-identical to
     /// stepping every cycle. The default cannot prove any gap dead, so
@@ -141,6 +157,12 @@ pub struct ScenarioReport {
     pub masters: Vec<MasterReport>,
     /// Fabric aggregates (NoC backend only).
     pub fabric: Option<FabricReport>,
+    /// Times the advance machinery polled `next_activity` (0 for dense
+    /// runs, which never ask).
+    pub horizon_polls: u64,
+    /// Calendar wakeups retired while stepping (both modes execute the
+    /// same events, so this is mode-independent up to run length).
+    pub calendar_pops: u64,
 }
 
 impl ScenarioReport {
@@ -281,6 +303,12 @@ impl Simulation for NocSim {
     fn advance_to(&mut self, horizon: u64) {
         self.soc.advance_to(horizon);
     }
+    fn horizon_polls(&self) -> u64 {
+        self.soc.horizon_polls()
+    }
+    fn calendar_pops(&self) -> u64 {
+        self.soc.calendar_pops()
+    }
     fn report(&self) -> ScenarioReport {
         let r = self.soc.report();
         ScenarioReport {
@@ -290,6 +318,8 @@ impl Simulation for NocSim {
             all_done: r.all_done,
             masters: r.masters,
             fabric: Some(r.fabric),
+            horizon_polls: self.soc.horizon_polls(),
+            calendar_pops: self.soc.calendar_pops(),
         }
     }
     fn snapshot(&self) -> Box<dyn Simulation> {
@@ -324,6 +354,8 @@ fn baseline_report<I: Interconnect>(
         all_done: ic.is_done(),
         masters,
         fabric: None,
+        horizon_polls: ic.horizon_polls(),
+        calendar_pops: ic.calendar_pops(),
     }
 }
 
@@ -376,6 +408,12 @@ impl Simulation for BridgedSim {
     }
     fn next_activity(&self) -> Option<u64> {
         self.ic.next_activity()
+    }
+    fn horizon_polls(&self) -> u64 {
+        self.ic.horizon_polls()
+    }
+    fn calendar_pops(&self) -> u64 {
+        self.ic.calendar_pops()
     }
     fn advance_to(&mut self, horizon: u64) {
         self.ic.advance_to(horizon);
@@ -433,6 +471,12 @@ impl Simulation for BusSim {
     }
     fn next_activity(&self) -> Option<u64> {
         self.bus.next_activity()
+    }
+    fn horizon_polls(&self) -> u64 {
+        self.bus.horizon_polls()
+    }
+    fn calendar_pops(&self) -> u64 {
+        self.bus.calendar_pops()
     }
     fn advance_to(&mut self, horizon: u64) {
         self.bus.advance_to(horizon);

@@ -1,7 +1,30 @@
 //! One direction of the NoC: switches plus physical links, wired from a
 //! topology, with end-to-end credit flow control.
+//!
+//! # O(active) ticking
+//!
+//! The fabric tracks exactly which components can act on a given cycle,
+//! so both `tick` and the horizon queries cost O(active), not
+//! O(components):
+//!
+//! - every link schedules its next arrival cycle into a
+//!   [`Calendar`] (re-registered after every `send`/`deliver`, the only
+//!   operations that move a link's horizon), so delivery scans touch
+//!   only the links that are due *this* cycle;
+//! - switches holding flits (or streaming allocations) live in a `busy`
+//!   set, entered on `accept` and left when a tick ends idle; only busy
+//!   switches are ticked — ticking an idle switch is a no-op except for
+//!   [`noc_transport::SwitchStats::lock_idle_cycles`], which idle
+//!   switches pinned by locked sequences accrue in bulk via the
+//!   `locked` set (one [`Switch::skip_cycles`] per executed cycle,
+//!   bit-identical to the dense tick's per-output increment);
+//! - stashes with flits live in a `stashed` set.
+//!
+//! Active sets are iterated in ascending switch/link index order — the
+//! dense loop's order restricted to the members that can act — so the
+//! resulting logs and counters are bit-identical to dense ticking.
 
-use noc_kernel::Horizon;
+use noc_kernel::{Calendar, Horizon, WakeId};
 use noc_physical::{Link, LinkConfig};
 use noc_topology::{RouteAlgorithm, Topology};
 use noc_transport::{Flit, PortId, RoutingTable, Switch, SwitchConfig, SwitchMode};
@@ -31,6 +54,55 @@ struct FabricLink {
     dst: LinkEnd,
 }
 
+/// A set of switch indices with O(1) insert/membership and iteration
+/// proportional to the members, used for the busy/locked/stashed
+/// tracking that makes fabric ticks O(active).
+#[derive(Clone, Default)]
+struct ActiveSet {
+    member: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl ActiveSet {
+    fn with_capacity(n: usize) -> ActiveSet {
+        ActiveSet {
+            member: vec![false; n],
+            list: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, i: usize) {
+        if !self.member[i] {
+            self.member[i] = true;
+            self.list.push(i);
+        }
+    }
+
+    fn remove(&mut self, i: usize) {
+        if self.member[i] {
+            self.member[i] = false;
+            let pos = self
+                .list
+                .iter()
+                .position(|&m| m == i)
+                .expect("flag implies membership");
+            self.list.swap_remove(pos);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Copies the members into `out` in ascending index order — the
+    /// dense iteration order restricted to the set.
+    fn sorted_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.list);
+        out.sort_unstable();
+    }
+}
+
 /// One packet network (request or response): switches, links and credit
 /// bookkeeping.
 ///
@@ -43,6 +115,8 @@ pub struct Fabric {
     /// Per endpoint node: injection link index and current credits into
     /// the first switch.
     injection: Vec<(u16, usize, u32)>,
+    /// Node number → index into `injection`.
+    node_inj: Vec<Option<usize>>,
     /// Per switch output port: link index.
     out_wire: Vec<Vec<Option<usize>>>,
     /// Per switch input port: feeding link index.
@@ -50,7 +124,26 @@ pub struct Fabric {
     /// Output-register stash per (switch, out port): absorbs flits while
     /// a serialising link is busy.
     stash: Vec<Vec<VecDeque<Flit>>>,
+    /// Wakeup calendar over links; `link_wake[i]` is link `i`'s handle.
+    link_cal: Calendar,
+    link_wake: Vec<WakeId>,
+    /// Switches currently holding flits or allocations.
+    busy: ActiveSet,
+    /// Idle switches with ≥ 1 output pinned by a locked sequence (they
+    /// accrue lock-idle statistics every cycle, executed or skipped).
+    locked: ActiveSet,
+    /// Switches with ≥ 1 stashed flit, plus per-switch flit counts.
+    stashed: ActiveSet,
+    stash_flits: Vec<usize>,
+    total_stashed: usize,
+    /// Flits in flight on links (send minus deliver).
+    in_flight: usize,
     delivered_flits: u64,
+    /// Tick-loop scratch buffers (due links, active-set iteration order,
+    /// per-switch tick result), reused so the hot path allocates nothing.
+    due_scratch: Vec<usize>,
+    order_scratch: Vec<usize>,
+    tick_scratch: noc_transport::SwitchTick,
 }
 
 impl Fabric {
@@ -100,6 +193,7 @@ impl Fabric {
             };
             switches.push(Switch::new(cfg, table));
         }
+        let num_switches = switches.len();
         let mut fabric = Fabric {
             out_wire: switches
                 .iter()
@@ -116,22 +210,33 @@ impl Fabric {
             switches,
             links: Vec::new(),
             injection: Vec::new(),
+            node_inj: vec![None; num_nodes],
+            link_cal: Calendar::new(),
+            link_wake: Vec::new(),
+            busy: ActiveSet::with_capacity(num_switches),
+            locked: ActiveSet::with_capacity(num_switches),
+            stashed: ActiveSet::with_capacity(num_switches),
+            stash_flits: vec![0; num_switches],
+            total_stashed: 0,
+            in_flight: 0,
             delivered_flits: 0,
+            due_scratch: Vec::new(),
+            order_scratch: Vec::new(),
+            tick_scratch: noc_transport::SwitchTick::default(),
         };
         // Inter-switch links (base clock on both ends).
         for e in topology.edges() {
-            let idx = fabric.links.len();
-            fabric.links.push(FabricLink {
-                link: Link::new(link_cfg),
-                src: LinkEnd::Switch {
+            let idx = fabric.add_link(
+                Link::new(link_cfg),
+                LinkEnd::Switch {
                     switch: e.from,
                     port: e.from_port as usize,
                 },
-                dst: LinkEnd::Switch {
+                LinkEnd::Switch {
                     switch: e.to,
                     port: e.to_port as usize,
                 },
-            });
+            );
             fabric.out_wire[e.from][e.from_port as usize] = Some(idx);
             fabric.in_wire[e.to][e.to_port as usize] = Some(idx);
             fabric.switches[e.from].set_output_credits(e.from_port as usize, buffer_depth as u32);
@@ -150,28 +255,27 @@ impl Fabric {
                 dst_divisor: div,
                 ..endpoint_link_cfg
             };
-            let inj_idx = fabric.links.len();
-            fabric.links.push(FabricLink {
-                link: Link::new(inj_cfg),
-                src: LinkEnd::Endpoint { node: a.node },
-                dst: LinkEnd::Switch {
+            let inj_idx = fabric.add_link(
+                Link::new(inj_cfg),
+                LinkEnd::Endpoint { node: a.node },
+                LinkEnd::Switch {
                     switch: a.switch,
                     port: a.in_port as usize,
                 },
-            });
+            );
             fabric.in_wire[a.switch][a.in_port as usize] = Some(inj_idx);
+            fabric.node_inj[a.node as usize] = Some(fabric.injection.len());
             fabric
                 .injection
                 .push((a.node, inj_idx, buffer_depth as u32));
-            let ej_idx = fabric.links.len();
-            fabric.links.push(FabricLink {
-                link: Link::new(ej_cfg),
-                src: LinkEnd::Switch {
+            let ej_idx = fabric.add_link(
+                Link::new(ej_cfg),
+                LinkEnd::Switch {
                     switch: a.switch,
                     port: a.out_port as usize,
                 },
-                dst: LinkEnd::Endpoint { node: a.node },
-            });
+                LinkEnd::Endpoint { node: a.node },
+            );
             fabric.out_wire[a.switch][a.out_port as usize] = Some(ej_idx);
             // Endpoint ingress is unbounded (NIUs bound it by outstanding
             // transactions); give ejection ports ample credit.
@@ -180,12 +284,53 @@ impl Fabric {
         Ok(fabric)
     }
 
+    /// Adds a link and registers it with the wakeup calendar.
+    fn add_link(&mut self, link: Link<Flit>, src: LinkEnd, dst: LinkEnd) -> usize {
+        let idx = self.links.len();
+        self.links.push(FabricLink { link, src, dst });
+        let wake = self.link_cal.register();
+        debug_assert_eq!(wake.index(), idx);
+        self.link_wake.push(wake);
+        idx
+    }
+
+    /// Sends `flit` on link `li` and reschedules the link's arrival
+    /// wakeup. Every send in the fabric funnels through here so no
+    /// horizon change can escape the calendar.
+    fn send_on_link(&mut self, li: usize, flit: Flit, now: u64) {
+        self.links[li]
+            .link
+            .send(flit, now)
+            .expect("can_send checked");
+        self.in_flight += 1;
+        let next = self.links[li].link.next_event_at(now);
+        self.link_cal.set(self.link_wake[li], next);
+    }
+
+    fn stash_push(&mut self, s: usize, p: usize, flit: Flit) {
+        self.stash[s][p].push_back(flit);
+        self.stash_flits[s] += 1;
+        self.total_stashed += 1;
+        self.stashed.insert(s);
+    }
+
+    /// Marks a switch as holding work; it leaves the busy set when a
+    /// tick ends with it idle.
+    fn mark_busy(&mut self, s: usize) {
+        self.busy.insert(s);
+        self.locked.remove(s);
+    }
+
     /// Returns `true` when `node` can inject a flit this base cycle.
     pub fn can_inject(&self, node: u16, now: u64) -> bool {
-        self.injection
-            .iter()
-            .find(|(n, _, _)| *n == node)
-            .map(|&(_, link, credits)| credits > 0 && self.links[link].link.can_send(now))
+        self.node_inj
+            .get(node as usize)
+            .copied()
+            .flatten()
+            .map(|i| {
+                let (_, link, credits) = self.injection[i];
+                credits > 0 && self.links[link].link.can_send(now)
+            })
             .unwrap_or(false)
     }
 
@@ -195,31 +340,34 @@ impl Fabric {
     ///
     /// Panics if [`Fabric::can_inject`] is false (caller must check).
     pub fn inject(&mut self, node: u16, flit: Flit, now: u64) {
-        let entry = self
-            .injection
-            .iter_mut()
-            .find(|(n, _, _)| *n == node)
-            .expect("node attached to fabric");
-        assert!(entry.2 > 0, "injection without credit");
-        entry.2 -= 1;
-        let link = entry.1;
-        self.links[link]
-            .link
-            .send(flit, now)
-            .expect("can_inject checked link availability");
+        let i = self.node_inj[node as usize].expect("node attached to fabric");
+        assert!(self.injection[i].2 > 0, "injection without credit");
+        self.injection[i].2 -= 1;
+        let link = self.injection[i].1;
+        self.send_on_link(link, flit, now);
     }
 
-    /// Advances the fabric one base cycle. Ejected flits are returned as
-    /// `(node, flit)` pairs for the SoC to deliver to endpoints.
-    pub fn tick(&mut self, now: u64) -> Vec<(u16, Flit)> {
-        let mut ejected = Vec::new();
-        // 1. Link deliveries into switches / endpoints.
-        for li in 0..self.links.len() {
+    /// Advances the fabric one base cycle. Ejected flits are appended to
+    /// `ejected` as `(node, flit)` pairs for the SoC to deliver to
+    /// endpoints (the caller owns — and reuses — the buffer).
+    pub fn tick(&mut self, now: u64, ejected: &mut Vec<(u16, Flit)>) {
+        // 1. Link deliveries into switches / endpoints. Only links whose
+        // scheduled arrival is due can deliver; everything else provably
+        // returns `None` this cycle (the calendar entry *is*
+        // `Link::next_event_at`, re-registered on every send/deliver).
+        // Ascending link order = the dense scan restricted to movers.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.link_cal.pop_due(now, |id| due.push(id.index()));
+        due.sort_unstable();
+        for &li in &due {
             if let Some(flit) = self.links[li].link.deliver(now) {
+                self.in_flight -= 1;
                 match self.links[li].dst {
                     LinkEnd::Switch { switch, port } => {
                         let ok = self.switches[switch].accept(port, flit);
                         assert!(ok, "credit flow control must prevent overflow");
+                        self.mark_busy(switch);
                     }
                     LinkEnd::Endpoint { node } => {
                         self.delivered_flits += 1;
@@ -227,9 +375,24 @@ impl Fabric {
                     }
                 }
             }
+            let next = self.links[li].link.next_event_at(now);
+            self.link_cal.set(self.link_wake[li], next);
         }
-        // 2. Drain output stashes into links.
-        for s in 0..self.switches.len() {
+        self.due_scratch = due;
+        // 1b. Idle switches pinned by locked sequences accrue their
+        // lock-idle statistic for this executed cycle in bulk — exactly
+        // what a dense tick's empty allocation pass would have counted.
+        // (Switches that just turned busy in step 1 left the set and
+        // will count it themselves in step 3.)
+        for i in 0..self.locked.list.len() {
+            let s = self.locked.list[i];
+            self.switches[s].skip_cycles(1);
+        }
+        // 2. Drain output stashes into links (stash-holding switches
+        // only).
+        let mut order = std::mem::take(&mut self.order_scratch);
+        self.stashed.sorted_into(&mut order);
+        for &s in &order {
             for p in 0..self.stash[s].len() {
                 if self.stash[s][p].is_empty() {
                     continue;
@@ -239,58 +402,61 @@ impl Fabric {
                 };
                 if self.links[li].link.can_send(now) {
                     let flit = self.stash[s][p].pop_front().expect("checked non-empty");
-                    self.links[li]
-                        .link
-                        .send(flit, now)
-                        .expect("can_send checked");
+                    self.stash_flits[s] -= 1;
+                    self.total_stashed -= 1;
+                    if self.stash_flits[s] == 0 {
+                        self.stashed.remove(s);
+                    }
+                    self.send_on_link(li, flit, now);
                 }
             }
         }
-        // 3. Switch cycles.
-        for s in 0..self.switches.len() {
-            let tick = self.switches[s].tick();
-            for (port, flit) in tick.sent {
+        // 3. Switch cycles (busy switches only; an idle switch's tick
+        // moves nothing and releases nothing).
+        self.busy.sorted_into(&mut order);
+        let mut tick = std::mem::take(&mut self.tick_scratch);
+        for &s in &order {
+            self.switches[s].tick_into(&mut tick);
+            for (port, flit) in tick.sent.drain(..) {
                 let p = port.index();
                 let Some(li) = self.out_wire[s][p] else {
                     continue; // unreachable: every routed port is wired
                 };
                 if self.stash[s][p].is_empty() && self.links[li].link.can_send(now) {
-                    self.links[li]
-                        .link
-                        .send(flit, now)
-                        .expect("can_send checked");
+                    self.send_on_link(li, flit, now);
                 } else {
-                    self.stash[s][p].push_back(flit);
+                    self.stash_push(s, p, flit);
                 }
             }
             // 4. Credit returns to upstream.
-            for input in tick.credits_released {
+            for input in tick.credits_released.drain(..) {
                 match self.in_wire[s][input] {
                     Some(li) => match self.links[li].src {
                         LinkEnd::Switch { switch, port } => {
                             self.switches[switch].add_output_credit(port);
                         }
                         LinkEnd::Endpoint { node } => {
-                            let entry = self
-                                .injection
-                                .iter_mut()
-                                .find(|(n, _, _)| *n == node)
-                                .expect("injection entry exists");
-                            entry.2 += 1;
+                            let i = self.node_inj[node as usize].expect("injection entry exists");
+                            self.injection[i].2 += 1;
                         }
                     },
                     None => unreachable!("every switch input is wired"),
                 }
             }
+            if self.switches[s].is_idle() {
+                self.busy.remove(s);
+                if self.switches[s].has_locked_output() {
+                    self.locked.insert(s);
+                }
+            }
         }
-        ejected
+        self.tick_scratch = tick;
+        self.order_scratch = order;
     }
 
     /// Returns `true` when no flit is buffered or in flight anywhere.
     pub fn is_idle(&self) -> bool {
-        self.switches.iter().all(|s| s.is_idle())
-            && self.links.iter().all(|l| l.link.in_flight() == 0)
-            && self.stash.iter().flatten().all(|q| q.is_empty())
+        self.busy.is_empty() && self.total_stashed == 0 && self.in_flight == 0
     }
 
     /// The fabric's event horizon: the earliest base cycle at or after
@@ -298,43 +464,43 @@ impl Fabric {
     /// switch, stash and link is empty.
     ///
     /// Buffered flits demand dense ticking (switches arbitrate, stall
-    /// and count every cycle), but a fabric whose only traffic is *in
-    /// flight on links* — deep in a pipelined crossing, or waiting out a
-    /// CDC synchroniser — reports the earliest arrival instead, so the
-    /// caller can jump straight to it. Idle switches with pinned locks
-    /// constrain nothing here; their per-cycle lock-idle statistics are
-    /// bulk-accounted by [`Fabric::skip_cycles`].
+    /// and count every cycle) and pin the answer to `now`; a fabric
+    /// whose only traffic is *in flight on links* — deep in a pipelined
+    /// crossing, or waiting out a CDC synchroniser — reports the
+    /// earliest scheduled arrival from the link calendar instead, in
+    /// O(1). Idle switches with pinned locks constrain nothing here;
+    /// their per-cycle lock-idle statistics are bulk-accounted by
+    /// [`Fabric::skip_cycles`] and [`Fabric::tick`].
     pub fn next_event_at(&self, now: u64) -> Option<u64> {
-        // Any buffered flit pins the answer to `now`; stop scanning —
-        // nothing can merge earlier (saturated fabrics hit this every
-        // cycle, so the short-circuit keeps horizon bookkeeping cheap
-        // exactly where it wins nothing).
-        for s in &self.switches {
-            if s.next_event_at(now).is_some() {
-                return Some(now);
-            }
-        }
-        if self.stash.iter().flatten().any(|q| !q.is_empty()) {
+        if !self.busy.is_empty() || self.total_stashed > 0 {
             return Some(now);
         }
-        let mut horizon = Horizon::new();
-        for l in &self.links {
-            horizon.merge(l.link.next_event_at(now));
-        }
-        horizon.earliest()
+        // A stale calendar minimum is never later than the true earliest
+        // arrival, so the caller may at worst execute a spurious,
+        // dense-identical step.
+        Horizon::from(self.link_cal.peek()).earliest_from(now)
     }
 
     /// Accounts `cycles` skipped fabric ticks: forwards the bulk
-    /// lock-idle accounting to every switch (see
-    /// [`Switch::skip_cycles`]). Links and stashes need nothing — their
-    /// state is timestamped, not counted per cycle.
+    /// lock-idle accounting to every idle switch still pinned by a
+    /// locked sequence (see [`Switch::skip_cycles`]). Links and stashes
+    /// need nothing — their state is timestamped, not counted per cycle
+    /// — and unpinned idle switches have nothing to count.
     ///
     /// Callers must only skip cycles [`Fabric::next_event_at`] proved
     /// dead.
     pub fn skip_cycles(&mut self, cycles: u64) {
-        for s in &mut self.switches {
-            s.skip_cycles(cycles);
+        debug_assert!(self.busy.is_empty(), "skipping a fabric holding flits");
+        for i in 0..self.locked.list.len() {
+            let s = self.locked.list[i];
+            self.switches[s].skip_cycles(cycles);
         }
+    }
+
+    /// Total wakeups the link calendar has retired — the fabric's share
+    /// of the `calendar_pops` observability counter.
+    pub fn calendar_pops(&self) -> u64 {
+        self.link_cal.pops()
     }
 
     /// Aggregate switch statistics.

@@ -2,12 +2,13 @@
 
 use crate::fabric::Fabric;
 use crate::report::{FabricReport, MasterReport, SocReport};
-use noc_kernel::{ClockDomain, ClockId, ClockSet};
+use noc_kernel::{Calendar, ClockDomain, ClockId, ClockSet, WakeId};
 use noc_niu::NocEndpoint;
 use noc_physical::LinkConfig;
 use noc_stats::Histogram;
 use noc_topology::{RouteAlgorithm, Topology, TopologyError};
 use noc_transport::SwitchMode;
+use std::cell::Cell;
 use std::fmt;
 
 /// Transport + physical configuration of a NoC instance — everything the
@@ -265,15 +266,44 @@ impl SocBuilder {
             .iter()
             .map(|e| clocks.register(ClockDomain::new(e.clock_divisor)))
             .collect();
-        Ok(Soc {
+        let num_nodes = self
+            .endpoints
+            .iter()
+            .map(|e| e.node as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut node_ep = vec![None; num_nodes];
+        let mut ep_cal = Calendar::new();
+        let mut ep_wake = Vec::with_capacity(self.endpoints.len());
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            node_ep[ep.node as usize] = Some(i);
+            ep_wake.push(ep_cal.register());
+        }
+        let num_endpoints = self.endpoints.len();
+        let mut soc = Soc {
             endpoints: self.endpoints,
             clock_ids,
             clocks,
             request,
             response,
+            node_ep,
+            ep_cal,
+            ep_wake,
+            polls: Cell::new(0),
+            done: vec![false; num_endpoints],
+            not_done: num_endpoints,
             now: 0,
             steps: 0,
-        })
+            touched_scratch: Vec::new(),
+            eject_scratch: Vec::new(),
+        };
+        // Prime the calendar and done cache: every endpoint registers
+        // its initial horizon (most are quiescent until programs are
+        // loaded).
+        for i in 0..soc.endpoints.len() {
+            soc.refresh_endpoint(i);
+        }
+        Ok(soc)
     }
 }
 
@@ -290,9 +320,33 @@ pub struct Soc {
     clocks: ClockSet,
     request: Fabric,
     response: Fabric,
+    /// Node number → index into `endpoints` (nodes are unique).
+    node_ep: Vec<Option<usize>>,
+    /// Wakeup calendar over endpoints; `ep_wake[i]` is endpoint `i`'s
+    /// handle. Each endpoint re-registers whenever its horizon can have
+    /// changed: after any cycle it was clocked on, and whenever a flit
+    /// is pushed into it (the response/request arrival that can move
+    /// its horizon *earlier*).
+    ep_cal: Calendar,
+    ep_wake: Vec<WakeId>,
+    /// `next_activity` invocations — the scan-side observability
+    /// counter (`Cell`: the query is `&self` but must still count).
+    polls: Cell<u64>,
+    /// Cached [`NocEndpoint::is_done`] per endpoint plus the count of
+    /// endpoints still working, refreshed by the same invalidation
+    /// discipline as the calendar: done-ness can only flip when an
+    /// endpoint's state actually changes (its wakeup fired, a flit was
+    /// pulled from it or pushed into it, a program was loaded) — ticks
+    /// inside a proven-dead region are no-ops by construction.
+    done: Vec<bool>,
+    not_done: usize,
     now: u64,
     /// Base cycles actually executed (skipped cycles excluded).
     steps: u64,
+    /// Step-loop scratch buffers (touched endpoints, ejected flits),
+    /// reused so the hot path allocates nothing.
+    touched_scratch: Vec<usize>,
+    eject_scratch: Vec<(u16, noc_transport::Flit)>,
 }
 
 impl Soc {
@@ -312,18 +366,28 @@ impl Soc {
     pub fn step(&mut self) {
         let now = self.now;
         self.steps += 1;
-        // 1. Endpoint compute on their clock edges.
-        for (i, ep) in self.endpoints.iter_mut().enumerate() {
-            if self.clocks.is_active(self.clock_ids[i], now) {
-                ep.inner.tick(now);
-            }
-        }
-        // 2. Injection: initiators feed the request network, targets the
-        //    response network (one flit per endpoint per local cycle).
+        // Retire due endpoint wakeups. Everything that can move an
+        // endpoint's horizon (or done-ness) this cycle lands in
+        // `touched`: its wakeup firing, a flit pulled from it, a flit
+        // pushed into it. Clocked ticks *inside* a pending wakeup's
+        // dead region are provably no-ops for the horizon — the same
+        // invariance that lets [`Soc::skip_to`] jump them — so merely
+        // being clocked does not require re-registration.
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
+        self.ep_cal.pop_due(now, |id| touched.push(id.index()));
+        // 1. Endpoint compute on their clock edges, then injection:
+        //    initiators feed the request network, targets the response
+        //    network (one flit per endpoint per local cycle). Endpoints
+        //    only interact through the fabrics — an endpoint's tick
+        //    reads no fabric state and each node injects on its own
+        //    link — so folding injection into the tick pass reorders
+        //    nothing observable versus two full passes.
         for (i, ep) in self.endpoints.iter_mut().enumerate() {
             if !self.clocks.is_active(self.clock_ids[i], now) {
                 continue;
             }
+            ep.inner.tick(now);
             let fabric = if ep.is_initiator {
                 &mut self.request
             } else {
@@ -332,79 +396,125 @@ impl Soc {
             if fabric.can_inject(ep.node, now) {
                 if let Some(flit) = ep.inner.pull_flit() {
                     fabric.inject(ep.node, flit, now);
+                    touched.push(i);
                 }
             }
         }
-        // 3. Fabric cycles; ejections are delivered immediately.
-        for (node, flit) in self.request.tick(now) {
-            let ep = self
-                .endpoints
-                .iter_mut()
-                .find(|e| e.node == node && !e.is_initiator)
-                .expect("request network ejects at targets");
-            ep.inner.push_flit(flit);
+        // 2. Fabric cycles; ejections are delivered immediately. A
+        //    pushed flit can move the receiving endpoint's horizon
+        //    *earlier*, so those endpoints must re-register even when
+        //    they were not clocked this cycle.
+        let mut eject = std::mem::take(&mut self.eject_scratch);
+        eject.clear();
+        self.request.tick(now, &mut eject);
+        for (node, flit) in eject.drain(..) {
+            let i = self.node_ep[node as usize].expect("request network ejects at targets");
+            debug_assert!(!self.endpoints[i].is_initiator);
+            self.endpoints[i].inner.push_flit(flit);
+            touched.push(i);
         }
-        for (node, flit) in self.response.tick(now) {
-            let ep = self
-                .endpoints
-                .iter_mut()
-                .find(|e| e.node == node && e.is_initiator)
-                .expect("response network ejects at initiators");
-            ep.inner.push_flit(flit);
+        self.response.tick(now, &mut eject);
+        for (node, flit) in eject.drain(..) {
+            let i = self.node_ep[node as usize].expect("response network ejects at initiators");
+            debug_assert!(self.endpoints[i].is_initiator);
+            self.endpoints[i].inner.push_flit(flit);
+            touched.push(i);
         }
+        self.eject_scratch = eject;
         self.now += 1;
+        // 3. Invalidation discipline: every touched endpoint
+        //    re-registers its wakeup and refreshes its done cache.
+        //    Duplicates are harmless (unchanged horizons are calendar
+        //    no-ops).
+        for &i in &touched {
+            self.refresh_endpoint(i);
+        }
+        self.touched_scratch = touched;
+    }
+
+    /// The endpoint's current horizon contribution: the earliest base
+    /// cycle at which it can act, combining its local-tick countdown
+    /// ([`NocEndpoint::idle_ticks`], mapped onto the base timeline
+    /// through its clock domain) with the [`NocEndpoint::ready_at`]
+    /// absolute refinement. Both are proofs of deadness, so the later
+    /// bound wins; both are invariant across [`Soc::skip_to`] (the
+    /// countdown shrinks by exactly the skipped edges), so a scheduled
+    /// wakeup stays valid through skips.
+    fn endpoint_wake_at(&self, i: usize) -> Option<u64> {
+        let ep = &self.endpoints[i];
+        let domain = self.clocks.domain(self.clock_ids[i]);
+        let edge = domain.next_active(self.now);
+        let idle = ep.inner.idle_ticks();
+        let from_idle =
+            (idle != u64::MAX).then(|| edge.saturating_add(idle.saturating_mul(domain.divisor())));
+        let from_ready = ep
+            .inner
+            .ready_at()
+            .map(|ready| domain.next_active(ready.max(self.now)));
+        match (from_idle, from_ready) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Re-registers endpoint `i`'s wakeup and refreshes its cached
+    /// done-ness — the invalidation hook called for every endpoint
+    /// whose state changed this cycle.
+    fn refresh_endpoint(&mut self, i: usize) {
+        let at = self.endpoint_wake_at(i);
+        self.ep_cal.set(self.ep_wake[i], at);
+        let done = self.endpoints[i].inner.is_done();
+        if done != self.done[i] {
+            self.done[i] = done;
+            if done {
+                self.not_done -= 1;
+            } else {
+                self.not_done += 1;
+            }
+        }
     }
 
     /// Returns `true` when every endpoint is done and both fabrics idle.
+    /// O(1): endpoint done-ness is cached (see the `done` field) and
+    /// the fabrics count their active components.
     pub fn is_done(&self) -> bool {
-        self.endpoints.iter().all(|e| e.inner.is_done())
-            && self.request.is_idle()
-            && self.response.is_idle()
+        self.not_done == 0 && self.request.is_idle() && self.response.is_idle()
     }
 
     /// The earliest base cycle at which the system's state can possibly
     /// change, or `None` when no component will ever act again absent
-    /// external input: the min-combine of every layer's event horizon.
+    /// external input.
     ///
-    /// - Each fabric reports [`Fabric::next_event_at`]: dense while any
-    ///   switch buffers a flit, but the earliest in-flight *link*
-    ///   arrival when the only traffic is deep inside pipelined or CDC
-    ///   crossings — in-flight flits no longer force per-cycle ticking.
-    /// - Each endpoint reports its local-tick horizon
-    ///   ([`NocEndpoint::idle_ticks`], mapped onto the base timeline
-    ///   through the [`ClockSet`]) and, when its next action is pinned
-    ///   to an absolute cycle (a memory service completing), the
-    ///   [`NocEndpoint::ready_at`] refinement — both proofs of deadness
-    ///   hold, so the later one wins for that endpoint.
+    /// This no longer scans components: each fabric answers in O(1)
+    /// (busy/stash sets pin it to `now`; otherwise its link calendar's
+    /// earliest scheduled arrival), and the endpoints' contribution is
+    /// the earliest wakeup they scheduled into the endpoint calendar
+    /// ([`Soc::step`] re-registers every endpoint whose horizon can
+    /// have moved). A calendar minimum may be stale — a component
+    /// rescheduled *later* and the old entry has not been retired — but
+    /// stale means early, and an early wakeup merely executes a step a
+    /// dense run executes anyway, so logs stay bit-identical.
     pub fn next_activity(&self) -> Option<u64> {
+        self.polls.set(self.polls.get() + 1);
         let mut horizon = noc_kernel::Horizon::new();
         horizon.merge(self.request.next_event_at(self.now));
         horizon.merge(self.response.next_event_at(self.now));
-        for (i, ep) in self.endpoints.iter().enumerate() {
-            // Every contribution is ≥ now, so once the fold reaches
-            // `now` nothing can improve it — stop scanning (the common
-            // case on busy fabrics, where this runs every cycle).
-            if horizon.earliest() == Some(self.now) {
-                return Some(self.now);
-            }
-            let domain = self.clocks.domain(self.clock_ids[i]);
-            let edge = domain.next_active(self.now);
-            let idle = ep.inner.idle_ticks();
-            let from_idle = (idle != u64::MAX)
-                .then(|| edge.saturating_add(idle.saturating_mul(domain.divisor())));
-            let from_ready = ep
-                .inner
-                .ready_at()
-                .map(|ready| domain.next_active(ready.max(self.now)));
-            // Each hook independently proves every tick before its cycle
-            // a no-op; the endpoint's next activity is at the *later*
-            // bound (the union of the dead regions).
-            horizon.merge(match (from_idle, from_ready) {
-                (Some(a), Some(b)) => Some(a.max(b)),
-                (a, b) => a.or(b),
-            });
-        }
-        horizon.earliest()
+        horizon.merge(self.ep_cal.peek());
+        horizon.earliest_from(self.now)
+    }
+
+    /// Times [`Soc::next_activity`] was called — the poll-side
+    /// observability counter. With calendar stepping each poll is O(1);
+    /// the companion [`Soc::calendar_pops`] counts the wakeups that
+    /// drove those answers.
+    pub fn horizon_polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    /// Total calendar wakeups retired across the endpoint calendar and
+    /// both fabrics' link calendars.
+    pub fn calendar_pops(&self) -> u64 {
+        self.ep_cal.pops() + self.request.calendar_pops() + self.response.calendar_pops()
     }
 
     /// Jumps simulation time to `target` across a provably-dead gap: for
@@ -474,6 +584,11 @@ impl Soc {
             programs.next().is_none(),
             "more programs than initiator endpoints"
         );
+        // Loading a program moves initiator horizons from "quiescent"
+        // to their first command's cycle — re-register everyone.
+        for i in 0..self.endpoints.len() {
+            self.refresh_endpoint(i);
+        }
     }
 
     /// Named completion logs of all initiator endpoints (build order).

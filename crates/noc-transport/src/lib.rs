@@ -48,4 +48,4 @@ pub use buffer::FlitFifo;
 pub use flit::{Direction, Flit, FlitType, Header, LOCKED_BIT, MAX_PRESSURE};
 pub use packet::{Packet, PacketAssembler, ReassemblyError};
 pub use routing::{PortId, RouteError, RoutingTable};
-pub use switch::{Switch, SwitchConfig, SwitchMode, SwitchStats};
+pub use switch::{Switch, SwitchConfig, SwitchMode, SwitchStats, SwitchTick};

@@ -146,6 +146,9 @@ pub struct Switch {
     out_credits: Vec<u32>,
     arbiters: Vec<RoundRobinArbiter>,
     stats: SwitchStats,
+    /// Allocation-request scratch (one slot per input), reused across
+    /// ticks so the per-output arbitration pass allocates nothing.
+    req_scratch: Vec<Option<u8>>,
 }
 
 impl Switch {
@@ -170,6 +173,7 @@ impl Switch {
             arbiters: (0..config.outputs)
                 .map(|_| RoundRobinArbiter::new())
                 .collect(),
+            req_scratch: vec![None; config.inputs],
             config,
             table,
             stats: SwitchStats::default(),
@@ -223,6 +227,15 @@ impl Switch {
         self.out_lock[port].is_some()
     }
 
+    /// Returns `true` if any output is pinned by a locked sequence.
+    /// Idle-but-locked switches still accrue
+    /// [`SwitchStats::lock_idle_cycles`] every cycle, so callers that
+    /// skip ticking idle switches must keep accounting for these via
+    /// [`Switch::skip_cycles`].
+    pub fn has_locked_output(&self) -> bool {
+        self.out_lock.iter().any(|l| l.is_some())
+    }
+
     /// Returns `true` if the switch holds no flits and no allocations.
     pub fn is_idle(&self) -> bool {
         self.inputs.iter().all(|f| f.is_empty()) && self.in_alloc.iter().all(|a| a.is_none())
@@ -262,8 +275,18 @@ impl Switch {
     /// Advances the switch one cycle: allocates outputs to waiting heads,
     /// then forwards at most one flit per output.
     pub fn tick(&mut self) -> SwitchTick {
+        let mut tick = SwitchTick::default();
+        self.tick_into(&mut tick);
+        tick
+    }
+
+    /// [`Switch::tick`] into a caller-owned (cleared) result, so hot
+    /// loops can reuse one buffer across many switch cycles.
+    pub fn tick_into(&mut self, tick: &mut SwitchTick) {
+        tick.sent.clear();
+        tick.credits_released.clear();
         self.allocate();
-        self.forward()
+        self.forward(tick);
     }
 
     /// Output allocation: for every free output, competing head flits are
@@ -279,7 +302,7 @@ impl Switch {
                 continue;
             }
             // Candidates: idle inputs whose head flit routes to o.
-            let mut requests: Vec<Option<u8>> = vec![None; self.config.inputs];
+            self.req_scratch.fill(None);
             #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
             for i in 0..self.config.inputs {
                 if self.in_alloc[i].is_some() {
@@ -309,9 +332,10 @@ impl Switch {
                         continue;
                     }
                 }
-                requests[i] = Some(header.pressure);
+                let pressure = header.pressure;
+                self.req_scratch[i] = Some(pressure);
             }
-            let n_req = requests.iter().flatten().count();
+            let n_req = self.req_scratch.iter().flatten().count();
             if n_req == 0 {
                 if self.out_lock[o].is_some() {
                     self.stats.lock_idle_cycles += 1;
@@ -322,7 +346,7 @@ impl Switch {
                 self.stats.arbitration_conflicts += 1;
             }
             let winner = self.arbiters[o]
-                .pick(&requests)
+                .pick(&self.req_scratch)
                 .expect("candidates exist, arbiter must grant");
             self.in_alloc[winner] = Some(o);
             self.out_owner[o] = Some(winner);
@@ -339,8 +363,7 @@ impl Switch {
 
     /// Forwarding: each output streams one flit from its allocated input,
     /// credit permitting.
-    fn forward(&mut self) -> SwitchTick {
-        let mut tick = SwitchTick::default();
+    fn forward(&mut self, tick: &mut SwitchTick) {
         for o in 0..self.config.outputs {
             let Some(i) = self.out_owner[o] else {
                 continue;
@@ -381,7 +404,6 @@ impl Switch {
                 self.in_lock_release[i] = false;
             }
         }
-        tick
     }
 }
 

@@ -526,6 +526,68 @@ fn scenario_text_round_trips_and_runs_identically() {
     }
 }
 
+/// The calendar queue against a linear-scan model: across random
+/// register/set/advance sequences, `pop_due` must fire exactly the set
+/// of wakeups scheduled at or before `now` (each at most once — heap
+/// delivery order is (cycle, id), so callers sort; the set is what
+/// matters), `scheduled` must mirror the model's slot state, and `peek`
+/// must never exceed the true earliest pending wakeup — lazy
+/// cancellation may surface a stale *early* minimum, but a late one
+/// would let the advance loop sleep through work.
+#[test]
+fn calendar_fires_exactly_the_due_set_and_never_peeks_late() {
+    use noc_kernel::Calendar;
+
+    let mut rng = SplitMix64::new(0xCA1E);
+    for case in 0..CASES {
+        let slots = rng.next_range(1, 12) as usize;
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = (0..slots).map(|_| cal.register()).collect();
+        let mut model: Vec<Option<u64>> = vec![None; slots];
+        let mut now = 0u64;
+        for op in 0..rng.next_range(10, 120) {
+            if rng.chance(0.6) {
+                // Reschedule a random slot: later, earlier, or cleared —
+                // all three exercise lazy cancellation.
+                let i = rng.next_below(slots as u64) as usize;
+                let at = if rng.chance(0.2) {
+                    None
+                } else {
+                    Some(now + rng.next_below(50))
+                };
+                cal.set(ids[i], at);
+                model[i] = at;
+            } else {
+                now += rng.next_below(30);
+                let mut fired = Vec::new();
+                cal.pop_due(now, |id| fired.push(id.index()));
+                fired.sort_unstable();
+                let expect: Vec<usize> = (0..slots)
+                    .filter(|&i| model[i].is_some_and(|at| at <= now))
+                    .collect();
+                for &i in &expect {
+                    model[i] = None;
+                }
+                assert_eq!(fired, expect, "case {case} op {op} now {now}");
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(cal.scheduled(id), model[i], "case {case} op {op}");
+            }
+            let true_min = model.iter().flatten().min().copied();
+            match (cal.peek(), true_min) {
+                // A peek may be stale-early (a cancelled or rescheduled
+                // entry still in the heap) but never later than the
+                // earliest live wakeup.
+                (Some(peeked), Some(min)) => {
+                    assert!(peeked <= min, "case {case} op {op}: {peeked} > {min}")
+                }
+                (None, Some(min)) => panic!("case {case} op {op}: empty peek hides {min}"),
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Randomised scenarios: horizon stepping must be record-identical
 /// (timestamps included) to dense polling on every backend, across
 /// random programs, gaps, socket mixes, target kinds, clock divisors
@@ -568,12 +630,22 @@ fn horizon_stepping_equals_dense_on_random_scenarios() {
                     .iter()
                     .map(|(_, log)| log.records().to_vec())
                     .collect();
-                (drained, sim.now(), logs)
+                let counters = (sim.horizon_polls(), sim.calendar_pops());
+                ((drained, sim.now(), logs), counters)
             };
-            let dense = run(StepMode::Dense);
-            let horizon = run(StepMode::Horizon);
+            let (dense, _) = run(StepMode::Dense);
+            let (horizon, (polls, pops)) = run(StepMode::Horizon);
             assert!(dense.0, "case {case}: {backend} dense must drain");
             assert_eq!(dense, horizon, "case {case}: divergence on {backend}");
+            // Wakeup discipline: the advance loop must be paying for
+            // its next_activity polls with calendar traffic, the same
+            // bound `scn --assert-wakeup-discipline` enforces on the
+            // corpus. A rescan-style loop polls once per cycle and
+            // blows through this immediately.
+            assert!(
+                polls <= pops * 4 + 64,
+                "case {case}: {backend} polled {polls} times against {pops} pops"
+            );
         }
     }
 }
