@@ -114,6 +114,23 @@ impl SharedBus {
         }
     }
 
+    /// Appends commands to the end of master `ordinal`'s socket program,
+    /// mid-run (same contract as `Soc::append_commands` in
+    /// `noc-system`): the appended tail extends the program without
+    /// disturbing in-flight state, and the master's wakeup is
+    /// re-registered so the calendar never sleeps past the new work.
+    pub fn append_commands(&mut self, ordinal: usize, tail: &[noc_protocols::SocketCommand]) {
+        let master = &mut self.masters[ordinal];
+        master.fe.append_commands(tail);
+        if ordinal < self.wakes.len() {
+            let idle = master.fe.idle_ticks();
+            let at = (idle != u64::MAX).then(|| self.now.saturating_add(idle));
+            self.cal.set(self.wakes[ordinal], at);
+        }
+        // Before the first step the calendar is cold and next_activity
+        // scans the masters directly, so no registration is needed.
+    }
+
     /// Attaches a memory slave serving the address range that the map
     /// assigns it (identified by base address).
     pub fn add_slave(&mut self, base: u64, mem: MemoryModel) -> &mut Self {

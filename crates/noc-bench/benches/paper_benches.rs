@@ -160,7 +160,7 @@ fn main() {
     let sparse_set_top = {
         let (mut spec, cfg) = set_top(4, 9);
         for ini in &mut spec.initiators {
-            for cmd in &mut ini.program {
+            for cmd in ini.program.explicit_mut().unwrap() {
                 cmd.delay_before = cmd.delay_before.saturating_mul(100).max(200);
             }
         }

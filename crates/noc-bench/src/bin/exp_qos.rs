@@ -19,7 +19,12 @@ fn print_table(spec: &ScenarioSpec) -> Result<(), Box<dyn std::error::Error>> {
         // the program's commands.
         let pressure = ini
             .pressure
-            .or_else(|| ini.program.first().map(|c| c.pressure))
+            .or_else(|| {
+                ini.program
+                    .explicit()
+                    .and_then(|p| p.first())
+                    .map(|c| c.pressure)
+            })
             .unwrap_or(0);
         t.row(&[
             ini.name.clone(),

@@ -5,8 +5,9 @@
 //! after changing a builder or the text format, then commit the diff.
 
 use noc_bench::scenarios::{
-    clocked_mixed_spec, deep_pipeline_spec, exclusive_sweep, ordering_sweep, qos_spec,
-    ring_mixed_spec, scale_sweep, serve_sweep, services_spec, sparse_mesh_spec,
+    bursty_storm_spec, clocked_mixed_spec, deep_pipeline_spec, exclusive_sweep, ordering_sweep,
+    qos_spec, ring_mixed_spec, scale_sweep, serve_sweep, services_spec, sparse_mesh_spec,
+    trace_replay_spec, trace_replay_trace, zipf_hotspot_spec,
 };
 use noc_workloads::{SetTop, SetTopConfig};
 use std::path::Path;
@@ -34,6 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("serve_sweep.scn", serve_sweep(3, 6).to_text()),
         ("mesh_8x8_sparse.scn", sparse_mesh_spec(8).to_text()),
         ("mesh_16x16_sparse.scn", sparse_mesh_spec(16).to_text()),
+        ("bursty_storm.scn", bursty_storm_spec().to_text()),
+        ("zipf_hotspot.scn", zipf_hotspot_spec().to_text()),
+        ("trace_replay.scn", trace_replay_spec().to_text()),
+        // Companion data, not a scenario: the trace the replay file
+        // streams. Written here so the git-porcelain CI check pins it
+        // to the generator too.
+        ("trace_replay.trace", trace_replay_trace()),
     ];
     for (name, text) in files {
         let path = dir.join(name);

@@ -4,8 +4,8 @@
 
 use noc_protocols::{Program, SocketCommand};
 use noc_scenario::{
-    Backend, InitiatorSpec, MemorySpec, NocConfigSpec, ScenarioSpec, SocketSpec, StepMode, Sweep,
-    SweepPoint, TopologySpec,
+    Backend, BurstySpec, InitiatorSpec, MemorySpec, NocConfigSpec, ScenarioSpec, SocketSpec,
+    StepMode, Sweep, SweepPoint, TopologySpec, TraceSpec, ZipfSpec,
 };
 use noc_topology::RouteAlgorithm;
 use noc_transaction::{BurstKind, Opcode, StreamId};
@@ -243,7 +243,7 @@ pub fn serve_sweep(w: usize, points: usize) -> Sweep {
     Sweep::over(0..points, |k| {
         let mut spec = platform.clone();
         for (m, ini) in spec.initiators.iter_mut().enumerate() {
-            ini.program = serve_point_program(k, m, slices);
+            ini.program = serve_point_program(k, m, slices).into();
         }
         (format!("p{k:02}"), spec, Backend::noc())
     })
@@ -536,4 +536,104 @@ pub fn ring_mixed_spec() -> ScenarioSpec {
         .memory(MemorySpec::new("lo", 0x0, 0x800, 1).with_queue(4))
         .memory(MemorySpec::new("hi", 0x800, 0x1000, 3))
         .with_topology(TopologySpec::Ring { switches: 3 })
+}
+
+/// The bursty-storm corpus scenario: three multi-stream sockets firing
+/// seeded on/off bursts at a shared memory map. Long idle gaps between
+/// bursts give the event horizons real dead time to skip, and the
+/// generators make the file a standing regression test for seeded
+/// stochastic determinism across backends and step modes.
+pub fn bursty_storm_spec() -> ScenarioSpec {
+    let mut dsp = BurstySpec::new(0xB00B57, 120, 6, 40);
+    dsp.shape.streams = 2;
+    dsp.shape.gap = 1;
+    let mut dma = BurstySpec::new(0xD1157, 140, 8, 64);
+    dma.shape.streams = 4;
+    dma.shape.read_pct = 40;
+    dma.shape.beats = 8;
+    let mut cpu = BurstySpec::new(0xC0FFEE, 90, 3, 48);
+    cpu.shape.beats = 2;
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new("dsp", SocketSpec::ocp(), dsp))
+        .initiator(InitiatorSpec::new("dma", SocketSpec::axi(), dma).with_outstanding(8))
+        .initiator(InitiatorSpec::new("cpu", SocketSpec::Ahb, cpu))
+        .memory(MemorySpec::new("dram", 0x0, 0x4000, 6).with_queue(4))
+        .memory(MemorySpec::new("sram", 0x4000, 0x6000, 2).with_queue(2))
+        .memory(MemorySpec::new("mmio", 0x6000, 0x7000, 4).with_queue(2))
+}
+
+/// The hotspot-storm corpus scenario: six blocking AHB initiators whose
+/// Zipf target pick concentrates ~three quarters of the traffic on a
+/// slow first-declared memory. Blocking masters keep each request's
+/// latency attributable to its own target (no per-thread response
+/// chaining), so the hot target's service+queue wait shows up as a
+/// clean per-target latency spread (`scn --assert-target-spread`).
+pub fn zipf_hotspot_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new();
+    for (i, seed) in [0x21F0u64, 0x21F1, 0x21F2, 0x21F3, 0x21F4, 0x21F5]
+        .into_iter()
+        .enumerate()
+    {
+        let mut z = ZipfSpec::new(seed, 150, 2200);
+        z.shape.gap = 1;
+        spec = spec.initiator(InitiatorSpec::new(&format!("gen{i}"), SocketSpec::Ahb, z));
+    }
+    spec.memory(MemorySpec::new("hot", 0x0, 0x1000, 28).with_queue(8))
+        .memory(MemorySpec::new("warm", 0x1000, 0x2000, 2).with_queue(4))
+        .memory(MemorySpec::new("cool", 0x2000, 0x3000, 2).with_queue(4))
+        .memory(MemorySpec::new("cold", 0x3000, 0x4000, 2).with_queue(4))
+}
+
+/// The trace-replay corpus scenario: an OCP initiator streaming the
+/// checked-in `trace_replay.trace` (written by `gen_scenarios` next to
+/// the `.scn` file) alongside an explicit AHB control master.
+pub fn trace_replay_spec() -> ScenarioSpec {
+    let ctl: Program = (0..10)
+        .map(|i| {
+            if i % 2 == 0 {
+                SocketCommand::write(0x2000 + 0x20 * i, 4, 0x7E + i)
+            } else {
+                SocketCommand::read(0x2000 + 0x20 * i, 4).with_delay(16)
+            }
+        })
+        .collect();
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new(
+            "replay",
+            SocketSpec::ocp(),
+            TraceSpec::new("trace_replay.trace"),
+        ))
+        .initiator(InitiatorSpec::new("ctl", SocketSpec::Ahb, ctl))
+        .memory(MemorySpec::new("dram", 0x0, 0x2000, 5).with_queue(4))
+        .memory(MemorySpec::new("mmio", 0x2000, 0x3000, 2).with_queue(2))
+}
+
+/// The companion trace for [`trace_replay_spec`]: 200 seeded records on
+/// 2 OCP threads, bursts of back-to-back commands separated by long
+/// idle stretches (dead time for the horizon machinery). Both streams
+/// appear in the first burst, satisfying the feeder's primed-window
+/// rule.
+pub fn trace_replay_trace() -> String {
+    let mut rng = noc_kernel::SplitMix64::new(0x7124CE);
+    let mut out = String::from(
+        "# trace_replay.trace -- written by `cargo run -p noc-bench --bin gen_scenarios`\n\
+         # format: cycle op addr beats beat_bytes [stream]\n",
+    );
+    let mut cycle = 0u64;
+    for i in 0..200u64 {
+        if i > 0 {
+            // A new burst every 8 records; bursts are back-to-back.
+            cycle += if i % 8 == 0 {
+                60 + rng.next_below(80)
+            } else {
+                rng.next_below(3)
+            };
+        }
+        let op = if rng.chance(0.7) { "read" } else { "write" };
+        let addr = rng.next_below(0x1F0) * 0x10;
+        let beats = [1u64, 2, 4][rng.next_below(3) as usize];
+        let stream = i % 2;
+        out.push_str(&format!("{cycle} {op} {addr:#x} {beats} 4 {stream}\n"));
+    }
+    out
 }

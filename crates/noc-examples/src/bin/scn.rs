@@ -30,6 +30,13 @@
 //!                                   guard keeping the advance loop
 //!                                   event-driven rather than
 //!                                   rescan-driven)
+//!   --assert-target-spread RATIO    fail unless the hottest target's
+//!                                   mean latency is at least RATIO× the
+//!                                   coldest trafficked target's on
+//!                                   every backend (the CI guard proving
+//!                                   hotspot workloads congest); a
+//!                                   per-target latency table is printed
+//!                                   for any multi-target scenario
 //!   --max-cycles N                  drain budget (default 10_000_000
 //!                                   for scenario files, the file's
 //!                                   budget for sweeps)
@@ -94,6 +101,10 @@ struct Options {
     /// stays within [`WAKEUP_POLL_FACTOR`]× its calendar pops (plus
     /// [`WAKEUP_POLL_SLACK`]) on every row.
     assert_wakeup_discipline: bool,
+    /// Fail unless the hottest target's mean latency is at least this
+    /// factor above the coldest trafficked target's, on every backend —
+    /// the CI guard proving the hotspot workloads actually congest.
+    assert_target_spread: Option<f64>,
 }
 
 /// `--assert-wakeup-discipline` bound: every `next_activity` poll must
@@ -107,7 +118,8 @@ const WAKEUP_POLL_SLACK: u64 = 64;
 
 fn usage() -> &'static str {
     "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|both] \
-     [--assert-fewer-steps] [--assert-wakeup-discipline] [--max-cycles N] FILE..."
+     [--assert-fewer-steps] [--assert-wakeup-discipline] \
+     [--assert-target-spread RATIO] [--max-cycles N] FILE..."
 }
 
 fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
@@ -118,6 +130,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
         max_cycles: None,
         assert_fewer_steps: false,
         assert_wakeup_discipline: false,
+        assert_target_spread: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -145,6 +158,16 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
             }
             "--assert-fewer-steps" => opts.assert_fewer_steps = true,
             "--assert-wakeup-discipline" => opts.assert_wakeup_discipline = true,
+            "--assert-target-spread" => {
+                let v = args.next().ok_or("--assert-target-spread needs a ratio")?;
+                let ratio: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --assert-target-spread {v:?}"))?;
+                if ratio < 1.0 || ratio.is_nan() {
+                    return Err(format!("--assert-target-spread {v:?} must be >= 1").into());
+                }
+                opts.assert_target_spread = Some(ratio);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -213,18 +236,82 @@ fn run_once(
     })
 }
 
+/// Per-target completion stats from one run's logs: for each memory
+/// region (by declaration order), the completions it absorbed and their
+/// mean latency.
+fn target_stats(spec: &ScenarioSpec, logs: &[Vec<CompletionRecord>]) -> Vec<(String, usize, f64)> {
+    let mut acc = vec![(0usize, 0u64); spec.memories.len()];
+    for rec in logs.iter().flatten() {
+        if let Some(i) = spec
+            .memories
+            .iter()
+            .position(|m| rec.addr >= m.base && rec.addr < m.end)
+        {
+            acc[i].0 += 1;
+            acc[i].1 += rec.latency();
+        }
+    }
+    spec.memories
+        .iter()
+        .zip(acc)
+        .map(|(m, (n, sum))| {
+            let mean = if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+            (m.name.clone(), n, mean)
+        })
+        .collect()
+}
+
+/// Enforces `--assert-target-spread`: the hottest target's mean latency
+/// must be at least `ratio`× the coldest trafficked target's.
+fn check_target_spread(
+    backend: &Backend,
+    stats: &[(String, usize, f64)],
+    ratio: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let trafficked: Vec<_> = stats.iter().filter(|(_, n, _)| *n > 0).collect();
+    if trafficked.len() < 2 {
+        return Err(format!(
+            "{backend}: --assert-target-spread needs at least two targets with \
+             traffic, got {}",
+            trafficked.len()
+        )
+        .into());
+    }
+    let hot = trafficked
+        .iter()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("non-empty");
+    let cold = trafficked
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("non-empty");
+    if hot.2 < cold.2 * ratio {
+        return Err(format!(
+            "{backend}: hot target {} (mean {:.1} cy) is only {:.2}x the cold \
+             target {} (mean {:.1} cy); --assert-target-spread wants {ratio}x",
+            hot.0,
+            hot.2,
+            hot.2 / cold.2.max(f64::MIN_POSITIVE),
+            cold.0,
+            cold.2
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// Runs a spec on one backend under the step selection; returns the
-/// table cells, or `None` when the backend rejects divided clocks and
-/// skipping is allowed.
+/// table cells plus per-target stats, or `None` when the backend
+/// rejects divided clocks and skipping is allowed.
+#[allow(clippy::type_complexity)]
 fn run_spec(
     spec: &ScenarioSpec,
     backend: &Backend,
     step: StepSel,
     max_cycles: u64,
     skip_unsupported: bool,
-    assert_fewer_steps: bool,
-    assert_wakeup_discipline: bool,
-) -> Result<Option<Vec<String>>, Box<dyn std::error::Error>> {
+    opts: &Options,
+) -> Result<Option<(Vec<String>, Vec<(String, usize, f64)>)>, Box<dyn std::error::Error>> {
     let modes: &[StepMode] = match step {
         StepSel::One(StepMode::Dense) => &[StepMode::Dense],
         StepSel::One(StepMode::Horizon) => &[StepMode::Horizon],
@@ -277,7 +364,7 @@ fn run_spec(
         .join("/");
     let ratio_cell = if outcomes.len() == 2 {
         let (dense, horizon) = (outcomes[0].steps, outcomes[1].steps);
-        if assert_fewer_steps && horizon >= dense {
+        if opts.assert_fewer_steps && horizon >= dense {
             return Err(format!(
                 "{backend}: horizon executed {horizon} steps, dense {dense} — \
                  the horizon machinery regressed to dense stepping"
@@ -294,7 +381,7 @@ fn run_spec(
     let horizon_ran = !matches!(step, StepSel::One(StepMode::Dense));
     let wake_cell = if horizon_ran {
         let o = outcomes.last().expect("at least one mode ran");
-        if assert_wakeup_discipline {
+        if opts.assert_wakeup_discipline {
             let bound = o.pops.saturating_mul(WAKEUP_POLL_FACTOR) + WAKEUP_POLL_SLACK;
             if o.polls > bound {
                 return Err(format!(
@@ -310,16 +397,23 @@ fn run_spec(
     } else {
         "-".to_owned()
     };
-    Ok(Some(vec![
-        backend.label().to_owned(),
-        step_cell,
-        cycles.to_string(),
-        completions.to_string(),
-        format!("{mean:.1}"),
-        steps_cell,
-        ratio_cell,
-        wake_cell,
-    ]))
+    let stats = target_stats(spec, logs);
+    if let Some(ratio) = opts.assert_target_spread {
+        check_target_spread(backend, &stats, ratio)?;
+    }
+    Ok(Some((
+        vec![
+            backend.label().to_owned(),
+            step_cell,
+            cycles.to_string(),
+            completions.to_string(),
+            format!("{mean:.1}"),
+            steps_cell,
+            ratio_cell,
+            wake_cell,
+        ],
+        stats,
+    )))
 }
 
 fn run_scenario_file(
@@ -343,22 +437,34 @@ fn run_scenario_file(
         "polls/pops",
     ]);
     t.numeric();
+    let mut target_rows = Vec::new();
     for label in labels {
         let backend = backend_by_label(label);
         let skip = opts.backend == BackendSel::All;
-        if let Some(row) = run_spec(
-            spec,
-            &backend,
-            step,
-            max_cycles,
-            skip,
-            opts.assert_fewer_steps,
-            opts.assert_wakeup_discipline,
-        )? {
+        if let Some((row, stats)) = run_spec(spec, &backend, step, max_cycles, skip, opts)? {
             t.row(&row);
+            for (target, n, mean) in stats {
+                target_rows.push(vec![
+                    label.to_string(),
+                    target,
+                    n.to_string(),
+                    format!("{mean:.1}"),
+                ]);
+            }
         }
     }
     println!("{t}");
+    // The per-target breakdown only says something when traffic can
+    // actually spread over more than one target.
+    if spec.memories.len() > 1 {
+        let mut pt = Table::new(&["backend", "target", "completions", "mean lat (cy)"]);
+        pt.numeric();
+        for row in &target_rows {
+            pt.row(row);
+        }
+        println!("per-target latency:");
+        println!("{pt}");
+    }
     Ok(())
 }
 
@@ -380,16 +486,8 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
         ]);
         t.numeric();
         for p in sweep.points() {
-            let row = run_spec(
-                &p.spec,
-                &p.backend,
-                StepSel::Both,
-                max_cycles,
-                false,
-                opts.assert_fewer_steps,
-                opts.assert_wakeup_discipline,
-            )?
-            .expect("skipping is disabled");
+            let (row, _) = run_spec(&p.spec, &p.backend, StepSel::Both, max_cycles, false, opts)?
+                .expect("skipping is disabled");
             let mut cells = vec![p.label.clone()];
             cells.extend(row);
             t.row(&cells);
@@ -518,7 +616,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args()?;
     for file in &opts.files {
         let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-        let doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+        let mut doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+        // Relative trace paths resolve against the scenario file, not
+        // the process working directory.
+        if let Some(base) = std::path::Path::new(file).parent() {
+            doc.resolve_trace_paths(base);
+        }
         match doc {
             Document::Scenario(spec) => {
                 println!(

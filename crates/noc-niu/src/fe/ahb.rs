@@ -94,6 +94,10 @@ impl SocketInitiator for AhbInitiator {
         self.master.load_program(program);
     }
 
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]) {
+        self.master.append_commands(tail);
+    }
+
     fn clone_box(&self) -> Box<dyn SocketInitiator> {
         Box::new(self.clone())
     }

@@ -83,6 +83,10 @@ impl SocketInitiator for OcpInitiator {
         self.master.load_program(program);
     }
 
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]) {
+        self.master.append_commands(tail);
+    }
+
     fn clone_box(&self) -> Box<dyn SocketInitiator> {
         Box::new(self.clone())
     }

@@ -89,6 +89,10 @@ impl SocketInitiator for VciInitiator {
         self.master.load_program(program);
     }
 
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]) {
+        self.master.append_commands(tail);
+    }
+
     fn clone_box(&self) -> Box<dyn SocketInitiator> {
         Box::new(self.clone())
     }

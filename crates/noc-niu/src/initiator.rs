@@ -53,6 +53,18 @@ pub trait SocketInitiator: Send {
     ///
     /// Panics if the socket already issued or completed a command.
     fn load_program(&mut self, program: Program);
+    /// Appends commands to the end of the socket's program, mid-run.
+    /// While the socket still has unissued commands, the append instant
+    /// is unobservable — the run is bit-identical to constructing the
+    /// master with the full program up front. Feeding layers stream
+    /// unbounded workloads (traces, generated storms) through this hook,
+    /// and the master reclaims its fully-retired prefix on each call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command violates the socket's constraints (stream
+    /// beyond the thread count, opcodes the socket cannot express, …).
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]);
     /// Clones the front end behind the object-safe interface, enabling
     /// `Clone` for `Box<dyn SocketInitiator>` and therefore snapshots of
     /// whole simulations.
@@ -423,6 +435,9 @@ impl<FE: SocketInitiator + Clone + 'static> crate::NocEndpoint for InitiatorNiu<
     }
     fn load_program(&mut self, program: Program) {
         self.fe.load_program(program);
+    }
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]) {
+        self.fe.append_commands(tail);
     }
     fn clone_box(&self) -> Box<dyn crate::NocEndpoint> {
         Box::new(self.clone())

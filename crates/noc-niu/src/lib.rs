@@ -101,6 +101,18 @@ pub trait NocEndpoint: Send {
         let _ = program;
         panic!("this endpoint does not execute a socket program");
     }
+    /// Appends commands to the end of an initiator endpoint's socket
+    /// program, mid-run (see
+    /// [`SocketInitiator::append_commands`](crate::initiator::SocketInitiator::append_commands)).
+    /// Target endpoints never receive this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics by default: only initiator endpoints execute programs.
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]) {
+        let _ = tail;
+        panic!("this endpoint does not execute a socket program");
+    }
     /// Clones the endpoint behind the object-safe interface, enabling
     /// `Clone` for `Box<dyn NocEndpoint>` and therefore whole-system
     /// snapshots.

@@ -7,7 +7,7 @@
 //! a [`Opcode::ReadLocked`] and drops it with the matching
 //! [`Opcode::WriteUnlock`].
 
-use crate::command::{CompletionLog, CompletionRecord, Program};
+use crate::command::{CompletionLog, CompletionRecord, Program, ProgramTail, SocketCommand};
 use crate::handshake::Chan;
 use crate::memory::{access, MemoryModel};
 use noc_transaction::{Burst, MstAddr, Opcode, RespStatus, StreamId};
@@ -91,7 +91,7 @@ impl Default for AhbPort {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AhbMaster {
-    program: Program,
+    program: ProgramTail,
     pc: usize,
     wait: Option<u32>,
     outstanding: Option<(usize, u64)>,
@@ -103,13 +103,30 @@ impl AhbMaster {
     /// Creates a master that will execute `program`.
     pub fn new(program: Program) -> Self {
         AhbMaster {
-            program,
+            program: ProgramTail::new(program),
             pc: 0,
             wait: None,
             outstanding: None,
             locked: false,
             log: CompletionLog::new(),
         }
+    }
+
+    /// Appends commands to the end of the program, mid-run. As long as
+    /// the master has not yet drained (there are unissued commands, or
+    /// there is nothing more to append), the append instant is
+    /// unobservable: the run is bit-identical to constructing the master
+    /// with the full program up front. Feeding layers rely on that to
+    /// stream unbounded workloads through a bounded window; the
+    /// fully-retired prefix is reclaimed on each call.
+    pub fn append_commands(&mut self, tail: &[SocketCommand]) {
+        for cmd in tail {
+            self.program.push(cmd.clone());
+        }
+        let live = self
+            .outstanding
+            .map_or(self.pc, |(idx, _)| idx.min(self.pc));
+        self.program.compact_to(live);
     }
 
     /// Replaces the program of a master that has not started executing.
@@ -154,7 +171,7 @@ impl AhbMaster {
         }
         self.wait
             .map(u64::from)
-            .unwrap_or(self.program[self.pc].delay_before as u64)
+            .unwrap_or(self.program.get(self.pc).delay_before as u64)
     }
 
     /// Accounts `ticks` socket cycles skipped under the [`idle_ticks`]
@@ -166,7 +183,9 @@ impl AhbMaster {
         if self.outstanding.is_some() || self.pc >= self.program.len() {
             return; // dense ticks would not have touched the countdown
         }
-        let wait = self.wait.get_or_insert(self.program[self.pc].delay_before);
+        let wait = self
+            .wait
+            .get_or_insert(self.program.get(self.pc).delay_before);
         *wait = wait.saturating_sub(ticks.min(u32::MAX as u64) as u32);
     }
 
@@ -175,7 +194,7 @@ impl AhbMaster {
         // Retire the outstanding transfer if its response arrived.
         if let Some((idx, issued_at)) = self.outstanding {
             if let Some(resp) = port.resp.take() {
-                let cmd = &self.program[idx];
+                let cmd = self.program.get(idx);
                 let data = if cmd.opcode.is_read() {
                     resp.data
                 } else {
@@ -203,13 +222,13 @@ impl AhbMaster {
         if self.pc >= self.program.len() {
             return;
         }
-        let delay = self.program[self.pc].delay_before;
+        let delay = self.program.get(self.pc).delay_before;
         let wait = self.wait.get_or_insert(delay);
         if *wait > 0 {
             *wait -= 1;
             return;
         }
-        let cmd = &self.program[self.pc];
+        let cmd = self.program.get(self.pc);
         let locked_now = self.locked || cmd.opcode == Opcode::ReadLocked;
         let req = AhbReq {
             opcode: cmd.opcode,

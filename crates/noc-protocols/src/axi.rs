@@ -8,7 +8,7 @@
 //! access** pair ([`Opcode::ReadExclusive`] / [`Opcode::WriteExclusive`])
 //! answered by `EXOKAY`.
 
-use crate::command::{CompletionLog, CompletionRecord, Program};
+use crate::command::{CompletionLog, CompletionRecord, Program, ProgramTail, SocketCommand};
 use crate::handshake::Chan;
 use crate::memory::{access, MemoryModel};
 use noc_transaction::{Burst, ExclusiveMonitor, MstAddr, Opcode, RespStatus};
@@ -123,7 +123,7 @@ impl Default for AxiPort {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AxiMaster {
-    program: Program,
+    program: ProgramTail,
     pc: usize,
     wait: Option<u32>,
     per_id_limit: u32,
@@ -149,7 +149,7 @@ impl AxiMaster {
             "limits must be non-zero"
         );
         AxiMaster {
-            program,
+            program: ProgramTail::new(program),
             pc: 0,
             wait: None,
             per_id_limit,
@@ -159,6 +159,23 @@ impl AxiMaster {
             outstanding: 0,
             log: CompletionLog::new(),
         }
+    }
+
+    /// Appends commands to the end of the program, mid-run — see
+    /// [`AhbMaster::append_commands`](crate::ahb::AhbMaster::append_commands)
+    /// for the contract. The fully-retired prefix is reclaimed.
+    pub fn append_commands(&mut self, tail: &[SocketCommand]) {
+        for cmd in tail {
+            self.program.push(cmd.clone());
+        }
+        let live = self
+            .reads
+            .values()
+            .chain(self.writes.values())
+            .filter_map(|q| q.front().map(|&(idx, _)| idx))
+            .min()
+            .map_or(self.pc, |idx| idx.min(self.pc));
+        self.program.compact_to(live);
     }
 
     /// Replaces the program of a master that has not started executing,
@@ -197,13 +214,13 @@ impl AxiMaster {
         let w = self
             .wait
             .map(u64::from)
-            .unwrap_or(self.program[self.pc].delay_before as u64);
+            .unwrap_or(self.program.get(self.pc).delay_before as u64);
         if w > 0 {
             return w;
         }
         // Countdown exhausted: only the per-ID limit can still block, and
         // it clears only when a response retires.
-        let cmd = &self.program[self.pc];
+        let cmd = self.program.get(self.pc);
         let q = if cmd.opcode.is_read() {
             &self.reads
         } else {
@@ -222,7 +239,9 @@ impl AxiMaster {
         if self.pc >= self.program.len() || self.outstanding >= self.total_limit {
             return; // dense ticks would not have touched the countdown
         }
-        let wait = self.wait.get_or_insert(self.program[self.pc].delay_before);
+        let wait = self
+            .wait
+            .get_or_insert(self.program.get(self.pc).delay_before);
         *wait = wait.saturating_sub(ticks.min(u32::MAX as u64) as u32);
     }
 
@@ -234,7 +253,7 @@ impl AxiMaster {
         data: Vec<u8>,
         cycle: u64,
     ) {
-        let cmd = &self.program[idx];
+        let cmd = self.program.get(idx);
         let data = if cmd.opcode.is_read() {
             data
         } else {
@@ -270,13 +289,13 @@ impl AxiMaster {
         if self.pc >= self.program.len() || self.outstanding >= self.total_limit {
             return;
         }
-        let delay = self.program[self.pc].delay_before;
+        let delay = self.program.get(self.pc).delay_before;
         let wait = self.wait.get_or_insert(delay);
         if *wait > 0 {
             *wait -= 1;
             return;
         }
-        let cmd = &self.program[self.pc];
+        let cmd = self.program.get(self.pc);
         let id = cmd.stream.raw();
         let is_read = cmd.opcode.is_read();
         let q = if is_read { &self.reads } else { &self.writes };

@@ -39,7 +39,7 @@ pub mod vci;
 
 pub use checker::{check_ahb_order, check_axi_order, check_ocp_order, OrderingViolation};
 pub use command::{
-    gen_data, CompletionLog, CompletionRecord, Program, ProtocolKind, SocketCommand,
+    gen_data, CompletionLog, CompletionRecord, Program, ProgramTail, ProtocolKind, SocketCommand,
 };
 pub use handshake::Chan;
 pub use memory::MemoryModel;

@@ -8,7 +8,7 @@
 //! [`Opcode::WriteConditional`]), the non-blocking alternative to legacy
 //! locks that the NoC supports with a single service bit.
 
-use crate::command::{CompletionLog, CompletionRecord, Program};
+use crate::command::{CompletionLog, CompletionRecord, Program, ProgramTail, SocketCommand};
 use crate::handshake::Chan;
 use crate::memory::{access, MemoryModel};
 use noc_transaction::{Burst, ExclusiveMonitor, MstAddr, Opcode, RespStatus};
@@ -103,7 +103,7 @@ struct ThreadState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OcpMaster {
-    program: Program,
+    program: ProgramTail,
     threads: Vec<ThreadState>,
     per_thread_limit: u32,
     issue_rr: usize,
@@ -133,12 +133,49 @@ impl OcpMaster {
             threads[t].queue.push_back(i);
         }
         OcpMaster {
-            program,
+            program: ProgramTail::new(program),
             threads,
             per_thread_limit,
             issue_rr: 0,
             log: CompletionLog::new(),
         }
+    }
+
+    /// Appends commands to the end of the program, mid-run — see
+    /// [`AhbMaster::append_commands`](crate::ahb::AhbMaster::append_commands)
+    /// for the contract. New commands join their thread's queue exactly
+    /// as construction would have queued them; the fully-retired prefix
+    /// is reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command's stream exceeds the thread count.
+    pub fn append_commands(&mut self, tail: &[SocketCommand]) {
+        for cmd in tail {
+            let i = self.program.len();
+            let t = cmd.stream.raw() as usize;
+            assert!(
+                t < self.threads.len(),
+                "command stream {} exceeds {} threads",
+                t,
+                self.threads.len()
+            );
+            self.threads[t].queue.push_back(i);
+            self.program.push(cmd.clone());
+        }
+        let live = self
+            .threads
+            .iter()
+            .flat_map(|t| {
+                t.queue
+                    .front()
+                    .copied()
+                    .into_iter()
+                    .chain(t.outstanding.front().map(|&(idx, _)| idx))
+            })
+            .min()
+            .unwrap_or(self.program.len());
+        self.program.compact_to(live);
     }
 
     /// Replaces the program of a master that has not started executing,
@@ -187,7 +224,7 @@ impl OcpMaster {
             let w = t
                 .wait
                 .map(u64::from)
-                .unwrap_or(self.program[idx].delay_before as u64);
+                .unwrap_or(self.program.get(idx).delay_before as u64);
             idle = idle.min(w);
         }
         idle
@@ -206,7 +243,7 @@ impl OcpMaster {
             if t.outstanding.len() as u32 >= self.per_thread_limit {
                 continue;
             }
-            let wait = t.wait.get_or_insert(program[idx].delay_before);
+            let wait = t.wait.get_or_insert(program.get(idx).delay_before);
             *wait = wait.saturating_sub(ticks);
         }
     }
@@ -220,7 +257,7 @@ impl OcpMaster {
                 .outstanding
                 .pop_front()
                 .expect("response for thread with nothing outstanding");
-            let cmd = &self.program[idx];
+            let cmd = self.program.get(idx);
             let data = if cmd.opcode.is_read() {
                 resp.data
             } else {
@@ -251,13 +288,13 @@ impl OcpMaster {
             if thread.outstanding.len() as u32 >= self.per_thread_limit {
                 continue;
             }
-            let delay = self.program[idx].delay_before;
+            let delay = self.program.get(idx).delay_before;
             let wait = thread.wait.get_or_insert(delay);
             if *wait > 0 {
                 *wait -= 1;
                 continue;
             }
-            let cmd = &self.program[idx];
+            let cmd = self.program.get(idx);
             let req = OcpReq {
                 opcode: cmd.opcode,
                 thread: ti as u8,

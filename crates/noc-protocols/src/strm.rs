@@ -11,7 +11,7 @@
 //!   feature supported per paper §2 by adding packet bits, not by
 //!   touching the fabric.
 
-use crate::command::{CompletionLog, CompletionRecord, Program};
+use crate::command::{CompletionLog, CompletionRecord, Program, ProgramTail, SocketCommand};
 use crate::handshake::Chan;
 use crate::memory::{access, MemoryModel};
 use noc_transaction::{Burst, MstAddr, Opcode, RespStatus, StreamId};
@@ -105,7 +105,7 @@ impl Default for StrmPort {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StrmMaster {
-    program: Program,
+    program: ProgramTail,
     pc: usize,
     wait: Option<u32>,
     outstanding_reads: VecDeque<(usize, u64)>,
@@ -133,13 +133,40 @@ impl StrmMaster {
             );
         }
         StrmMaster {
-            program,
+            program: ProgramTail::new(program),
             pc: 0,
             wait: None,
             outstanding_reads: VecDeque::new(),
             read_limit,
             log: CompletionLog::new(),
         }
+    }
+
+    /// Appends commands to the end of the program, mid-run — see
+    /// [`AhbMaster::append_commands`](crate::ahb::AhbMaster::append_commands)
+    /// for the contract. The fully-retired prefix is reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command carries an opcode the socket cannot express.
+    pub fn append_commands(&mut self, tail: &[SocketCommand]) {
+        for cmd in tail {
+            let i = self.program.len();
+            assert!(
+                matches!(
+                    cmd.opcode,
+                    Opcode::Read | Opcode::WritePosted | Opcode::Write
+                ),
+                "STRM cannot express {:?} (command {i})",
+                cmd.opcode
+            );
+            self.program.push(cmd.clone());
+        }
+        let live = self
+            .outstanding_reads
+            .front()
+            .map_or(self.pc, |&(idx, _)| idx.min(self.pc));
+        self.program.compact_to(live);
     }
 
     /// Replaces the program of a master that has not started executing,
@@ -179,11 +206,11 @@ impl StrmMaster {
         let w = self
             .wait
             .map(u64::from)
-            .unwrap_or(self.program[self.pc].delay_before as u64);
+            .unwrap_or(self.program.get(self.pc).delay_before as u64);
         if w > 0 {
             return w;
         }
-        if self.program[self.pc].opcode.is_read()
+        if self.program.get(self.pc).opcode.is_read()
             && self.outstanding_reads.len() as u32 >= self.read_limit
         {
             u64::MAX // unblocks only when read data retires
@@ -198,7 +225,9 @@ impl StrmMaster {
         if self.pc >= self.program.len() {
             return;
         }
-        let wait = self.wait.get_or_insert(self.program[self.pc].delay_before);
+        let wait = self
+            .wait
+            .get_or_insert(self.program.get(self.pc).delay_before);
         *wait = wait.saturating_sub(ticks.min(u32::MAX as u64) as u32);
     }
 
@@ -209,7 +238,7 @@ impl StrmMaster {
                 .outstanding_reads
                 .pop_front()
                 .expect("read data with nothing outstanding");
-            let cmd = &self.program[idx];
+            let cmd = self.program.get(idx);
             self.log.push(CompletionRecord {
                 index: idx,
                 opcode: cmd.opcode,
@@ -224,13 +253,13 @@ impl StrmMaster {
         if self.pc >= self.program.len() {
             return;
         }
-        let delay = self.program[self.pc].delay_before;
+        let delay = self.program.get(self.pc).delay_before;
         let wait = self.wait.get_or_insert(delay);
         if *wait > 0 {
             *wait -= 1;
             return;
         }
-        let cmd = &self.program[self.pc];
+        let cmd = self.program.get(self.pc);
         if cmd.opcode.is_read() {
             if self.outstanding_reads.len() as u32 >= self.read_limit {
                 return;

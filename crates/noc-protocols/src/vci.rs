@@ -9,7 +9,7 @@
 //!   responses across threads — the paper groups its ordering model with
 //!   AXI's ID-based one.
 
-use crate::command::{CompletionLog, CompletionRecord, Program};
+use crate::command::{CompletionLog, CompletionRecord, Program, ProgramTail, SocketCommand};
 use crate::handshake::Chan;
 use crate::memory::{access, MemoryModel};
 use noc_transaction::{Burst, ExclusiveMonitor, MstAddr, RespStatus};
@@ -122,7 +122,7 @@ impl Default for VciPort {
 /// ```
 #[derive(Debug, Clone)]
 pub struct VciMaster {
-    program: Program,
+    program: ProgramTail,
     flavor: VciFlavor,
     /// Per-thread command queues (single queue for PVCI/BVCI).
     queues: Vec<VecDeque<usize>>,
@@ -168,7 +168,7 @@ impl VciMaster {
             pipeline_depth
         };
         VciMaster {
-            program,
+            program: ProgramTail::new(program),
             flavor,
             outstanding: vec![VecDeque::new(); threads],
             waits: vec![None; threads],
@@ -182,6 +182,50 @@ impl VciMaster {
     /// The flavour.
     pub fn flavor(&self) -> VciFlavor {
         self.flavor
+    }
+
+    /// Appends commands to the end of the program, mid-run — see
+    /// [`AhbMaster::append_commands`](crate::ahb::AhbMaster::append_commands)
+    /// for the contract. New commands join their thread's queue exactly
+    /// as construction would have queued them; the fully-retired prefix
+    /// is reclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command violates the flavour's constraints (multi-beat
+    /// bursts on PVCI, stream beyond the thread count).
+    pub fn append_commands(&mut self, tail: &[SocketCommand]) {
+        let threads = self.queues.len();
+        for cmd in tail {
+            let i = self.program.len();
+            if self.flavor == VciFlavor::Peripheral {
+                assert_eq!(
+                    cmd.beats, 1,
+                    "PVCI supports single-beat transfers only (command {i})"
+                );
+            }
+            let t = if threads == 1 {
+                0
+            } else {
+                cmd.stream.raw() as usize
+            };
+            assert!(t < threads, "stream {t} exceeds {threads} threads");
+            self.queues[t].push_back(i);
+            self.program.push(cmd.clone());
+        }
+        let live = self
+            .queues
+            .iter()
+            .zip(&self.outstanding)
+            .flat_map(|(q, o)| {
+                q.front()
+                    .copied()
+                    .into_iter()
+                    .chain(o.front().map(|&(idx, _)| idx))
+            })
+            .min()
+            .unwrap_or(self.program.len());
+        self.program.compact_to(live);
     }
 
     /// Replaces the program of a master that has not started executing,
@@ -225,7 +269,7 @@ impl VciMaster {
             }
             let w = self.waits[t]
                 .map(u64::from)
-                .unwrap_or(self.program[idx].delay_before as u64);
+                .unwrap_or(self.program.get(idx).delay_before as u64);
             idle = idle.min(w);
         }
         idle
@@ -242,7 +286,7 @@ impl VciMaster {
             if self.outstanding[t].len() as u32 >= self.per_thread_limit {
                 continue;
             }
-            let wait = self.waits[t].get_or_insert(self.program[idx].delay_before);
+            let wait = self.waits[t].get_or_insert(self.program.get(idx).delay_before);
             *wait = wait.saturating_sub(ticks);
         }
     }
@@ -254,7 +298,7 @@ impl VciMaster {
             let (idx, issued_at) = self.outstanding[t]
                 .pop_front()
                 .expect("response with nothing outstanding");
-            let cmd = &self.program[idx];
+            let cmd = self.program.get(idx);
             let data = if cmd.opcode.is_read() {
                 resp.data
             } else {
@@ -283,13 +327,13 @@ impl VciMaster {
             if self.outstanding[t].len() as u32 >= self.per_thread_limit {
                 continue;
             }
-            let delay = self.program[idx].delay_before;
+            let delay = self.program.get(idx).delay_before;
             let wait = self.waits[t].get_or_insert(delay);
             if *wait > 0 {
                 *wait -= 1;
                 continue;
             }
-            let cmd = &self.program[idx];
+            let cmd = self.program.get(idx);
             let req = VciReq {
                 opcode: cmd.opcode,
                 thread: t as u8,

@@ -44,11 +44,16 @@
 //! # Ok::<(), noc_scenario::ScenarioError>(())
 //! ```
 
+pub mod program;
 pub mod sim;
 pub mod spec;
 pub mod sweep;
 pub mod text;
 
+pub use program::{
+    BurstySpec, Discipline, FeedSource, ProgramSpec, StochasticShape, TraceCursor, TraceSpec,
+    Workload, ZipfSpec,
+};
 pub use sim::{BridgedSim, BusSim, NocSim, ScenarioReport, Simulation, StepMode};
 pub use spec::{
     Backend, InitiatorSpec, LinkClassSpec, MemorySpec, NocConfigSpec, ScenarioError, ScenarioSpec,

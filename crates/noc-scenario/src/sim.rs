@@ -1,11 +1,138 @@
 //! The common simulation surface every backend realisation exposes.
 
+use crate::program::{FeedSource, Workload};
 use noc_baseline::{BridgedInterconnect, Interconnect, SharedBus};
-use noc_protocols::{CompletionLog, Program};
+use noc_protocols::{CompletionLog, Program, SocketCommand};
 use noc_stats::Histogram;
 use noc_system::{FabricReport, MasterReport, Soc, SocReport};
 use noc_transaction::Fingerprint;
 use std::fmt;
+
+use crate::program::FEED_WINDOW;
+
+/// One streamed workload being fed to master `ordinal`.
+///
+/// `releases[stream]` is the running sum `Σ (1 + delay_before)` over
+/// every command appended so far *on that stream* — a lower bound, in
+/// base cycles from 0, on when the master can drain that stream's
+/// queue: each command occupies the queue front for at least
+/// `delay_before` countdown ticks plus one issue tick, front occupancy
+/// is sequential per stream, and a local tick spans at least one base
+/// cycle (clock divisors only stretch it). Accounting is per stream
+/// because multi-threaded sockets (OCP threads, AXI IDs, advanced-VCI
+/// threads) count down each thread's front delay *concurrently*, so a
+/// master consumes global release budget up to `streams` times faster
+/// than the global sum predicts; single-queue sockets are the
+/// one-stream special case. As long as every refill happens before the
+/// simulation executes cycle `min(releases)`, no master observes any
+/// stream of its program running dry, so *when* commands were appended
+/// is unobservable and dense ≡ horizon bit-identity extends to
+/// streamed workloads.
+#[derive(Debug, Clone)]
+struct Feeder {
+    ordinal: usize,
+    source: FeedSource,
+    releases: std::collections::HashMap<u16, u64>,
+    primed: bool,
+    exhausted: bool,
+}
+
+impl Feeder {
+    /// The earliest cycle any stream of this workload could drain — the
+    /// feeder's advance bound.
+    fn min_release(&self) -> u64 {
+        self.releases.values().copied().min().unwrap_or(0)
+    }
+
+    fn account(&mut self, chunk: &[SocketCommand]) {
+        for c in chunk {
+            *self.releases.entry(c.stream.raw()).or_insert(0) += 1 + c.delay_before as u64;
+        }
+    }
+}
+
+/// The streamed-workload feeders of one simulation. Plain cloneable
+/// state: a snapshot captures every generator's RNG state and every
+/// trace cursor's file offset, so restored runs resume the feed
+/// bit-identically.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FeederSet {
+    feeders: Vec<Feeder>,
+}
+
+impl FeederSet {
+    /// Builds feeders for the streamed workloads (fixed programs need
+    /// none).
+    pub(crate) fn new(workloads: &[Workload]) -> Self {
+        let feeders = workloads
+            .iter()
+            .enumerate()
+            .filter_map(|(ordinal, w)| match w {
+                Workload::Fixed(_) => None,
+                Workload::Streamed(source) => Some(Feeder {
+                    ordinal,
+                    source: source.clone(),
+                    releases: std::collections::HashMap::new(),
+                    primed: false,
+                    exhausted: false,
+                }),
+            })
+            .collect();
+        FeederSet { feeders }
+    }
+
+    /// Tops every active feeder up to `now + FEED_WINDOW` of release on
+    /// its *slowest-filling* stream, appending pulled commands through
+    /// `append(ordinal, chunk)`. The first pull primes with
+    /// [`FeedSource::prime_release`] so every stream's first command
+    /// lands at cycle 0 (identical in both step modes). Chunk
+    /// boundaries never affect the command stream's content, so refill
+    /// cadence (every dense step vs. every horizon bound) is
+    /// unobservable.
+    pub(crate) fn refill(&mut self, now: u64, mut append: impl FnMut(usize, &[SocketCommand])) {
+        for f in &mut self.feeders {
+            if f.exhausted {
+                continue;
+            }
+            if !f.primed {
+                f.primed = true;
+                let chunk = f.source.pull(f.source.prime_release(now + FEED_WINDOW));
+                if chunk.is_empty() {
+                    f.exhausted = true;
+                    continue;
+                }
+                f.account(&chunk);
+                append(f.ordinal, &chunk);
+            }
+            while f.min_release() < now + FEED_WINDOW {
+                let chunk = f.source.pull(now + FEED_WINDOW - f.min_release());
+                if chunk.is_empty() {
+                    f.exhausted = true;
+                    break;
+                }
+                f.account(&chunk);
+                append(f.ordinal, &chunk);
+            }
+        }
+    }
+
+    /// The furthest cycle the backend may advance to before the next
+    /// refill: `horizon`, capped by every active feeder's
+    /// `min(releases)` bound. Stopping at the bound (exclusive of
+    /// executing that cycle) guarantees the refill lands before the
+    /// master could first observe any stream of its program drained.
+    pub(crate) fn bound(&self, horizon: u64) -> u64 {
+        self.feeders
+            .iter()
+            .filter(|f| !f.exhausted)
+            .fold(horizon, |b, f| b.min(f.min_release()))
+    }
+
+    /// Whether every feeder has drained its source.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.feeders.iter().all(|f| f.exhausted)
+    }
+}
 
 /// How [`Simulation::run_until`] advances base time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,16 +255,17 @@ pub trait Simulation: Send {
     /// bit-identical logs and counters, pinned by the snapshot suite.
     fn snapshot(&self) -> Box<dyn Simulation>;
 
-    /// Loads one socket program per master (declaration order) into a
+    /// Loads one workload per master (declaration order) into a
     /// simulation that has not started executing. Warm-state forking
     /// snapshots a programless checkpoint and injects each point's real
-    /// workload through this hook.
+    /// workload through this hook. Fixed workloads load whole; streamed
+    /// workloads install a feeder and prime its first window.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation already stepped or the program count
+    /// Panics if the simulation already stepped or the workload count
     /// does not match the master count.
-    fn load_programs(&mut self, programs: &[Program]);
+    fn load_programs(&mut self, workloads: &[Workload]);
 }
 
 /// A backend-neutral simulation report: per-master results plus fabric
@@ -258,11 +386,25 @@ fn master_report_from_log(name: &str, node: u16, log: &CompletionLog) -> MasterR
 #[derive(Clone)]
 pub struct NocSim {
     soc: Soc,
+    feeders: FeederSet,
 }
 
 impl NocSim {
     pub(crate) fn new(soc: Soc) -> Self {
-        NocSim { soc }
+        NocSim {
+            soc,
+            feeders: FeederSet::default(),
+        }
+    }
+
+    /// Installs the streamed-workload feeders and primes their first
+    /// window (fixed programs are already loaded into the masters).
+    pub(crate) fn attach_workloads(&mut self, workloads: &[Workload]) {
+        self.feeders = FeederSet::new(workloads);
+        let soc = &mut self.soc;
+        self.feeders.refill(soc.now(), |ordinal, tail| {
+            soc.append_commands(ordinal, tail)
+        });
     }
 
     /// The underlying SoC, for fabric-level inspection.
@@ -283,13 +425,17 @@ impl NocSim {
 
 impl Simulation for NocSim {
     fn step(&mut self) {
+        let soc = &mut self.soc;
+        self.feeders.refill(soc.now(), |ordinal, tail| {
+            soc.append_commands(ordinal, tail)
+        });
         self.soc.step();
     }
     fn now(&self) -> u64 {
         self.soc.now()
     }
     fn is_done(&self) -> bool {
-        self.soc.is_done()
+        self.feeders.exhausted() && self.soc.is_done()
     }
     fn logs(&self) -> Vec<(&str, &CompletionLog)> {
         self.soc.completion_logs()
@@ -301,7 +447,16 @@ impl Simulation for NocSim {
         self.soc.next_activity()
     }
     fn advance_to(&mut self, horizon: u64) {
-        self.soc.advance_to(horizon);
+        while self.soc.now() < horizon {
+            let soc = &mut self.soc;
+            self.feeders.refill(soc.now(), |ordinal, tail| {
+                soc.append_commands(ordinal, tail)
+            });
+            self.soc.advance_to(self.feeders.bound(horizon));
+            if Simulation::is_done(self) || self.soc.now() >= horizon {
+                break;
+            }
+        }
     }
     fn horizon_polls(&self) -> u64 {
         self.soc.horizon_polls()
@@ -325,8 +480,10 @@ impl Simulation for NocSim {
     fn snapshot(&self) -> Box<dyn Simulation> {
         Box::new(self.clone())
     }
-    fn load_programs(&mut self, programs: &[Program]) {
-        self.soc.load_programs(programs);
+    fn load_programs(&mut self, workloads: &[Workload]) {
+        let heads: Vec<Program> = workloads.iter().map(Workload::head_program).collect();
+        self.soc.load_programs(&heads);
+        self.attach_workloads(workloads);
     }
 }
 
@@ -371,11 +528,26 @@ fn baseline_logs<'a, I: Interconnect>(
 pub struct BridgedSim {
     ic: BridgedInterconnect,
     names: Vec<String>,
+    feeders: FeederSet,
 }
 
 impl BridgedSim {
     pub(crate) fn new(ic: BridgedInterconnect, names: Vec<String>) -> Self {
-        BridgedSim { ic, names }
+        BridgedSim {
+            ic,
+            names,
+            feeders: FeederSet::default(),
+        }
+    }
+
+    /// Installs the streamed-workload feeders and primes their first
+    /// window (fixed programs are already loaded into the masters).
+    pub(crate) fn attach_workloads(&mut self, workloads: &[Workload]) {
+        self.feeders = FeederSet::new(workloads);
+        let ic = &mut self.ic;
+        self.feeders.refill(Interconnect::now(ic), |ordinal, tail| {
+            ic.append_commands(ordinal, tail)
+        });
     }
 
     /// The underlying interconnect, for bridge-specific counters such as
@@ -392,13 +564,17 @@ impl BridgedSim {
 
 impl Simulation for BridgedSim {
     fn step(&mut self) {
+        let ic = &mut self.ic;
+        self.feeders.refill(Interconnect::now(ic), |ordinal, tail| {
+            ic.append_commands(ordinal, tail)
+        });
         Interconnect::step(&mut self.ic);
     }
     fn now(&self) -> u64 {
         Interconnect::now(&self.ic)
     }
     fn is_done(&self) -> bool {
-        Interconnect::is_done(&self.ic)
+        self.feeders.exhausted() && Interconnect::is_done(&self.ic)
     }
     fn logs(&self) -> Vec<(&str, &CompletionLog)> {
         baseline_logs(&self.ic, &self.names)
@@ -416,7 +592,16 @@ impl Simulation for BridgedSim {
         self.ic.calendar_pops()
     }
     fn advance_to(&mut self, horizon: u64) {
-        self.ic.advance_to(horizon);
+        while Interconnect::now(&self.ic) < horizon {
+            let ic = &mut self.ic;
+            self.feeders.refill(Interconnect::now(ic), |ordinal, tail| {
+                ic.append_commands(ordinal, tail)
+            });
+            self.ic.advance_to(self.feeders.bound(horizon));
+            if Simulation::is_done(self) || Interconnect::now(&self.ic) >= horizon {
+                break;
+            }
+        }
     }
     fn report(&self) -> ScenarioReport {
         baseline_report("bridged", &self.ic, &self.names)
@@ -424,8 +609,10 @@ impl Simulation for BridgedSim {
     fn snapshot(&self) -> Box<dyn Simulation> {
         Box::new(self.clone())
     }
-    fn load_programs(&mut self, programs: &[Program]) {
-        self.ic.load_programs(programs);
+    fn load_programs(&mut self, workloads: &[Workload]) {
+        let heads: Vec<Program> = workloads.iter().map(Workload::head_program).collect();
+        self.ic.load_programs(&heads);
+        self.attach_workloads(workloads);
     }
 }
 
@@ -434,11 +621,27 @@ impl Simulation for BridgedSim {
 pub struct BusSim {
     bus: SharedBus,
     names: Vec<String>,
+    feeders: FeederSet,
 }
 
 impl BusSim {
     pub(crate) fn new(bus: SharedBus, names: Vec<String>) -> Self {
-        BusSim { bus, names }
+        BusSim {
+            bus,
+            names,
+            feeders: FeederSet::default(),
+        }
+    }
+
+    /// Installs the streamed-workload feeders and primes their first
+    /// window (fixed programs are already loaded into the masters).
+    pub(crate) fn attach_workloads(&mut self, workloads: &[Workload]) {
+        self.feeders = FeederSet::new(workloads);
+        let bus = &mut self.bus;
+        self.feeders
+            .refill(Interconnect::now(bus), |ordinal, tail| {
+                bus.append_commands(ordinal, tail)
+            });
     }
 
     /// The underlying bus, for bus-specific counters such as
@@ -455,13 +658,18 @@ impl BusSim {
 
 impl Simulation for BusSim {
     fn step(&mut self) {
+        let bus = &mut self.bus;
+        self.feeders
+            .refill(Interconnect::now(bus), |ordinal, tail| {
+                bus.append_commands(ordinal, tail)
+            });
         Interconnect::step(&mut self.bus);
     }
     fn now(&self) -> u64 {
         Interconnect::now(&self.bus)
     }
     fn is_done(&self) -> bool {
-        Interconnect::is_done(&self.bus)
+        self.feeders.exhausted() && Interconnect::is_done(&self.bus)
     }
     fn logs(&self) -> Vec<(&str, &CompletionLog)> {
         baseline_logs(&self.bus, &self.names)
@@ -479,7 +687,17 @@ impl Simulation for BusSim {
         self.bus.calendar_pops()
     }
     fn advance_to(&mut self, horizon: u64) {
-        self.bus.advance_to(horizon);
+        while Interconnect::now(&self.bus) < horizon {
+            let bus = &mut self.bus;
+            self.feeders
+                .refill(Interconnect::now(bus), |ordinal, tail| {
+                    bus.append_commands(ordinal, tail)
+                });
+            self.bus.advance_to(self.feeders.bound(horizon));
+            if Simulation::is_done(self) || Interconnect::now(&self.bus) >= horizon {
+                break;
+            }
+        }
     }
     fn report(&self) -> ScenarioReport {
         baseline_report("bus", &self.bus, &self.names)
@@ -487,7 +705,9 @@ impl Simulation for BusSim {
     fn snapshot(&self) -> Box<dyn Simulation> {
         Box::new(self.clone())
     }
-    fn load_programs(&mut self, programs: &[Program]) {
-        self.bus.load_programs(programs);
+    fn load_programs(&mut self, workloads: &[Workload]) {
+        let heads: Vec<Program> = workloads.iter().map(Workload::head_program).collect();
+        self.bus.load_programs(&heads);
+        self.attach_workloads(workloads);
     }
 }

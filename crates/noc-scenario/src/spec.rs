@@ -1,5 +1,6 @@
 //! The declarative scenario description and its compilers.
 
+use crate::program::{ProgramSpec, StochasticShape, TraceCursor, Workload, ZipfSpec};
 use crate::sim::{BridgedSim, BusSim, NocSim, Simulation};
 use noc_baseline::{
     AttachedMaster, BridgeConfig, BridgedInterconnect, BusConfig, SharedBus, SlaveTiming,
@@ -189,6 +190,23 @@ impl SocketSpec {
         }
     }
 
+    /// The stream (thread) capacity of the socket's master agent, when
+    /// the protocol hard-limits it: commands routed to a stream beyond
+    /// this count have no queue to land in. `None` means the agent
+    /// accepts any `u16` stream id (AXI IDs are renamed by the NIU;
+    /// STRM streams are ordering tags only).
+    pub fn max_streams(&self) -> Option<u16> {
+        match self {
+            SocketSpec::Ahb => Some(1),
+            SocketSpec::Ocp { threads, .. } => Some(*threads as u16),
+            SocketSpec::Vci { flavor, .. } => match flavor {
+                VciFlavor::Advanced { threads } => Some(*threads as u16),
+                _ => Some(1),
+            },
+            SocketSpec::Axi { .. } | SocketSpec::Strm { .. } => None,
+        }
+    }
+
     /// Instantiates the socket master agent plus its NIU front end over
     /// `program`.
     pub fn build_fe(&self, program: Program) -> Box<dyn SocketInitiator> {
@@ -337,8 +355,9 @@ pub struct InitiatorSpec {
     pub name: String,
     /// Socket protocol and agent parameters.
     pub socket: SocketSpec,
-    /// The deterministic command program this initiator issues.
-    pub program: Program,
+    /// The deterministic traffic program this initiator issues: an
+    /// explicit command list or a generated (streamed) workload.
+    pub program: ProgramSpec,
     /// NIU ordering override; defaults to the socket's natural model.
     pub ordering: Option<OrderingModel>,
     /// NIU outstanding budget override.
@@ -352,12 +371,13 @@ pub struct InitiatorSpec {
 }
 
 impl InitiatorSpec {
-    /// Declares an initiator.
-    pub fn new(name: &str, socket: SocketSpec, program: Program) -> Self {
+    /// Declares an initiator. `program` accepts a plain
+    /// [`Program`] (explicit commands) or any [`ProgramSpec`] kind.
+    pub fn new(name: &str, socket: SocketSpec, program: impl Into<ProgramSpec>) -> Self {
         InitiatorSpec {
             name: name.to_owned(),
             socket,
-            program,
+            program: program.into(),
             ordering: None,
             outstanding: None,
             pressure: None,
@@ -821,6 +841,27 @@ pub enum ScenarioError {
         /// The rejected opcode.
         opcode: Opcode,
     },
+    /// A generated (stochastic or trace) program declaration is
+    /// inconsistent: shape out of range, streams beyond the socket's
+    /// capacity, a burst that cannot fit a declared region, …
+    BadProgram {
+        /// The declaring initiator.
+        initiator: String,
+        /// Why.
+        reason: String,
+    },
+    /// A trace file failed build-time validation: unreadable, a
+    /// malformed record, decreasing timestamps, or a record violating
+    /// the scenario's containment rules. `line` is `0` for file-level
+    /// failures.
+    Trace {
+        /// The trace file path.
+        path: String,
+        /// The offending line (1-based; `0` = whole file).
+        line: usize,
+        /// Why.
+        reason: String,
+    },
     /// A scenario text file failed to parse (see [`crate::text`]); the
     /// inner error pinpoints the offending line and column.
     Parse(crate::text::ParseError),
@@ -874,6 +915,16 @@ impl fmt::Display for ScenarioError {
                 "{initiator:?} sends {opcode} to {target:?}, which does not \
                  accept synchronisation traffic (declare the target exclusive)"
             ),
+            ScenarioError::BadProgram { initiator, reason } => {
+                write!(f, "{initiator:?}'s program: {reason}")
+            }
+            ScenarioError::Trace { path, line, reason } => {
+                if *line == 0 {
+                    write!(f, "trace {path}: {reason}")
+                } else {
+                    write!(f, "trace {path}:{line}: {reason}")
+                }
+            }
             ScenarioError::Parse(e) => write!(f, "scenario text: {e}"),
         }
     }
@@ -1024,38 +1075,193 @@ impl ScenarioSpec {
             }
         }
         for ini in &self.initiators {
-            for cmd in &ini.program {
-                // Every beat of the burst must land in one declared
-                // region (bursts never cross region boundaries).
-                let region = self
-                    .memories
-                    .iter()
-                    .find(|m| cmd.addr >= m.base && cmd.addr < m.end);
-                let contained = region.is_some_and(|m| {
-                    cmd.burst()
-                        .beat_addresses(cmd.addr)
-                        .all(|a| a >= m.base && a + cmd.beat_bytes as u64 <= m.end)
-                });
-                if !contained {
-                    return Err(ScenarioError::UnmappedAddress {
-                        initiator: ini.name.clone(),
-                        addr: cmd.addr,
-                    });
-                }
-                // Synchronisation traffic needs a target that accepts it.
-                if cmd.opcode.is_exclusive() || cmd.opcode.is_locking() {
-                    let region = region.expect("containment checked above");
-                    if !region.target.accepts_sync() {
-                        return Err(ScenarioError::SyncUnsupported {
-                            initiator: ini.name.clone(),
-                            target: region.name.clone(),
-                            opcode: cmd.opcode,
+            match &ini.program {
+                ProgramSpec::Explicit(program) => {
+                    for cmd in program {
+                        // Every beat of the burst must land in one declared
+                        // region (bursts never cross region boundaries).
+                        let region = self
+                            .memories
+                            .iter()
+                            .find(|m| cmd.addr >= m.base && cmd.addr < m.end);
+                        let contained = region.is_some_and(|m| {
+                            cmd.burst()
+                                .beat_addresses(cmd.addr)
+                                .all(|a| a >= m.base && a + cmd.beat_bytes as u64 <= m.end)
                         });
+                        if !contained {
+                            return Err(ScenarioError::UnmappedAddress {
+                                initiator: ini.name.clone(),
+                                addr: cmd.addr,
+                            });
+                        }
+                        // Synchronisation traffic needs a target that accepts it.
+                        if cmd.opcode.is_exclusive() || cmd.opcode.is_locking() {
+                            let region = region.expect("containment checked above");
+                            if !region.target.accepts_sync() {
+                                return Err(ScenarioError::SyncUnsupported {
+                                    initiator: ini.name.clone(),
+                                    target: region.name.clone(),
+                                    opcode: cmd.opcode,
+                                });
+                            }
+                        }
+                    }
+                }
+                ProgramSpec::Bursty(b) => {
+                    self.check_shape(ini, &b.shape)?;
+                    if b.burst_len == 0 {
+                        return Err(self.bad_program(ini, "burst_len must be at least 1"));
+                    }
+                }
+                ProgramSpec::Zipf(z) => {
+                    self.check_shape(ini, &z.shape)?;
+                    if z.exponent_milli > ZipfSpec::MAX_EXPONENT_MILLI {
+                        return Err(self.bad_program(
+                            ini,
+                            format!(
+                                "exponent_milli {} out of range (0..={})",
+                                z.exponent_milli,
+                                ZipfSpec::MAX_EXPONENT_MILLI
+                            ),
+                        ));
+                    }
+                }
+                ProgramSpec::Trace(t) => {
+                    if t.path.is_empty() {
+                        return Err(self.bad_program(ini, "trace_file must not be empty"));
                     }
                 }
             }
         }
         self.topology.placement(self.num_endpoints())?;
+        Ok(())
+    }
+
+    fn bad_program(&self, ini: &InitiatorSpec, reason: impl Into<String>) -> ScenarioError {
+        ScenarioError::BadProgram {
+            initiator: ini.name.clone(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Consistency rules for a stochastic command shape: the generated
+    /// commands must pass the same containment and capacity checks an
+    /// explicit program would, but proved once over the parameters
+    /// instead of per command.
+    fn check_shape(
+        &self,
+        ini: &InitiatorSpec,
+        shape: &StochasticShape,
+    ) -> Result<(), ScenarioError> {
+        if shape.read_pct > 100 {
+            return Err(self.bad_program(
+                ini,
+                format!("read_pct {} out of range (0..=100)", shape.read_pct),
+            ));
+        }
+        if shape.beats == 0 {
+            return Err(self.bad_program(ini, "beats must be at least 1"));
+        }
+        if shape.beat_bytes == 0 || !shape.beat_bytes.is_power_of_two() {
+            return Err(self.bad_program(
+                ini,
+                format!("beat_bytes {} must be a power of two", shape.beat_bytes),
+            ));
+        }
+        if shape.streams == 0 {
+            return Err(self.bad_program(ini, "streams must be at least 1"));
+        }
+        if let Some(max) = ini.socket.max_streams() {
+            if shape.streams > max {
+                return Err(self.bad_program(
+                    ini,
+                    format!(
+                        "streams {} exceeds the socket's {} stream(s)",
+                        shape.streams, max
+                    ),
+                ));
+            }
+        }
+        if matches!(ini.socket.kind(), ProtocolKind::Pvci) && shape.beats != 1 {
+            return Err(self.bad_program(ini, "PVCI sockets issue single-beat commands only"));
+        }
+        // Generators may target any declared region, so every region
+        // must be able to contain one whole burst.
+        let burst_bytes = (shape.beats as u64) * shape.beat_bytes as u64;
+        for m in &self.memories {
+            if m.end - m.base < burst_bytes {
+                return Err(self.bad_program(
+                    ini,
+                    format!(
+                        "a {}x{} burst ({burst_bytes} bytes) cannot fit region {:?}",
+                        shape.beats, shape.beat_bytes, m.name
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebases every relative `trace_file` path against `base` — called
+    /// by file-loading front ends (`scn`, the serve layer, tests) after
+    /// parsing, so paths in a `.scn` file resolve relative to the file
+    /// rather than the process working directory. Emission round-trips
+    /// are done on the unresolved spec.
+    pub fn resolve_trace_paths(&mut self, base: &std::path::Path) {
+        for ini in &mut self.initiators {
+            if let ProgramSpec::Trace(t) = &mut ini.program {
+                let p = std::path::Path::new(&t.path);
+                if p.is_relative() {
+                    t.path = base.join(p).to_string_lossy().into_owned();
+                }
+            }
+        }
+    }
+
+    /// Build-time validation of every declared trace file: each record
+    /// parses, timestamps are non-decreasing, and each record passes the
+    /// containment and shape rules explicit commands are held to.
+    /// Kept separate from [`ScenarioSpec::validate`] so validation of a
+    /// spec stays I/O-free; all three builders call this.
+    fn validate_traces(&self) -> Result<(), ScenarioError> {
+        for ini in &self.initiators {
+            let ProgramSpec::Trace(t) = &ini.program else {
+                continue;
+            };
+            let max_streams = ini.socket.max_streams();
+            let is_pvci = matches!(ini.socket.kind(), ProtocolKind::Pvci);
+            TraceCursor::validate_file(&t.path, |rec| {
+                let burst_bytes = rec.beats as u64 * rec.beat_bytes as u64;
+                let contained = self
+                    .memories
+                    .iter()
+                    .any(|m| rec.addr >= m.base && rec.addr + burst_bytes <= m.end);
+                if !contained {
+                    return Err(format!(
+                        "{:#x}+{burst_bytes} lands outside every memory region",
+                        rec.addr
+                    ));
+                }
+                if let Some(max) = max_streams {
+                    if rec.stream >= max {
+                        return Err(format!(
+                            "stream {} exceeds the socket's {max} stream(s)",
+                            rec.stream
+                        ));
+                    }
+                }
+                if is_pvci && rec.beats != 1 {
+                    return Err("PVCI sockets issue single-beat commands only".into());
+                }
+                Ok(())
+            })
+            .map_err(|(line, reason)| ScenarioError::Trace {
+                path: t.path.clone(),
+                line,
+                reason,
+            })?;
+        }
         Ok(())
     }
 
@@ -1079,21 +1285,30 @@ impl ScenarioSpec {
         self.initiators.iter().map(|i| i.name.clone()).collect()
     }
 
-    /// The per-initiator programs, in declaration order — the "tail" a
-    /// warm fork injects via [`Simulation::load_programs`].
-    pub fn programs(&self) -> Vec<Program> {
-        self.initiators.iter().map(|i| i.program.clone()).collect()
+    /// The per-initiator workloads, in declaration order — what a warm
+    /// fork injects via [`Simulation::load_programs`]. Explicit programs
+    /// become [`Workload::Fixed`]; stochastic and trace kinds become
+    /// [`Workload::Streamed`] sources carrying the declared memory
+    /// regions as their target ranges.
+    pub fn programs(&self) -> Vec<Workload> {
+        let regions: Vec<(u64, u64)> = self.memories.iter().map(|m| (m.base, m.end)).collect();
+        self.initiators
+            .iter()
+            .map(|i| i.program.workload(&regions))
+            .collect()
     }
 
-    /// The spec with every initiator program removed: the shareable
-    /// "prefix" (topology, `[config]`, routing, endpoint shapes and NIU
-    /// knobs). Two grid points that differ only in their programs have
-    /// equal stripped specs, so one compiled checkpoint serves both.
+    /// The spec with every initiator program removed — explicit,
+    /// stochastic and trace kinds alike map to the empty explicit
+    /// program: the shareable "prefix" (topology, `[config]`, routing,
+    /// endpoint shapes and NIU knobs). Two grid points that differ only
+    /// in their workloads have equal stripped specs, so one compiled
+    /// checkpoint serves both.
     #[must_use]
     pub fn without_programs(&self) -> ScenarioSpec {
         let mut stripped = self.clone();
         for ini in &mut stripped.initiators {
-            ini.program = Vec::new();
+            ini.program = ProgramSpec::default();
         }
         stripped
     }
@@ -1138,6 +1353,7 @@ impl ScenarioSpec {
     /// Returns [`ScenarioError`] if the declaration is inconsistent.
     pub fn build_noc(&self, mut config: NocConfig) -> Result<NocSim, ScenarioError> {
         let map = self.address_map()?;
+        self.validate_traces()?;
         if let Some(overrides) = &self.config {
             config = overrides.apply(config);
         }
@@ -1153,7 +1369,7 @@ impl ScenarioSpec {
         for (i, ini) in self.initiators.iter().enumerate() {
             let node = self.initiator_node(i);
             let niu = InitiatorNiu::new(
-                BoxedFe(ini.socket.build_fe(ini.program.clone())),
+                BoxedFe(ini.socket.build_fe(ini.program.head_program())),
                 ini.niu_config(node),
                 map.clone(),
             );
@@ -1167,7 +1383,9 @@ impl ScenarioSpec {
         let soc = builder.build().map_err(|e| ScenarioError::BadTopology {
             reason: e.to_string(),
         })?;
-        Ok(NocSim::new(soc))
+        let mut sim = NocSim::new(soc);
+        sim.attach_workloads(&self.programs());
+        Ok(sim)
     }
 
     /// Rejects specs that declare divided endpoint clocks, which the
@@ -1219,11 +1437,12 @@ impl ScenarioSpec {
     pub fn build_bridged(&self, config: BridgeConfig) -> Result<BridgedSim, ScenarioError> {
         self.reject_clocked("bridged")?;
         let map = self.address_map()?;
+        self.validate_traces()?;
         let mut ic = BridgedInterconnect::new(config, map);
         for ini in &self.initiators {
             ic.add_master(AttachedMaster::new(
                 &ini.name,
-                ini.socket.build_fe(ini.program.clone()),
+                ini.socket.build_fe(ini.program.head_program()),
             ));
         }
         for (i, mem) in self.memories.iter().enumerate() {
@@ -1234,7 +1453,9 @@ impl ScenarioSpec {
                 mem.target.slave_timing(),
             );
         }
-        Ok(BridgedSim::new(ic, self.master_names()))
+        let mut sim = BridgedSim::new(ic, self.master_names());
+        sim.attach_workloads(&self.programs());
+        Ok(sim)
     }
 
     /// Compiles the spec onto the shared-bus baseline.
@@ -1249,11 +1470,12 @@ impl ScenarioSpec {
         self.reject_clocked("bus")?;
         self.reject_bus_targets()?;
         let map = self.address_map()?;
+        self.validate_traces()?;
         let mut bus = SharedBus::new(config, map);
         for ini in &self.initiators {
             bus.add_master(AttachedMaster::new(
                 &ini.name,
-                ini.socket.build_fe(ini.program.clone()),
+                ini.socket.build_fe(ini.program.head_program()),
             ));
         }
         for mem in &self.memories {
@@ -1263,7 +1485,9 @@ impl ScenarioSpec {
                 mem.target.slave_timing(),
             );
         }
-        Ok(BusSim::new(bus, self.master_names()))
+        let mut sim = BusSim::new(bus, self.master_names());
+        sim.attach_workloads(&self.programs());
+        Ok(sim)
     }
 }
 
@@ -1301,6 +1525,9 @@ impl SocketInitiator for BoxedFe {
     }
     fn load_program(&mut self, program: Program) {
         self.0.load_program(program)
+    }
+    fn append_commands(&mut self, tail: &[noc_protocols::SocketCommand]) {
+        self.0.append_commands(tail)
     }
     fn clone_box(&self) -> Box<dyn SocketInitiator> {
         Box::new(BoxedFe(self.0.clone_box()))

@@ -142,6 +142,12 @@ impl Sweep {
         self
     }
 
+    /// Mutable access to the expanded points (for in-place fixups such
+    /// as [`ScenarioSpec::resolve_trace_paths`](crate::ScenarioSpec::resolve_trace_paths)).
+    pub fn points_mut(&mut self) -> &mut [SweepPoint] {
+        &mut self.points
+    }
+
     /// The expanded points.
     pub fn points(&self) -> &[SweepPoint] {
         &self.points

@@ -47,6 +47,25 @@
 //! cmd = "read 0x100 4x4"        # program, one command per line (see below)
 //! cmd = "write 0x200 1x8 seed=0xbeef stream=2 delay=3 pressure=1 kind=wrap"
 //!
+//! [[initiator]]                 # generated (streamed) programs carry a
+//! name = "cam"                  # kind instead of cmd lines — kind and
+//! socket = "axi"                # cmd together are rejected
+//! kind = "bursty"               # bursty | zipf | trace
+//! seed = 42                     # bursty/zipf: generator seed
+//! commands = 4000               # bursty/zipf: total commands
+//! burst_len = 8                 # bursty: mean burst length (commands)
+//! idle_gap = 400                # bursty: mean idle between bursts (cycles)
+//! # zipf instead takes: exponent_milli = 1500 (Zipf exponent ×1000,
+//! #   0..=8000; first declared memory = hottest rank)
+//! # trace instead takes: trace_file = "path.trace" (relative to the
+//! #   .scn file; records `cycle op addr beats beat_bytes [stream]`)
+//! read_pct = 70                 # shape, optional (defaults shown):
+//! beats = 4                     #   reads %, beats per burst, bytes per
+//! beat_bytes = 4                #   beat, socket streams to round-robin
+//! streams = 1                   #   over, mean in-burst gap, and the
+//! gap = 2                       #   open|closed injection discipline
+//! discipline = "open"           #   (closed floors every gap at 1 cycle)
+//!
 //! [[memory]]
 //! name = "dram"
 //! base = 0x0
@@ -114,6 +133,7 @@
 //! # Ok::<(), noc_scenario::ScenarioError>(())
 //! ```
 
+use crate::program::{BurstySpec, Discipline, ProgramSpec, StochasticShape, TraceSpec, ZipfSpec};
 use crate::sim::StepMode;
 use crate::spec::{
     Backend, InitiatorSpec, LinkClassSpec, MemorySpec, NocConfigSpec, ScenarioError, ScenarioSpec,
@@ -230,6 +250,23 @@ pub enum Document {
     Scenario(ScenarioSpec),
     /// A sweep file (`[sweep]` / `[[sweep.point]]` sections present).
     Sweep(Sweep),
+}
+
+impl Document {
+    /// Rebases every relative `trace_file` path in the document against
+    /// `base` — the file-loading counterpart of
+    /// [`ScenarioSpec::resolve_trace_paths`], covering sweep documents
+    /// too.
+    pub fn resolve_trace_paths(&mut self, base: &std::path::Path) {
+        match self {
+            Document::Scenario(spec) => spec.resolve_trace_paths(base),
+            Document::Sweep(sweep) => {
+                for point in sweep.points_mut() {
+                    point.spec.resolve_trace_paths(base);
+                }
+            }
+        }
+    }
 }
 
 impl ScenarioSpec {
@@ -421,6 +458,47 @@ fn emit_command(cmd: &SocketCommand) -> String {
     s
 }
 
+/// Emits a program in canonical form: `cmd =` lines for explicit
+/// programs; a `kind` plus every parameter (defaults included) for
+/// generated kinds, so emitted files are self-describing and the
+/// emit ∘ parse round-trip is the identity.
+fn emit_program(out: &mut String, program: &ProgramSpec) {
+    let shape = |out: &mut String, shape: &StochasticShape| {
+        out.push_str(&format!("read_pct = {}\n", shape.read_pct));
+        out.push_str(&format!("beats = {}\n", shape.beats));
+        out.push_str(&format!("beat_bytes = {}\n", shape.beat_bytes));
+        out.push_str(&format!("streams = {}\n", shape.streams));
+        out.push_str(&format!("gap = {}\n", shape.gap));
+        out.push_str(&format!("discipline = \"{}\"\n", shape.discipline));
+    };
+    match program {
+        ProgramSpec::Explicit(cmds) => {
+            for cmd in cmds {
+                out.push_str(&format!("cmd = \"{}\"\n", emit_command(cmd)));
+            }
+        }
+        ProgramSpec::Bursty(b) => {
+            out.push_str("kind = \"bursty\"\n");
+            out.push_str(&format!("seed = {:#x}\n", b.seed));
+            out.push_str(&format!("commands = {}\n", b.commands));
+            out.push_str(&format!("burst_len = {}\n", b.burst_len));
+            out.push_str(&format!("idle_gap = {}\n", b.idle_gap));
+            shape(out, &b.shape);
+        }
+        ProgramSpec::Zipf(z) => {
+            out.push_str("kind = \"zipf\"\n");
+            out.push_str(&format!("seed = {:#x}\n", z.seed));
+            out.push_str(&format!("commands = {}\n", z.commands));
+            out.push_str(&format!("exponent_milli = {}\n", z.exponent_milli));
+            shape(out, &z.shape);
+        }
+        ProgramSpec::Trace(t) => {
+            out.push_str("kind = \"trace\"\n");
+            out.push_str(&format!("trace_file = {}\n", quoted("trace path", &t.path)));
+        }
+    }
+}
+
 fn emit_link_class(out: &mut String, prefix: &str, class: &LinkClassSpec) {
     if let Some(p) = class.pipeline {
         out.push_str(&format!("{prefix}_pipeline = {p}\n"));
@@ -529,9 +607,7 @@ fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
         if ini.clock_divisor != 1 {
             out.push_str(&format!("clock_divisor = {}\n", ini.clock_divisor));
         }
-        for cmd in &ini.program {
-            out.push_str(&format!("cmd = \"{}\"\n", emit_command(cmd)));
-        }
+        emit_program(out, &ini.program);
     }
     for mem in &spec.memories {
         out.push('\n');
@@ -1440,15 +1516,99 @@ struct Named<T> {
     name_line: usize,
 }
 
+fn parse_shape(sec: &mut Section) -> Result<StochasticShape, ParseError> {
+    let mut shape = StochasticShape::default();
+    if let Some(e) = sec.take("read_pct")? {
+        shape.read_pct = e.int_max(100)? as u8;
+    }
+    if let Some(e) = sec.take("beats")? {
+        shape.beats = e.nonzero(u32::MAX as u64)? as u32;
+    }
+    if let Some(e) = sec.take("beat_bytes")? {
+        shape.beat_bytes = e.nonzero(u32::MAX as u64)? as u32;
+    }
+    if let Some(e) = sec.take("streams")? {
+        shape.streams = e.nonzero(u16::MAX as u64)? as u16;
+    }
+    if let Some(e) = sec.take("gap")? {
+        shape.gap = e.int_max(u32::MAX as u64)? as u32;
+    }
+    if let Some(e) = sec.take("discipline")? {
+        shape.discipline = match e.str()? {
+            "open" => Discipline::Open,
+            "closed" => Discipline::Closed,
+            other => {
+                return Err(e.bad(format!("unknown discipline {other:?} (open|closed)")));
+            }
+        };
+    }
+    Ok(shape)
+}
+
+/// Parses an initiator's program: `cmd =` lines (explicit) or a
+/// `kind =` declaration (generated). The two are mutually exclusive.
+fn parse_program(sec: &mut Section) -> Result<ProgramSpec, ParseError> {
+    let kind = sec.take("kind")?;
+    let cmds = sec.take_all("cmd");
+    let Some(kind_entry) = kind else {
+        let mut program = Vec::new();
+        for cmd_entry in cmds {
+            program.push(parse_command(&cmd_entry)?);
+        }
+        return Ok(ProgramSpec::Explicit(program));
+    };
+    if let Some(first) = cmds.first() {
+        return Err(syntax(
+            first.line,
+            first.key_col,
+            "cmd lines conflict with a generated program kind",
+        ));
+    }
+    match kind_entry.str()? {
+        "bursty" => {
+            let seed = sec.take_req("seed")?.u64()?;
+            let commands = sec.take_req("commands")?.u64()? as usize;
+            let burst_len = sec.take_req("burst_len")?.nonzero(u32::MAX as u64)? as u32;
+            let idle_gap = sec.take_req("idle_gap")?.int_max(u32::MAX as u64)? as u32;
+            let shape = parse_shape(sec)?;
+            Ok(ProgramSpec::Bursty(BurstySpec {
+                seed,
+                commands,
+                burst_len,
+                idle_gap,
+                shape,
+            }))
+        }
+        "zipf" => {
+            let seed = sec.take_req("seed")?.u64()?;
+            let commands = sec.take_req("commands")?.u64()? as usize;
+            let exponent_entry = sec.take_req("exponent_milli")?;
+            let exponent_milli =
+                exponent_entry.int_max(ZipfSpec::MAX_EXPONENT_MILLI as u64)? as u32;
+            let shape = parse_shape(sec)?;
+            Ok(ProgramSpec::Zipf(ZipfSpec {
+                seed,
+                commands,
+                exponent_milli,
+                shape,
+            }))
+        }
+        "trace" => {
+            let path = sec.take_req("trace_file")?.str()?.to_owned();
+            Ok(ProgramSpec::Trace(TraceSpec { path }))
+        }
+        other => Err(kind_entry.bad(format!(
+            "unknown program kind {other:?} (bursty|zipf|trace)"
+        ))),
+    }
+}
+
 fn finalize_initiator(mut sec: Section) -> Result<Named<InitiatorSpec>, ParseError> {
     let name_entry = sec.take_req("name")?;
     let name = name_entry.str()?.to_owned();
     let socket_entry = sec.take_req("socket")?;
     let socket = parse_socket(&mut sec, &socket_entry)?;
-    let mut program = Vec::new();
-    for cmd_entry in sec.take_all("cmd") {
-        program.push(parse_command(&cmd_entry)?);
-    }
+    let program = parse_program(&mut sec)?;
     let mut ini = InitiatorSpec::new(&name, socket, program);
     if let Some(e) = sec.take("ordering")? {
         ini.ordering = Some(parse_ordering(&e)?);
@@ -1739,7 +1899,7 @@ mod tests {
         ];
         let mut spec = ScenarioSpec::new();
         for (i, socket) in sockets.into_iter().enumerate() {
-            let program = ops
+            let program: Vec<_> = ops
                 .iter()
                 .map(|op| SocketCommand::read(0x40 * (i as u64 + 1), 4).with_opcode(*op))
                 .collect();
@@ -1754,7 +1914,10 @@ mod tests {
     fn comments_blanks_and_hex_are_tolerated() {
         let text = "\n# heading\n[[initiator]]\nname = \"m\"   # trailing\nsocket = \"ahb\"\ncmd = \"read 0x1_00 1x4\"\n\n[[memory]]\nname = \"mem\"\nbase = 0\nend = 0x1_000\nlatency = 1\n";
         let spec = ScenarioSpec::from_text(text).expect("parses");
-        assert_eq!(spec.initiators[0].program[0].addr, 0x100);
+        assert_eq!(
+            spec.initiators[0].program.explicit().unwrap()[0].addr,
+            0x100
+        );
         assert_eq!(spec.memories[0].end, 0x1000);
     }
 

@@ -106,7 +106,13 @@ impl Request {
             file: file.clone(),
             kind: RequestErrorKind::Io(e.to_string()),
         })?;
-        Request::from_text(id, &file, &text)
+        let mut req = Request::from_text(id, &file, &text)?;
+        // Relative trace paths in a spooled file resolve against the
+        // file itself, as they do for `scn FILE`.
+        if let Some(base) = path.parent() {
+            req.doc.resolve_trace_paths(base);
+        }
+        Ok(req)
     }
 
     /// Parses a request from already-loaded text (`file` is only used

@@ -591,6 +591,33 @@ impl Soc {
         }
     }
 
+    /// Appends commands to the program of the `ordinal`-th initiator
+    /// endpoint (build order — the same order
+    /// [`Soc::load_programs`] consumes), mid-run. While that initiator
+    /// still holds unissued commands the append instant is unobservable,
+    /// so feeding layers can stream unbounded workloads chunk by chunk
+    /// with bit-identical results. The endpoint's calendar wakeup is
+    /// re-registered afterwards ([`Calendar::set`] no-ops when the
+    /// target cycle is unchanged, which it is whenever the head command
+    /// stays the same).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordinal` exceeds the initiator count or a command
+    /// violates the socket's constraints.
+    pub fn append_commands(&mut self, ordinal: usize, tail: &[noc_protocols::SocketCommand]) {
+        let i = self
+            .endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_initiator)
+            .nth(ordinal)
+            .map(|(i, _)| i)
+            .expect("initiator ordinal out of range");
+        self.endpoints[i].inner.append_commands(tail);
+        self.refresh_endpoint(i);
+    }
+
     /// Named completion logs of all initiator endpoints (build order).
     pub fn completion_logs(&self) -> Vec<(&str, &noc_protocols::CompletionLog)> {
         self.endpoints

@@ -129,6 +129,38 @@ pub fn neighbour_program(cfg: &PatternConfig, ranges: &[(u64, u64)], index: usiz
     gen(cfg, move |_| range)
 }
 
+/// Materialises a streamed feed source into a complete program by
+/// pulling it dry. Chunk boundaries don't affect content, so the result
+/// is identical to what the simulation feeder would stream in.
+fn drain(mut source: noc_scenario::FeedSource) -> Program {
+    let mut program = Vec::new();
+    loop {
+        let chunk = source.pull(u64::MAX);
+        if chunk.is_empty() {
+            return program;
+        }
+        program.extend(chunk);
+    }
+}
+
+/// The full command list a [`noc_scenario::BurstySpec`] streams over the
+/// given target ranges — eager form for benches and offline analysis.
+pub fn bursty_program(spec: &noc_scenario::BurstySpec, ranges: &[(u64, u64)]) -> Program {
+    assert!(!ranges.is_empty(), "need at least one target range");
+    drain(noc_scenario::FeedSource::Bursty(
+        noc_scenario::program::BurstyGen::new(*spec, ranges.to_vec()),
+    ))
+}
+
+/// The full command list a [`noc_scenario::ZipfSpec`] streams over the
+/// given target ranges — eager form for benches and offline analysis.
+pub fn zipf_program(spec: &noc_scenario::ZipfSpec, ranges: &[(u64, u64)]) -> Program {
+    assert!(!ranges.is_empty(), "need at least one target range");
+    drain(noc_scenario::FeedSource::Zipf(
+        noc_scenario::program::ZipfGen::new(*spec, ranges.to_vec()),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +218,29 @@ mod tests {
         let cfg = PatternConfig::new(50, 9);
         let p = neighbour_program(&cfg, &R, 1);
         assert!(p.iter().all(|c| c.addr >= 0x1000 && c.addr < 0x2000));
+    }
+
+    #[test]
+    fn bursty_program_is_deterministic_and_complete() {
+        let spec = noc_scenario::BurstySpec::new(0xB0B, 48, 4, 12);
+        let a = bursty_program(&spec, &R);
+        assert_eq!(a.len(), 48);
+        assert_eq!(a, bursty_program(&spec, &R));
+        for cmd in &a {
+            let bytes = (cmd.beats * cmd.beat_bytes) as u64;
+            assert!(R
+                .iter()
+                .any(|(s, e)| cmd.addr >= *s && cmd.addr + bytes <= *e));
+        }
+    }
+
+    #[test]
+    fn zipf_program_concentrates_on_the_first_range() {
+        let spec = noc_scenario::ZipfSpec::new(0x21F, 400, 2500);
+        let p = zipf_program(&spec, &R);
+        assert_eq!(p.len(), 400);
+        let hot = p.iter().filter(|c| c.addr < 0x1000).count();
+        assert!(hot > 300, "rank-1 hits: {hot}/400");
     }
 
     #[test]

@@ -347,7 +347,10 @@ mod tests {
         let spec = set_top.spec();
         let back = ScenarioSpec::from_text(&set_top.scenario_text()).expect("emitted text parses");
         assert_eq!(back, spec);
-        assert_eq!(back.initiators[2].program, set_top.programs().dma);
+        assert_eq!(
+            back.initiators[2].program,
+            noc_scenario::ProgramSpec::Explicit(set_top.programs().dma)
+        );
     }
 
     #[test]

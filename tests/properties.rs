@@ -649,3 +649,261 @@ fn horizon_stepping_equals_dense_on_random_scenarios() {
         }
     }
 }
+
+/// A random scenario whose every initiator runs a *generated* program
+/// (bursty or zipf) — shapes constrained exactly as `validate` demands,
+/// so every draw is a legal spec.
+fn arb_stochastic_scenario(rng: &mut SplitMix64) -> noc_scenario::ScenarioSpec {
+    use noc_scenario::{
+        BurstySpec, Discipline, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec,
+        StochasticShape, ZipfSpec,
+    };
+
+    let masters = rng.next_range(1, 4) as usize;
+    let regions = rng.next_range(2, 5) as usize;
+    let mut spec = ScenarioSpec::new();
+    for m in 0..masters {
+        let socket = match rng.next_below(5) {
+            0 => SocketSpec::Ahb,
+            1 => SocketSpec::Ocp {
+                threads: rng.next_range(1, 3) as u8,
+                per_thread: rng.next_range(1, 5) as u32,
+            },
+            2 => SocketSpec::Axi {
+                tags: rng.next_range(1, 5) as u8,
+                per_id: rng.next_range(1, 4) as u32,
+                total: rng.next_range(2, 8) as u32,
+            },
+            3 => SocketSpec::bvci(),
+            _ => SocketSpec::avci(),
+        };
+        let shape = StochasticShape {
+            read_pct: rng.next_below(101) as u8,
+            beats: if matches!(socket, SocketSpec::Vci { .. }) {
+                1
+            } else {
+                1 << rng.next_below(3)
+            },
+            beat_bytes: 4,
+            streams: match socket.max_streams() {
+                Some(limit) => rng.next_range(1, limit as u64) as u16,
+                None => rng.next_range(1, 4) as u16,
+            },
+            gap: rng.next_below(8) as u32,
+            discipline: if rng.chance(0.5) {
+                Discipline::Open
+            } else {
+                Discipline::Closed
+            },
+        };
+        let commands = rng.next_range(10, 40) as usize;
+        let program: noc_scenario::ProgramSpec = if rng.chance(0.5) {
+            let mut b = BurstySpec::new(
+                rng.next_u64(),
+                commands,
+                rng.next_range(1, 6) as u32,
+                rng.next_below(60) as u32,
+            );
+            b.shape = shape;
+            b.into()
+        } else {
+            let mut z = ZipfSpec::new(rng.next_u64(), commands, rng.next_below(3001) as u32);
+            z.shape = shape;
+            z.into()
+        };
+        let mut ini = InitiatorSpec::new(&format!("m{m}"), socket, program);
+        if rng.chance(0.4) {
+            ini = ini.with_outstanding(rng.next_range(1, 9) as u32);
+        }
+        spec = spec.initiator(ini);
+    }
+    for t in 0..regions {
+        spec = spec.memory(
+            MemorySpec::new(
+                &format!("mem{t}"),
+                t as u64 * 0x1000,
+                (t as u64 + 1) * 0x1000,
+                rng.next_range(1, 6) as u32,
+            )
+            .with_queue(rng.next_range(2, 10) as usize),
+        );
+    }
+    spec
+}
+
+/// The tentpole determinism pin: random stochastic specs round-trip
+/// through the text format (`parse(emit(x)) == x`, emit a fixpoint) and
+/// the same seed produces record-for-record identical completion logs:
+/// timestamps included across dense/horizon stepping on one backend,
+/// and the same functional records (index, opcode, address, status,
+/// data, stream) across all three backends — whose fabrics time the
+/// same traffic differently — with every commanded completion
+/// accounted for.
+#[test]
+fn stochastic_specs_round_trip_and_run_identically() {
+    use noc_scenario::{Backend, ProgramSpec, ScenarioSpec, StepMode};
+
+    type Logs = Vec<Vec<noc_protocols::CompletionRecord>>;
+    // The seed-determined command stream: per-master records in program
+    // order, without the cycle stamps and completion interleaving that
+    // legitimately differ between fabrics.
+    fn functional(logs: &Logs) -> Vec<Vec<(usize, noc_transaction::Opcode, u64, u16)>> {
+        logs.iter()
+            .map(|log| {
+                let mut cmds: Vec<_> = log
+                    .iter()
+                    .map(|r| (r.index, r.opcode, r.addr, r.stream.raw()))
+                    .collect();
+                cmds.sort_unstable_by_key(|c| c.0);
+                cmds
+            })
+            .collect()
+    }
+
+    let mut rng = SplitMix64::new(0x570C);
+    for case in 0..30 {
+        let spec = arb_stochastic_scenario(&mut rng);
+        let text = spec.to_text();
+        let back = ScenarioSpec::from_text(&text)
+            .unwrap_or_else(|e| panic!("case {case}: emitted text must parse: {e}\n{text}"));
+        assert_eq!(back, spec, "case {case}: round-trip changed the spec");
+        assert_eq!(back.to_text(), text, "case {case}: emit is not a fixpoint");
+
+        if case % 3 != 0 {
+            continue;
+        }
+        let expected: usize = spec
+            .initiators
+            .iter()
+            .map(|i| match &i.program {
+                ProgramSpec::Bursty(b) => b.commands,
+                ProgramSpec::Zipf(z) => z.commands,
+                _ => unreachable!("arb emits only stochastic kinds"),
+            })
+            .sum();
+        let mut cross_backend = None;
+        for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+            let mut timed = None;
+            for mode in [StepMode::Dense, StepMode::Horizon] {
+                let mut sim = back.build(&backend).expect("valid stochastic spec");
+                let drained = sim.run_until_with(3_000_000, mode);
+                assert!(
+                    drained,
+                    "case {case}: {backend} {mode:?} must drain\n{text}"
+                );
+                let logs: Logs = sim
+                    .logs()
+                    .iter()
+                    .map(|(_, log)| log.records().to_vec())
+                    .collect();
+                let completions: usize = logs.iter().map(Vec::len).sum();
+                assert_eq!(
+                    completions, expected,
+                    "case {case}: {backend} {mode:?} lost commands"
+                );
+                match &timed {
+                    None => timed = Some(logs),
+                    Some(r) => assert_eq!(
+                        r, &logs,
+                        "case {case}: dense and horizon diverge on {backend}\n{text}"
+                    ),
+                }
+            }
+            let records = functional(timed.as_ref().expect("both modes ran"));
+            match &cross_backend {
+                None => cross_backend = Some(records),
+                Some(r) => assert_eq!(
+                    r, &records,
+                    "case {case}: {backend} replays different records than the reference\n{text}"
+                ),
+            }
+        }
+    }
+}
+
+/// Trace replay: a generated trace file streams through the cursor
+/// (bounded pulls, never resident) and replays record-identically on
+/// all three backends and both step modes, preserving the trace's
+/// inter-arrival spacing in the issue stream.
+#[test]
+fn trace_replay_is_identical_across_backends_and_modes() {
+    use noc_scenario::{
+        Backend, InitiatorSpec, MemorySpec, ScenarioSpec, SocketSpec, StepMode, TraceSpec,
+    };
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join("noc-scenario-prop-trace");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("prop.trace");
+    let mut rng = SplitMix64::new(0x7AACE);
+    let mut f = std::fs::File::create(&path).expect("trace file");
+    writeln!(f, "# generated by the property suite").unwrap();
+    let mut ts = 0u64;
+    for i in 0..300 {
+        ts += rng.next_below(40);
+        let addr = (rng.next_below(2) * 0x1000 + rng.next_below(0xF00)) & !0xF;
+        let op = if rng.chance(0.6) { "read" } else { "write" };
+        let stream = i % 2;
+        writeln!(f, "{ts} {op} {addr:#x} 4 4 {stream}").unwrap();
+    }
+    drop(f);
+
+    let spec = ScenarioSpec::new()
+        .initiator(InitiatorSpec::new(
+            "replay",
+            SocketSpec::Ocp {
+                threads: 2,
+                per_thread: 4,
+            },
+            TraceSpec::new(path.to_str().expect("utf-8 temp path")),
+        ))
+        .memory(MemorySpec::new("m0", 0x0, 0x1000, 2))
+        .memory(MemorySpec::new("m1", 0x1000, 0x2000, 4));
+    let mut cross_backend = None;
+    for backend in [Backend::noc(), Backend::bridged(), Backend::bus()] {
+        let mut timed = None;
+        for mode in [StepMode::Dense, StepMode::Horizon] {
+            let mut sim = spec.build(&backend).expect("trace spec builds");
+            assert!(
+                sim.run_until_with(3_000_000, mode),
+                "{backend} {mode:?} must drain the trace"
+            );
+            let logs: Vec<Vec<noc_protocols::CompletionRecord>> = sim
+                .logs()
+                .iter()
+                .map(|(_, log)| log.records().to_vec())
+                .collect();
+            assert_eq!(logs[0].len(), 300, "{backend} {mode:?} lost trace records");
+            match &timed {
+                None => timed = Some(logs),
+                Some(r) => assert_eq!(r, &logs, "{backend}: dense and horizon replay diverge"),
+            }
+        }
+        // Across backends the cycle stamps and cross-stream completion
+        // interleaving differ (different fabrics); the replayed command
+        // stream — records in program order — must not.
+        let records: Vec<
+            Vec<(
+                usize,
+                noc_transaction::Opcode,
+                u64,
+                noc_transaction::StreamId,
+            )>,
+        > = timed
+            .expect("both modes ran")
+            .iter()
+            .map(|log| {
+                let mut cmds: Vec<_> = log
+                    .iter()
+                    .map(|r| (r.index, r.opcode, r.addr, r.stream))
+                    .collect();
+                cmds.sort_unstable_by_key(|c| c.0);
+                cmds
+            })
+            .collect();
+        match &cross_backend {
+            None => cross_backend = Some(records),
+            Some(r) => assert_eq!(r, &records, "{backend} replays a different record sequence"),
+        }
+    }
+}

@@ -381,7 +381,7 @@ fn horizon_stepping_is_record_identical_to_dense_on_all_backends() {
 fn horizon_stepping_matches_dense_on_sparse_workloads() {
     let mut spec = race_free_spec();
     for ini in &mut spec.initiators {
-        for (i, cmd) in ini.program.iter_mut().enumerate() {
+        for (i, cmd) in ini.program.explicit_mut().unwrap().iter_mut().enumerate() {
             cmd.delay_before = 500 + (i as u32 % 7) * 311;
         }
     }
@@ -403,7 +403,7 @@ fn horizon_stepping_matches_dense_under_divided_clocks() {
     spec.initiators[1].clock_divisor = 3;
     spec.memories[1].clock_divisor = 2;
     for ini in &mut spec.initiators {
-        for (i, cmd) in ini.program.iter_mut().enumerate() {
+        for (i, cmd) in ini.program.explicit_mut().unwrap().iter_mut().enumerate() {
             cmd.delay_before = 50 + (i as u32 % 5) * 97;
         }
     }

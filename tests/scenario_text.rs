@@ -155,7 +155,10 @@ fn corpus_covers_the_required_shapes() {
 #[test]
 fn corpus_runs_identically_dense_and_horizon_on_all_backends() {
     for (name, text) in corpus_files() {
-        match parse_document(&text).expect("corpus parses") {
+        let mut doc = parse_document(&text).expect("corpus parses");
+        // Trace files live next to their .scn files.
+        doc.resolve_trace_paths(&corpus_dir());
+        match doc {
             Document::Scenario(spec) => assert_dense_horizon_identical(&name, "-", &spec),
             Document::Sweep(sweep) => {
                 for p in sweep.points() {
@@ -459,4 +462,108 @@ fn errors_display_and_propagate_like_std_errors() {
         .expect("typed error survives");
     let source = std::error::Error::source(scenario_err.as_ref()).expect("Parse has a source");
     assert!(source.downcast_ref::<ParseError>().is_some());
+}
+
+// ---------------------------------------------------------------------
+// Negative parses for the generated program kinds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_program_seed_is_rejected_in_place() {
+    let e = parse_err(
+        "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"bursty\"\nseed = \"lucky\"\ncommands = 10\nburst_len = 4\nidle_gap = 10\n",
+    );
+    assert_eq!(e.line, 5);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, .. } if key == "seed"),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn missing_trace_path_points_at_the_section() {
+    let e = parse_err("[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"trace\"\n");
+    assert_eq!(e.line, 1);
+    assert_eq!(
+        e.kind,
+        ParseErrorKind::MissingKey {
+            section: "initiator".into(),
+            key: "trace_file".into()
+        }
+    );
+}
+
+#[test]
+fn zipf_exponent_out_of_range_is_rejected_in_place() {
+    let e = parse_err(
+        "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"zipf\"\nseed = 7\ncommands = 10\nexponent_milli = 9000\n",
+    );
+    assert_eq!(e.line, 7);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, .. } if key == "exponent_milli"),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn cmd_lines_conflict_with_a_generated_kind() {
+    let e = parse_err(
+        "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"bursty\"\nseed = 7\ncommands = 10\nburst_len = 4\nidle_gap = 10\ncmd = \"read 0x0 1x4\"\n",
+    );
+    assert_eq!((e.line, e.column), (9, 1));
+    assert!(
+        matches!(e.kind, ParseErrorKind::Syntax(ref s) if s.contains("conflict")),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn unknown_program_kind_is_rejected_in_place() {
+    let e = parse_err("[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"markov\"\n");
+    assert_eq!(e.line, 4);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, ref reason }
+            if key == "kind" && reason.contains("markov")),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn unknown_discipline_is_rejected_in_place() {
+    let e = parse_err(
+        "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"zipf\"\nseed = 7\ncommands = 10\nexponent_milli = 800\ndiscipline = \"ajar\"\n",
+    );
+    assert_eq!(e.line, 8);
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadValue { ref key, ref reason }
+            if key == "discipline" && reason.contains("ajar")),
+        "{:?}",
+        e.kind
+    );
+}
+
+#[test]
+fn shape_keys_on_an_explicit_program_are_unknown() {
+    // `read_pct` only means something for the generated kinds.
+    let e = parse_err(
+        "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\ncmd = \"read 0x0 1x4\"\nread_pct = 50\n",
+    );
+    assert_eq!(e.line, 5);
+    assert_eq!(e.kind, ParseErrorKind::UnknownKey("read_pct".into()));
+}
+
+#[test]
+fn streams_beyond_the_socket_limit_fail_validation() {
+    // Parses fine, but AHB has a single stream: build-time validation
+    // rejects it with the typed BadProgram error, not a panic downstream.
+    let text = "[[initiator]]\nname = \"m\"\nsocket = \"ahb\"\nkind = \"zipf\"\nseed = 7\ncommands = 10\nexponent_milli = 800\nstreams = 2\n\n[[memory]]\nname = \"mem\"\nbase = 0\nend = 0x1000\nlatency = 1\n";
+    let spec = ScenarioSpec::from_text(text).unwrap();
+    match spec.build(&noc_scenario::Backend::noc()) {
+        Err(ScenarioError::BadProgram { initiator, .. }) => assert_eq!(initiator, "m"),
+        other => panic!("expected BadProgram, got {:?}", other.map(|_| ())),
+    }
 }

@@ -163,3 +163,124 @@ fn program_loading_equals_building_with_programs() {
         );
     }
 }
+
+/// A scenario mixing all three streamed program kinds — bursty, zipf
+/// and trace replay — so checkpoints must capture generator RNG state
+/// and the trace cursor's file position.
+fn stochastic_spec() -> ScenarioSpec {
+    use noc_scenario::{BurstySpec, InitiatorSpec, MemorySpec, SocketSpec, TraceSpec, ZipfSpec};
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join("noc-scenario-snapshot-trace");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("snapshot.trace");
+    let mut f = std::fs::File::create(&path).expect("trace file");
+    let mut rng = noc_kernel::SplitMix64::new(0x5A17);
+    let mut ts = 0u64;
+    for _ in 0..150 {
+        ts += rng.next_below(25);
+        let addr = (rng.next_below(2) * 0x1000 + rng.next_below(0xF00)) & !0x7;
+        let op = if rng.chance(0.5) { "read" } else { "write" };
+        writeln!(f, "{ts} {op} {addr:#x} 2 4").unwrap();
+    }
+    drop(f);
+
+    let mut bursty = BurstySpec::new(0xB07, 120, 4, 40);
+    bursty.shape.streams = 2;
+    bursty.shape.gap = 3;
+    let zipf = ZipfSpec::new(0x21F, 150, 1200);
+    ScenarioSpec::new()
+        .initiator(InitiatorSpec::new(
+            "burst",
+            SocketSpec::Ocp {
+                threads: 2,
+                per_thread: 4,
+            },
+            bursty,
+        ))
+        .initiator(InitiatorSpec::new(
+            "hot",
+            SocketSpec::Axi {
+                tags: 4,
+                per_id: 2,
+                total: 8,
+            },
+            zipf,
+        ))
+        .initiator(InitiatorSpec::new(
+            "replay",
+            SocketSpec::Ahb,
+            TraceSpec::new(path.to_str().expect("utf-8 temp path")),
+        ))
+        .memory(MemorySpec::new("dram", 0x0, 0x1000, 5).with_queue(2))
+        .memory(MemorySpec::new("sram", 0x1000, 0x2000, 2).with_queue(4))
+}
+
+/// Snapshotting mid-burst — generators part-way through their RNG
+/// streams, the trace cursor part-way through its file — and
+/// continuing must replay exactly the uninterrupted run's records on
+/// every backend and in both step modes.
+#[test]
+fn stochastic_interrupted_runs_match_uninterrupted_runs() {
+    let spec = stochastic_spec();
+    for backend in backends() {
+        for mode in [StepMode::Dense, StepMode::Horizon] {
+            let label = format!("{} / {mode:?} (stochastic)", backend.label());
+
+            let mut reference = spec.build(&backend).expect("fixture compiles");
+            assert!(reference.run_until_with(BUDGET, mode), "{label}: drains");
+            let expected = trace(reference.as_ref());
+
+            let mid = expected.now / 2;
+            let mut original = spec.build(&backend).expect("fixture compiles");
+            assert!(
+                !original.run_until_with(mid, mode),
+                "{label}: not yet drained at cycle {mid}"
+            );
+            let mut restored = original.snapshot();
+            assert_eq!(
+                trace(original.as_ref()),
+                trace(restored.as_ref()),
+                "{label}: a snapshot is the state it was taken from"
+            );
+            assert!(original.run_until_with(BUDGET, mode), "{label}: drains");
+            assert!(restored.run_until_with(BUDGET, mode), "{label}: drains");
+            assert_eq!(
+                trace(original.as_ref()),
+                expected,
+                "{label}: continuing past a mid-burst checkpoint must not disturb the run"
+            );
+            assert_eq!(
+                trace(restored.as_ref()),
+                expected,
+                "{label}: a restored mid-burst checkpoint must replay the identical future"
+            );
+        }
+    }
+}
+
+/// The serve-layer warm start for generated programs: a programless
+/// platform checkpoint fed stochastic workloads through
+/// `load_programs` must be bit-identical to a cold build of the full
+/// spec — the warm-vs-cold contract behind the checkpoint cache.
+#[test]
+fn stochastic_program_loading_equals_building_with_programs() {
+    let full = stochastic_spec();
+    for backend in backends() {
+        let label = format!("{} (stochastic)", backend.label());
+        let platform = full
+            .without_programs()
+            .build(&backend)
+            .expect("fixture compiles");
+        let mut forked = platform.snapshot();
+        forked.load_programs(&full.programs());
+        let mut direct = full.build(&backend).expect("fixture compiles");
+        assert!(forked.run_until_with(BUDGET, StepMode::Horizon), "{label}");
+        assert!(direct.run_until_with(BUDGET, StepMode::Horizon), "{label}");
+        assert_eq!(
+            trace(forked.as_ref()),
+            trace(direct.as_ref()),
+            "{label}: warm-forked stochastic workloads diverged from a cold build"
+        );
+    }
+}
