@@ -209,8 +209,12 @@ fn main() {
             sim.now()
         });
     }
-    for w in [8usize, 16] {
-        let spec = noc_bench::scenarios::sparse_mesh_spec(w);
+    for w in [8usize, 16, 32] {
+        let spec = if w == 32 {
+            noc_bench::scenarios::sparse_mesh_32_spec()
+        } else {
+            noc_bench::scenarios::sparse_mesh_spec(w)
+        };
         // Build cost scales with switch count (routing tables over w*w
         // nodes) and dominates the larger rows, so pin it separately —
         // the per-cycle scaling claim reads from horizon minus build.
@@ -227,7 +231,15 @@ fn main() {
                 },
             );
         }
-        for (mode_name, mode) in [("horizon", StepMode::Horizon), ("dense", StepMode::Dense)] {
+        // The meshes big enough to shard also get a 4-region parallel
+        // row; its iteration pays build + region partitioning + the
+        // threaded run, so the speedup gate below subtracts build_only
+        // from both sides before comparing.
+        let mut modes = vec![("horizon", StepMode::Horizon), ("dense", StepMode::Dense)];
+        if w >= 16 {
+            modes.push(("sharded4", StepMode::Sharded { threads: 4 }));
+        }
+        for (mode_name, mode) in modes {
             let spec = spec.clone();
             h.case(
                 "step_mode",
@@ -241,6 +253,40 @@ fn main() {
                     sim.now()
                 },
             );
+        }
+    }
+    // Sharding must buy real wall-clock on the big meshes: with 4
+    // workers the stepping phase (mode minus build) must run at least
+    // 2.5x faster than the single-thread horizon reference. Only
+    // meaningful where 4 workers can actually run in parallel, so the
+    // gate arms itself on the host's core count instead of silently
+    // measuring oversubscription.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let step_ns = |h: &Harness, name: &str| {
+        h.results
+            .iter()
+            .find(|r| r.group == "step_mode" && r.name == name)
+            .expect("case just ran")
+            .ns_per_iter
+    };
+    for w in [16usize, 32] {
+        let build = step_ns(&h, &format!("mesh_{w}x{w}_sparse_build_only"));
+        let single = step_ns(&h, &format!("mesh_{w}x{w}_sparse_horizon")) - build;
+        let sharded = step_ns(&h, &format!("mesh_{w}x{w}_sparse_sharded4")) - build;
+        let speedup = single / sharded;
+        println!(
+            "{:<22} {:<28} {speedup:>20.1}x",
+            "step_mode",
+            format!("mesh_{w}x{w}_sharded_speedup")
+        );
+        if cores >= 4 {
+            assert!(
+                speedup >= 2.5,
+                "4-way sharding must advance the {w}x{w} sparse mesh at least 2.5x \
+                 faster than single-thread horizon stepping, got {speedup:.2}x"
+            );
+        } else {
+            println!("(speedup gate skipped: {cores} core(s) available, need 4)");
         }
     }
 

@@ -6,8 +6,8 @@
 
 use noc_bench::scenarios::{
     bursty_storm_spec, clocked_mixed_spec, deep_pipeline_spec, exclusive_sweep, ordering_sweep,
-    qos_spec, ring_mixed_spec, scale_sweep, serve_sweep, services_spec, sparse_mesh_spec,
-    trace_replay_spec, trace_replay_trace, zipf_hotspot_spec,
+    qos_spec, ring_mixed_spec, scale_sweep, serve_sweep, services_spec, sparse_mesh_32_spec,
+    sparse_mesh_spec, trace_replay_spec, trace_replay_trace, zipf_hotspot_spec,
 };
 use noc_workloads::{SetTop, SetTopConfig};
 use std::path::Path;
@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("serve_sweep.scn", serve_sweep(3, 6).to_text()),
         ("mesh_8x8_sparse.scn", sparse_mesh_spec(8).to_text()),
         ("mesh_16x16_sparse.scn", sparse_mesh_spec(16).to_text()),
+        ("mesh_32x32_sparse.scn", sparse_mesh_32_spec().to_text()),
         ("bursty_storm.scn", bursty_storm_spec().to_text()),
         ("zipf_hotspot.scn", zipf_hotspot_spec().to_text()),
         ("trace_replay.scn", trace_replay_spec().to_text()),

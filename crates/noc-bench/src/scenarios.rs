@@ -219,6 +219,16 @@ pub fn sparse_mesh_spec(w: usize) -> ScenarioSpec {
     })
 }
 
+/// The 32x32 instance of [`sparse_mesh_spec`], serialized into the
+/// corpus as `mesh_32x32_sparse.scn` — the sharded-stepping showcase:
+/// 1024 switches carved into regions that meet only on multi-cycle
+/// links. Pipelined links deepen every region crossing (the
+/// conservative runner's lookahead window), and the `[config] shards`
+/// knob makes plain `--step sharded` pick four regions by default.
+pub fn sparse_mesh_32_spec() -> ScenarioSpec {
+    sparse_mesh_spec(32).with_config(NocConfigSpec::new().with_link_pipeline(2).with_shards(4))
+}
+
 /// The `exp_scale` mesh-size sweep over the given widths.
 pub fn scale_sweep(widths: &[usize], commands: usize) -> Sweep {
     Sweep::over(widths.iter().copied(), |w| {

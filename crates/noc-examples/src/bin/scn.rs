@@ -7,7 +7,7 @@
 //!   --backend noc|bridged|bus|all   backend for plain scenario files
 //!                                   (default all; sweep files carry
 //!                                   their own backends per point)
-//!   --step dense|horizon|both       step mode; "both" runs each
+//!   --step dense|horizon|sharded|both  step mode; "both" runs each
 //!                                   simulation twice, fails unless
 //!                                   the logs, timestamps included, are
 //!                                   identical, and reports per-backend
@@ -18,6 +18,14 @@
 //!                                   sweeps (an explicit --step
 //!                                   overrides them, per-point
 //!                                   overrides included)
+//!   --shards N                      region/thread count for sharded
+//!                                   stepping; alone it implies
+//!                                   --step sharded, while with
+//!                                   --step both the differential pits
+//!                                   dense (unsharded) against the
+//!                                   N-way sharded runner — the
+//!                                   bit-identity gate CI runs on the
+//!                                   corpus
 //!   --assert-fewer-steps            with --step both: fail unless
 //!                                   horizon executed strictly fewer
 //!                                   steps than dense on every row (the
@@ -105,6 +113,12 @@ struct Options {
     /// factor above the coldest trafficked target's, on every backend —
     /// the CI guard proving the hotspot workloads actually congest.
     assert_target_spread: Option<f64>,
+    /// `--shards N`: region/thread count for sharded stepping. Alone it
+    /// selects sharded stepping outright; with `--step both` the
+    /// comparison becomes dense (unsharded, the reference semantics)
+    /// versus sharded — the record-for-record bit-identity gate CI runs
+    /// on the corpus.
+    shards: Option<usize>,
 }
 
 /// `--assert-wakeup-discipline` bound: every `next_activity` poll must
@@ -117,8 +131,8 @@ const WAKEUP_POLL_FACTOR: u64 = 4;
 const WAKEUP_POLL_SLACK: u64 = 64;
 
 fn usage() -> &'static str {
-    "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|both] \
-     [--assert-fewer-steps] [--assert-wakeup-discipline] \
+    "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|sharded|both] \
+     [--shards N] [--assert-fewer-steps] [--assert-wakeup-discipline] \
      [--assert-target-spread RATIO] [--max-cycles N] FILE..."
 }
 
@@ -131,6 +145,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
         assert_fewer_steps: false,
         assert_wakeup_discipline: false,
         assert_target_spread: None,
+        shards: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -148,9 +163,18 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
                 opts.step = Some(match args.next().as_deref() {
                     Some("dense") => StepSel::One(StepMode::Dense),
                     Some("horizon") => StepSel::One(StepMode::Horizon),
+                    Some("sharded") => StepSel::One(StepMode::Sharded { threads: 0 }),
                     Some("both") => StepSel::Both,
                     other => return Err(format!("bad --step {other:?}\n{}", usage()).into()),
                 })
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a thread count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
+                if n == 0 {
+                    return Err(format!("--shards {v:?} must be >= 1").into());
+                }
+                opts.shards = Some(n);
             }
             "--max-cycles" => {
                 let v = args.next().ok_or("--max-cycles needs a number")?;
@@ -192,6 +216,17 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
             usage()
         )
         .into());
+    }
+    // `--shards N` fixes the thread count of sharded stepping; alone it
+    // selects sharded stepping outright (with `--step both` it instead
+    // turns the comparison into dense-unsharded vs sharded, resolved in
+    // run_spec).
+    if let Some(n) = opts.shards {
+        match &mut opts.step {
+            Some(StepSel::One(StepMode::Sharded { threads })) if *threads == 0 => *threads = n,
+            None => opts.step = Some(StepSel::One(StepMode::Sharded { threads: n })),
+            _ => {}
+        }
     }
     Ok(opts)
 }
@@ -312,13 +347,20 @@ fn run_spec(
     skip_unsupported: bool,
     opts: &Options,
 ) -> Result<Option<(Vec<String>, Vec<(String, usize, f64)>)>, Box<dyn std::error::Error>> {
-    let modes: &[StepMode] = match step {
-        StepSel::One(StepMode::Dense) => &[StepMode::Dense],
-        StepSel::One(StepMode::Horizon) => &[StepMode::Horizon],
-        StepSel::Both => &[StepMode::Dense, StepMode::Horizon],
+    let modes: Vec<StepMode> = match step {
+        StepSel::One(mode) => vec![mode],
+        // Under `--shards N` the differential pairs the dense unsharded
+        // reference against the sharded runner — the bit-identity gate.
+        StepSel::Both => vec![
+            StepMode::Dense,
+            match opts.shards {
+                Some(threads) => StepMode::Sharded { threads },
+                None => StepMode::Horizon,
+            },
+        ],
     };
     let mut outcomes = Vec::new();
-    for mode in modes {
+    for mode in &modes {
         match run_once(spec, backend, *mode, max_cycles) {
             Ok(outcome) => outcomes.push(outcome),
             Err(
@@ -332,21 +374,25 @@ fn run_spec(
         }
     }
     if outcomes.len() == 2 && outcomes[0].compared != outcomes[1].compared {
-        return Err(format!("{backend}: dense and horizon stepping diverge").into());
+        return Err(format!("{backend}: {} and {} stepping diverge", modes[0], modes[1]).into());
     }
     let (drained, cycles, logs) = &outcomes[0].compared;
     if !drained {
         return Err(format!("{backend}: failed to drain in {max_cycles} cycles").into());
     }
     let completions: usize = logs.iter().map(Vec::len).sum();
-    let mean: f64 = if completions == 0 {
-        0.0
+    // No completions means no latency sample at all; the cell shows "-"
+    // rather than a fabricated 0.0 (mirrors the serve layer's `null`).
+    let mean_cell = if completions == 0 {
+        "-".to_owned()
     } else {
-        logs.iter()
+        let mean = logs
+            .iter()
             .flatten()
             .map(|r| r.latency() as f64)
             .sum::<f64>()
-            / completions as f64
+            / completions as f64;
+        format!("{mean:.1}")
     };
     let mut step_cell = String::new();
     for (i, mode) in modes.iter().enumerate() {
@@ -407,7 +453,7 @@ fn run_spec(
             step_cell,
             cycles.to_string(),
             completions.to_string(),
-            format!("{mean:.1}"),
+            mean_cell,
             steps_cell,
             ratio_cell,
             wake_cell,
@@ -444,12 +490,14 @@ fn run_scenario_file(
         if let Some((row, stats)) = run_spec(spec, &backend, step, max_cycles, skip, opts)? {
             t.row(&row);
             for (target, n, mean) in stats {
-                target_rows.push(vec![
-                    label.to_string(),
-                    target,
-                    n.to_string(),
-                    format!("{mean:.1}"),
-                ]);
+                // A target nothing reached has no latency, not a zero
+                // one — print "-" rather than a fabricated 0.0.
+                let mean_cell = if n == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{mean:.1}")
+                };
+                target_rows.push(vec![label.to_string(), target, n.to_string(), mean_cell]);
             }
         }
     }
@@ -532,7 +580,11 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
             sweep.points()[i].backend.label().to_owned(),
             r.report.cycles.to_string(),
             r.report.total_completions().to_string(),
-            format!("{:.1}", r.report.mean_latency()),
+            if r.report.total_completions() == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.1}", r.report.mean_latency())
+            },
             r.report.steps.to_string(),
         ]);
     })?;
@@ -544,8 +596,9 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
 /// word).
 fn run_serve(args: impl Iterator<Item = String>) -> Result<(), Box<dyn std::error::Error>> {
     let usage = "usage: scn serve [--spool DIR] [--threads N] [--queue N] [--cache-cap N] \
-         [--max-cycles N] [--step dense|horizon] [--poll-ms N]";
+         [--max-cycles N] [--step dense|horizon|sharded] [--shards N] [--poll-ms N]";
     let mut config = noc_serve::ServeConfig::default();
+    let mut shards: Option<usize> = None;
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -573,8 +626,17 @@ fn run_serve(args: impl Iterator<Item = String>) -> Result<(), Box<dyn std::erro
                 config.step_mode = match args.next().as_deref() {
                     Some("dense") => StepMode::Dense,
                     Some("horizon") => StepMode::Horizon,
+                    Some("sharded") => StepMode::Sharded { threads: 0 },
                     other => return Err(format!("bad --step {other:?}\n{usage}").into()),
                 };
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a thread count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
+                if n == 0 {
+                    return Err(format!("--shards {v:?} must be >= 1").into());
+                }
+                shards = Some(n);
             }
             "--poll-ms" => {
                 let v = args.next().ok_or("--poll-ms needs a number")?;
@@ -587,6 +649,11 @@ fn run_serve(args: impl Iterator<Item = String>) -> Result<(), Box<dyn std::erro
             }
             other => return Err(format!("unknown serve option {other:?}\n{usage}").into()),
         }
+    }
+    // `--shards N` selects sharded stepping outright, whatever order the
+    // flags arrived in.
+    if let Some(threads) = shards {
+        config.step_mode = StepMode::Sharded { threads };
     }
     if let Some(dir) = &config.spool {
         std::fs::create_dir_all(dir).map_err(|e| format!("--spool {}: {e}", dir.display()))?;
@@ -618,10 +685,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
         let mut doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
         // Relative trace paths resolve against the scenario file, not
-        // the process working directory.
-        if let Some(base) = std::path::Path::new(file).parent() {
-            doc.resolve_trace_paths(base);
-        }
+        // the process working directory — the same rule the serve layer
+        // applies to stdin and spool requests.
+        doc.resolve_trace_paths_from(std::path::Path::new(file));
         match doc {
             Document::Scenario(spec) => {
                 println!(

@@ -71,15 +71,18 @@ impl ClockDomain {
         base_cycle % self.divisor == self.phase
     }
 
-    /// The first active base cycle at or after `base_cycle`.
+    /// The first active base cycle at or after `base_cycle`, saturating
+    /// at [`u64::MAX`]: callers feed this absolute stamps that may be
+    /// the `u64::MAX` "never" sentinel (or sit just below it), and a
+    /// wrapped sum would turn "never" into a bogus early wakeup.
     pub fn next_active(&self, base_cycle: u64) -> u64 {
         let rem = base_cycle % self.divisor;
         if rem == self.phase {
             base_cycle
         } else if rem < self.phase {
-            base_cycle + (self.phase - rem)
+            base_cycle.saturating_add(self.phase - rem)
         } else {
-            base_cycle + (self.divisor - rem + self.phase)
+            base_cycle.saturating_add(self.divisor - rem + self.phase)
         }
     }
 
@@ -259,6 +262,19 @@ mod tests {
         assert_eq!(p.next_active(0), 2);
         assert_eq!(p.next_active(2), 2);
         assert_eq!(p.next_active(3), 6);
+    }
+
+    #[test]
+    fn next_active_saturates_at_never_sentinel() {
+        // `u64::MAX` is the workspace-wide "never" stamp; rounding it
+        // (or a stamp just below it) onto a divided clock's grid must
+        // stay "never", not wrap into an early bogus wakeup.
+        let d = ClockDomain::new(4);
+        assert_eq!(d.next_active(u64::MAX), u64::MAX);
+        assert_eq!(d.next_active(u64::MAX - 1), u64::MAX);
+        let p = ClockDomain::with_phase(7, 3);
+        assert_eq!(p.next_active(u64::MAX), u64::MAX);
+        assert_eq!(p.next_active(u64::MAX - 2), u64::MAX);
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //!   components schedule their next-activity cycle once and the advance
 //!   loop pops the earliest instead of rescanning every component;
 //! - [`SplitMix64`], a tiny deterministic RNG used to seed all stochastic
-//!   behaviour in the workspace.
+//!   behaviour in the workspace;
+//! - [`EpochPlanner`] / [`SpinBarrier`], the lookahead-window and
+//!   epoch-barrier primitives for conservative parallel simulation.
 //!
-//! The kernel is intentionally single-threaded: reproducibility matters more
-//! than wall-clock speed for architecture studies, and every experiment in
-//! the workspace must be replayable bit-for-bit from a seed.
+//! Reproducibility matters more than wall-clock speed for architecture
+//! studies: every experiment in the workspace must be replayable
+//! bit-for-bit from a seed. The event engine itself is therefore
+//! sequential; parallelism enters only through the conservative sharding
+//! primitives in [`pdes`], whose epoch protocol keeps results
+//! bit-identical to the sequential engine regardless of thread timing.
 //!
 //! # Examples
 //!
@@ -43,6 +48,7 @@ pub mod calendar;
 pub mod clock;
 pub mod event;
 pub mod horizon;
+pub mod pdes;
 pub mod rng;
 pub mod time;
 
@@ -50,6 +56,7 @@ pub use calendar::{Calendar, WakeId};
 pub use clock::{ClockDomain, ClockId, ClockSet};
 pub use event::{Event, EventId, Scheduler};
 pub use horizon::Horizon;
+pub use pdes::{EpochPlanner, SpinBarrier};
 pub use rng::SplitMix64;
 pub use time::SimTime;
 

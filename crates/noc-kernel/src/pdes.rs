@@ -1,0 +1,250 @@
+//! Conservative parallel-simulation primitives: the lookahead window
+//! and the epoch barrier.
+//!
+//! A sharded simulation partitions the system into *regions* that only
+//! interact through multi-cycle channels. Each region then owns a slice
+//! of the global timeline per *epoch*: if the earliest cycle at which
+//! any region can possibly act is `X`, and every cross-region channel
+//! imposes at least `lookahead` cycles between a send and its effect,
+//! then no region can observe another region's behaviour before
+//! `X + lookahead` — so all regions may execute cycles strictly below
+//! that bound in parallel without exchanging messages (the classic
+//! null-message/YAWNS window argument). [`EpochPlanner`] computes the
+//! window; [`SpinBarrier`] synchronises the epoch edges.
+//!
+//! Determinism does not depend on thread scheduling: regions exchange
+//! messages only at barriers, every message carries an absolute arrival
+//! stamp at or beyond the window bound, and each region's intra-epoch
+//! execution is the ordinary sequential engine.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Plans safe execution windows from a cross-region lookahead.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::EpochPlanner;
+/// let planner = EpochPlanner::new(4);
+/// // Earliest global activity at cycle 10: everyone may run to 14.
+/// assert_eq!(planner.window(Some(10), [u64::MAX]), 14);
+/// // A feeder bound caps the window.
+/// assert_eq!(planner.window(Some(10), [12]), 12);
+/// // No region will ever self-act again: only the caps bound the window.
+/// assert_eq!(planner.window(None, [100]), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochPlanner {
+    lookahead: u64,
+}
+
+impl EpochPlanner {
+    /// Creates a planner for channels with at least `lookahead` cycles
+    /// between a cross-region send and its earliest observable effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero: a zero-latency cross-region
+    /// channel admits no safe window.
+    pub fn new(lookahead: u64) -> Self {
+        assert!(lookahead > 0, "cross-region lookahead must be non-zero");
+        EpochPlanner { lookahead }
+    }
+
+    /// The cross-region lookahead in base cycles.
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// The exclusive end of the next safe window: every region may
+    /// execute cycles strictly below the returned bound.
+    ///
+    /// `global_next` is the earliest cycle at which *any* region can
+    /// possibly act (`None` when every region is quiescent absent
+    /// external input); `caps` are additional exclusive bounds (run
+    /// horizon, workload-feeder release bounds). Since no region acts
+    /// before `global_next`, no cross-region message can take effect
+    /// before `global_next + lookahead`; quiescent systems are bounded
+    /// by the caps alone.
+    pub fn window(&self, global_next: Option<u64>, caps: impl IntoIterator<Item = u64>) -> u64 {
+        let from_activity = match global_next {
+            Some(x) => x.saturating_add(self.lookahead),
+            None => u64::MAX,
+        };
+        caps.into_iter().fold(from_activity, u64::min)
+    }
+}
+
+/// A reusable sense-reversing spin barrier for epoch synchronisation.
+///
+/// Epoch edges are latency-critical — regions cross two barriers per
+/// epoch, and an epoch can be as short as the lookahead — so the
+/// barrier spins briefly before yielding to the scheduler rather than
+/// parking on a mutex. It is generation-counted and therefore safe to
+/// reuse across an unbounded number of epochs.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::SpinBarrier;
+/// use std::sync::Arc;
+/// let barrier = Arc::new(SpinBarrier::new(2));
+/// let b = Arc::clone(&barrier);
+/// let t = std::thread::spawn(move || {
+///     b.wait();
+/// });
+/// barrier.wait();
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+}
+
+/// Spins this many iterations before starting to yield the CPU; tuned
+/// for "the other workers are mid-epoch on their own cores" on the fast
+/// path while degrading gracefully on oversubscribed machines.
+const SPINS_BEFORE_YIELD: u32 = 128;
+
+impl SpinBarrier {
+    /// Creates a barrier for `parties` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of participants per crossing.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all `parties` threads have called `wait` for the
+    /// current generation; returns `true` on exactly one of them (the
+    /// last arriver), mirroring `std`'s leader election.
+    pub fn wait(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arriver: reset the count, then open the gate. The
+            // count must be zeroed before the generation bump publishes
+            // it, or an early next-epoch arrival could race the reset.
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+            return true;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            if spins < SPINS_BEFORE_YIELD {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn window_is_next_plus_lookahead() {
+        let p = EpochPlanner::new(3);
+        assert_eq!(p.lookahead(), 3);
+        assert_eq!(p.window(Some(7), []), 10);
+    }
+
+    #[test]
+    fn window_caps_apply() {
+        let p = EpochPlanner::new(3);
+        assert_eq!(p.window(Some(7), [9, 100]), 9);
+        assert_eq!(p.window(None, [9, 5]), 5);
+    }
+
+    #[test]
+    fn window_saturates_near_sentinel() {
+        let p = EpochPlanner::new(10);
+        assert_eq!(p.window(Some(u64::MAX - 3), []), u64::MAX);
+        assert_eq!(p.window(None, []), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be non-zero")]
+    fn zero_lookahead_panics() {
+        EpochPlanner::new(0);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises_epochs() {
+        const EPOCHS: u64 = 200;
+        const WORKERS: usize = 3;
+        let barrier = Arc::new(SpinBarrier::new(WORKERS + 1));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..WORKERS {
+            let barrier = Arc::clone(&barrier);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..EPOCHS {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    barrier.wait(); // work published
+                    barrier.wait(); // coordinator done
+                }
+            }));
+        }
+        for epoch in 1..=EPOCHS {
+            barrier.wait();
+            // Between the two barriers every worker has contributed
+            // exactly once for this epoch and none has started the next.
+            assert_eq!(counter.load(Ordering::Relaxed), epoch * WORKERS as u64);
+            barrier.wait();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_crossing() {
+        const PARTIES: usize = 4;
+        let barrier = Arc::new(SpinBarrier::new(PARTIES));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..PARTIES {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    if barrier.wait() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), 50);
+    }
+}

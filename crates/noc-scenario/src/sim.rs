@@ -4,7 +4,7 @@ use crate::program::{FeedSource, Workload};
 use noc_baseline::{BridgedInterconnect, Interconnect, SharedBus};
 use noc_protocols::{CompletionLog, Program, SocketCommand};
 use noc_stats::Histogram;
-use noc_system::{FabricReport, MasterReport, Soc, SocReport};
+use noc_system::{FabricReport, MasterReport, ShardedSoc, Soc, SocReport};
 use noc_transaction::Fingerprint;
 use std::fmt;
 
@@ -147,6 +147,18 @@ pub enum StepMode {
     /// and several-fold faster on sparse workloads.
     #[default]
     Horizon,
+    /// Partition the fabric into regions and run them on worker threads
+    /// in conservative lookahead epochs (NoC backend only; the
+    /// baselines, which have no fabric to partition, fall back to
+    /// horizon stepping). `threads == 0` means "auto": the scenario's
+    /// `[config] shards` knob if set, else the machine's available
+    /// parallelism. Bit-identical to dense/horizon stepping —
+    /// record-for-record and counter-for-counter — pinned by the
+    /// sharded determinism suite.
+    Sharded {
+        /// Worker-thread / region count (0 = auto).
+        threads: usize,
+    },
 }
 
 impl fmt::Display for StepMode {
@@ -154,6 +166,8 @@ impl fmt::Display for StepMode {
         match self {
             StepMode::Dense => f.write_str("dense"),
             StepMode::Horizon => f.write_str("horizon"),
+            StepMode::Sharded { threads: 0 } => f.write_str("sharded"),
+            StepMode::Sharded { threads } => write!(f, "sharded({threads})"),
         }
     }
 }
@@ -230,7 +244,10 @@ pub trait Simulation: Send {
     }
 
     /// Runs until done or `max_cycles` with the given step mode;
-    /// returns whether the system drained.
+    /// returns whether the system drained. The default treats
+    /// [`StepMode::Sharded`] as horizon stepping — only backends with a
+    /// partitionable fabric ([`NocSim`]) override it with a real
+    /// parallel runner.
     fn run_until_with(&mut self, max_cycles: u64, mode: StepMode) -> bool {
         match mode {
             StepMode::Dense => {
@@ -238,7 +255,7 @@ pub trait Simulation: Send {
                     self.step();
                 }
             }
-            StepMode::Horizon => self.advance_to(max_cycles),
+            StepMode::Horizon | StepMode::Sharded { .. } => self.advance_to(max_cycles),
         }
         self.is_done()
     }
@@ -313,11 +330,14 @@ impl ScenarioReport {
         }
     }
 
-    /// Mean latency across all masters, weighted by completions.
+    /// Mean latency across all masters, weighted by completions. With
+    /// zero completions there is no latency sample at all, so this is
+    /// `NaN` — not a fabricated `0.0`. The serve layer's JSON emitter
+    /// turns it into `null` and the `scn` tables print `-`.
     pub fn mean_latency(&self) -> f64 {
         let total = self.total_completions();
         if total == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.masters
             .iter()
@@ -338,15 +358,20 @@ impl ScenarioReport {
 
 impl fmt::Display for ScenarioReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mean = if self.total_completions() == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.1}cy", self.mean_latency())
+        };
         writeln!(
             f,
-            "{} report: {} cycles, done={}, {} completions ({:.4}/cy), mean latency {:.1}cy",
+            "{} report: {} cycles, done={}, {} completions ({:.4}/cy), mean latency {}",
             self.backend,
             self.cycles,
             self.all_done,
             self.total_completions(),
             self.throughput(),
-            self.mean_latency()
+            mean
         )?;
         for m in &self.masters {
             writeln!(f, "  {m}")?;
@@ -382,99 +407,209 @@ fn master_report_from_log(name: &str, node: u16, log: &CompletionLog) -> MasterR
     }
 }
 
+/// The SoC of a [`NocSim`]: monolithic until the first sharded run,
+/// partitioned from then on. Both shapes expose the same stepping
+/// surface with bit-identical results; `Converting` only exists for the
+/// instant of the irreversible `Single → Sharded` move and is never
+/// observable from outside.
+#[derive(Clone)]
+// One `NocSim` owns exactly one `SocState` (they are never collected),
+// so the Single/Sharded size spread costs nothing and boxing would put
+// a pointer hop on every step.
+#[allow(clippy::large_enum_variant)]
+enum SocState {
+    Single(Soc),
+    Sharded(ShardedSoc),
+    Converting,
+}
+
+/// Dispatches over the two live [`SocState`] shapes; the methods shared
+/// by [`Soc`] and [`ShardedSoc`] are name-identical by design.
+macro_rules! with_soc {
+    ($state:expr, $s:ident => $e:expr) => {
+        match $state {
+            SocState::Single($s) => $e,
+            SocState::Sharded($s) => $e,
+            SocState::Converting => unreachable!("transient conversion placeholder escaped"),
+        }
+    };
+}
+
 /// The NoC realisation of a scenario (paper Fig 1).
 #[derive(Clone)]
 pub struct NocSim {
-    soc: Soc,
+    state: SocState,
     feeders: FeederSet,
+    /// The scenario's `[config] shards` knob — the thread count
+    /// [`StepMode::Sharded`]`{ threads: 0 }` resolves to before falling
+    /// back to the machine's available parallelism.
+    default_shards: Option<usize>,
 }
 
 impl NocSim {
     pub(crate) fn new(soc: Soc) -> Self {
         NocSim {
-            soc,
+            state: SocState::Single(soc),
             feeders: FeederSet::default(),
+            default_shards: None,
         }
+    }
+
+    /// Installs the scenario's `[config] shards` default (see
+    /// [`StepMode::Sharded`]).
+    pub(crate) fn set_default_shards(&mut self, shards: Option<usize>) {
+        self.default_shards = shards;
     }
 
     /// Installs the streamed-workload feeders and primes their first
     /// window (fixed programs are already loaded into the masters).
     pub(crate) fn attach_workloads(&mut self, workloads: &[Workload]) {
         self.feeders = FeederSet::new(workloads);
-        let soc = &mut self.soc;
-        self.feeders.refill(soc.now(), |ordinal, tail| {
+        let NocSim { state, feeders, .. } = self;
+        with_soc!(state, soc => feeders.refill(soc.now(), |ordinal, tail| {
             soc.append_commands(ordinal, tail)
-        });
+        }));
     }
 
     /// The underlying SoC, for fabric-level inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics after a sharded run: the monolithic SoC no longer exists
+    /// (its state lives in per-region slices). Inspect via
+    /// [`NocSim::soc_report`] instead, which reassembles either shape.
     pub fn soc(&self) -> &Soc {
-        &self.soc
+        match &self.state {
+            SocState::Single(soc) => soc,
+            _ => panic!("NocSim::soc: the simulation was sharded; use soc_report()"),
+        }
     }
 
     /// Unwraps into the lower-layer [`Soc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics after a sharded run, like [`NocSim::soc`].
     pub fn into_inner(self) -> Soc {
-        self.soc
+        match self.state {
+            SocState::Single(soc) => soc,
+            _ => panic!("NocSim::into_inner: the simulation was sharded; use soc_report()"),
+        }
     }
 
     /// The full NoC-native report (fabric counters included).
     pub fn soc_report(&self) -> SocReport {
-        self.soc.report()
+        with_soc!(&self.state, soc => soc.report())
+    }
+
+    /// Resolves a [`StepMode::Sharded`] thread request: an explicit
+    /// count wins, then the `[config] shards` knob, then the machine.
+    fn resolve_shards(&self, threads: usize) -> usize {
+        if threads > 0 {
+            return threads;
+        }
+        match self.default_shards {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Partitions the SoC for sharded stepping (idempotent; the first
+    /// call fixes the region count). Any step boundary is a valid split
+    /// point, so this is safe mid-run.
+    fn ensure_sharded(&mut self, threads: usize) {
+        if let SocState::Single(_) = self.state {
+            let threads = self.resolve_shards(threads);
+            let SocState::Single(soc) = std::mem::replace(&mut self.state, SocState::Converting)
+            else {
+                unreachable!()
+            };
+            self.state = SocState::Sharded(ShardedSoc::new(soc, threads));
+        }
     }
 }
 
 impl Simulation for NocSim {
     fn step(&mut self) {
-        let soc = &mut self.soc;
-        self.feeders.refill(soc.now(), |ordinal, tail| {
-            soc.append_commands(ordinal, tail)
-        });
-        self.soc.step();
-    }
-    fn now(&self) -> u64 {
-        self.soc.now()
-    }
-    fn is_done(&self) -> bool {
-        self.feeders.exhausted() && self.soc.is_done()
-    }
-    fn logs(&self) -> Vec<(&str, &CompletionLog)> {
-        self.soc.completion_logs()
-    }
-    fn executed_steps(&self) -> u64 {
-        self.soc.executed_steps()
-    }
-    fn next_activity(&self) -> Option<u64> {
-        self.soc.next_activity()
-    }
-    fn advance_to(&mut self, horizon: u64) {
-        while self.soc.now() < horizon {
-            let soc = &mut self.soc;
-            self.feeders.refill(soc.now(), |ordinal, tail| {
+        let NocSim { state, feeders, .. } = self;
+        with_soc!(state, soc => {
+            feeders.refill(soc.now(), |ordinal, tail| {
                 soc.append_commands(ordinal, tail)
             });
-            self.soc.advance_to(self.feeders.bound(horizon));
-            if Simulation::is_done(self) || self.soc.now() >= horizon {
-                break;
+            soc.step();
+        });
+    }
+    fn now(&self) -> u64 {
+        with_soc!(&self.state, soc => soc.now())
+    }
+    fn is_done(&self) -> bool {
+        self.feeders.exhausted() && with_soc!(&self.state, soc => soc.is_done())
+    }
+    fn logs(&self) -> Vec<(&str, &CompletionLog)> {
+        with_soc!(&self.state, soc => soc.completion_logs())
+    }
+    fn executed_steps(&self) -> u64 {
+        with_soc!(&self.state, soc => soc.executed_steps())
+    }
+    fn next_activity(&self) -> Option<u64> {
+        with_soc!(&self.state, soc => soc.next_activity())
+    }
+    fn advance_to(&mut self, horizon: u64) {
+        let NocSim { state, feeders, .. } = self;
+        match state {
+            SocState::Single(soc) => {
+                while soc.now() < horizon {
+                    feeders.refill(soc.now(), |ordinal, tail| {
+                        soc.append_commands(ordinal, tail)
+                    });
+                    soc.advance_to(feeders.bound(horizon));
+                    if (feeders.exhausted() && soc.is_done()) || soc.now() >= horizon {
+                        break;
+                    }
+                }
             }
+            SocState::Sharded(sharded) => {
+                sharded.advance_conservative(horizon, |append, frontier| {
+                    feeders.refill(frontier, |ordinal, tail| append(ordinal, tail));
+                    feeders.bound(horizon)
+                });
+            }
+            SocState::Converting => unreachable!("transient conversion placeholder escaped"),
         }
     }
+    fn run_until_with(&mut self, max_cycles: u64, mode: StepMode) -> bool {
+        if let StepMode::Sharded { threads } = mode {
+            self.ensure_sharded(threads);
+        }
+        match mode {
+            StepMode::Dense => {
+                while self.now() < max_cycles && !self.is_done() {
+                    self.step();
+                }
+            }
+            StepMode::Horizon | StepMode::Sharded { .. } => self.advance_to(max_cycles),
+        }
+        self.is_done()
+    }
     fn horizon_polls(&self) -> u64 {
-        self.soc.horizon_polls()
+        with_soc!(&self.state, soc => soc.horizon_polls())
     }
     fn calendar_pops(&self) -> u64 {
-        self.soc.calendar_pops()
+        with_soc!(&self.state, soc => soc.calendar_pops())
     }
     fn report(&self) -> ScenarioReport {
-        let r = self.soc.report();
+        let r = self.soc_report();
         ScenarioReport {
             backend: "noc",
             cycles: r.cycles,
-            steps: self.soc.executed_steps(),
+            steps: self.executed_steps(),
             all_done: r.all_done,
             masters: r.masters,
             fabric: Some(r.fabric),
-            horizon_polls: self.soc.horizon_polls(),
-            calendar_pops: self.soc.calendar_pops(),
+            horizon_polls: self.horizon_polls(),
+            calendar_pops: self.calendar_pops(),
         }
     }
     fn snapshot(&self) -> Box<dyn Simulation> {
@@ -482,14 +617,20 @@ impl Simulation for NocSim {
     }
     fn load_programs(&mut self, workloads: &[Workload]) {
         let heads: Vec<Program> = workloads.iter().map(Workload::head_program).collect();
-        self.soc.load_programs(&heads);
+        with_soc!(&mut self.state, soc => soc.load_programs(&heads));
         self.attach_workloads(workloads);
     }
 }
 
 impl fmt::Debug for NocSim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NocSim").field("soc", &self.soc).finish()
+        let mut d = f.debug_struct("NocSim");
+        match &self.state {
+            SocState::Single(soc) => d.field("soc", soc),
+            SocState::Sharded(sharded) => d.field("sharded", sharded),
+            SocState::Converting => unreachable!("transient conversion placeholder escaped"),
+        }
+        .finish()
     }
 }
 

@@ -292,6 +292,12 @@ pub struct NocConfigSpec {
     /// Endpoint (injection/ejection) link class overrides; a knob left
     /// `None` falls back to the (possibly overridden) switch class.
     pub endpoint: LinkClassSpec,
+    /// Default region/thread count for sharded stepping
+    /// (`StepMode::Sharded { threads: 0 }` resolves to this before
+    /// falling back to the machine's available parallelism). Purely a
+    /// stepping default — it never changes simulated behaviour, which
+    /// the sharded determinism suite pins.
+    pub shards: Option<usize>,
 }
 
 impl NocConfigSpec {
@@ -325,6 +331,13 @@ impl NocConfigSpec {
     #[must_use]
     pub fn with_buffer_depth(mut self, depth: usize) -> Self {
         self.buffer_depth = Some(depth);
+        self
+    }
+
+    /// Sets the default sharded-stepping region count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
         self
     }
 
@@ -1384,6 +1397,7 @@ impl ScenarioSpec {
             reason: e.to_string(),
         })?;
         let mut sim = NocSim::new(soc);
+        sim.set_default_shards(self.config.as_ref().and_then(|c| c.shards));
         sim.attach_workloads(&self.programs());
         Ok(sim)
     }

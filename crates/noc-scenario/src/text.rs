@@ -23,6 +23,7 @@
 //!
 //! [config]                      # optional NoC transport/physical knobs
 //! buffer_depth = 8              # switch input buffers, in flits
+//! shards = 4                    # default region count for sharded stepping
 //! link_pipeline = 9             # both link classes unless overridden:
 //! link_phits = 1                #   pipeline stages, phits per flit,
 //! link_cdc_latency = 2          #   CDC synchroniser depth, in-flight
@@ -267,6 +268,23 @@ impl Document {
             }
         }
     }
+
+    /// Resolves trace paths against the directory of the `.scn` file
+    /// the document was loaded from — the one resolution rule every
+    /// front end (`scn` run and sweep files, serve stdin requests,
+    /// spool files) shares. The base is absolutized first, so the
+    /// resolved document stays valid wherever the process working
+    /// directory wanders afterwards; a bare file name (empty parent)
+    /// resolves against the current directory, absolutized the same
+    /// way.
+    pub fn resolve_trace_paths_from(&mut self, file: &std::path::Path) {
+        let base = match file.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let base = std::fs::canonicalize(&base).unwrap_or(base);
+        self.resolve_trace_paths(&base);
+    }
 }
 
 impl ScenarioSpec {
@@ -391,11 +409,9 @@ fn quoted(kind: &str, s: &str) -> String {
     format!("\"{s}\"")
 }
 
-fn step_name(step: StepMode) -> &'static str {
-    match step {
-        StepMode::Dense => "dense",
-        StepMode::Horizon => "horizon",
-    }
+fn step_name(step: StepMode) -> String {
+    // `Display` is the grammar: dense | horizon | sharded | sharded(N).
+    step.to_string()
 }
 
 fn routing_name(r: RouteAlgorithm) -> String {
@@ -548,6 +564,9 @@ fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
         out.push_str("[config]\n");
         if let Some(depth) = cfg.buffer_depth {
             out.push_str(&format!("buffer_depth = {depth}\n"));
+        }
+        if let Some(shards) = cfg.shards {
+            out.push_str(&format!("shards = {shards}\n"));
         }
         emit_link_class(out, "link", &cfg.link);
         emit_link_class(out, "endpoint", &cfg.endpoint);
@@ -1193,11 +1212,26 @@ fn parse_int(s: &str, line: usize, col: usize) -> Result<u64, ParseError> {
 }
 
 fn parse_step(e: &Entry) -> Result<StepMode, ParseError> {
-    match e.str()? {
-        "dense" => Ok(StepMode::Dense),
-        "horizon" => Ok(StepMode::Horizon),
-        other => Err(e.bad(format!("unknown step mode {other:?} (dense|horizon)"))),
+    let s = e.str()?;
+    match s {
+        "dense" => return Ok(StepMode::Dense),
+        "horizon" => return Ok(StepMode::Horizon),
+        "sharded" => return Ok(StepMode::Sharded { threads: 0 }),
+        _ => {}
     }
+    if let Some(n) = s.strip_prefix("sharded(").and_then(|r| r.strip_suffix(')')) {
+        if let Ok(threads) = n.parse::<usize>() {
+            if threads > 0 {
+                return Ok(StepMode::Sharded { threads });
+            }
+        }
+        return Err(e.bad(format!(
+            "malformed sharded step mode {s:?} (sharded(N), N >= 1)"
+        )));
+    }
+    Err(e.bad(format!(
+        "unknown step mode {s:?} (dense|horizon|sharded|sharded(N))"
+    )))
 }
 
 fn parse_backend(e: &Entry) -> Result<Backend, ParseError> {
@@ -1503,6 +1537,9 @@ fn finalize_config(section: Option<Section>) -> Result<Option<NocConfigSpec>, Pa
     if let Some(e) = sec.take("buffer_depth")? {
         cfg.buffer_depth = Some(e.nonzero(1 << 20)? as usize);
     }
+    if let Some(e) = sec.take("shards")? {
+        cfg.shards = Some(e.nonzero(1 << 10)? as usize);
+    }
     cfg.link = finalize_link_class(&mut sec, "link")?;
     cfg.endpoint = finalize_link_class(&mut sec, "endpoint")?;
     sec.finish()?;
@@ -1771,7 +1808,8 @@ mod tests {
         let mut cfg = NocConfigSpec::new()
             .with_link_pipeline(9)
             .with_link_capacity(32)
-            .with_buffer_depth(4);
+            .with_buffer_depth(4)
+            .with_shards(4);
         cfg.link.phits = Some(2);
         cfg.endpoint.pipeline = Some(1);
         cfg.endpoint.cdc_latency = Some(4);
@@ -1939,19 +1977,56 @@ mod tests {
         let sweep = Sweep::new()
             .with_max_cycles(123_456)
             .with_threads(2)
+            .with_step_mode(StepMode::Sharded { threads: 0 })
             .point("a", base.clone(), Backend::noc())
-            .with_point(SweepPoint::new("b", base, Backend::bus()).with_step(StepMode::Dense));
+            .with_point(
+                SweepPoint::new("b", base.clone(), Backend::bus()).with_step(StepMode::Dense),
+            )
+            .with_point(
+                SweepPoint::new("c", base, Backend::noc())
+                    .with_step(StepMode::Sharded { threads: 4 }),
+            );
         let text = sweep.to_text();
         let back = Sweep::from_text(&text).expect("parses");
         assert_eq!(back.max_cycles(), 123_456);
         assert_eq!(back.threads(), Some(2));
-        assert_eq!(back.points().len(), 2);
+        assert_eq!(back.step_mode(), StepMode::Sharded { threads: 0 });
+        assert_eq!(back.points().len(), 3);
         assert_eq!(back.points()[0].step, None);
         assert_eq!(back.points()[0].backend.label(), "noc");
         assert_eq!(back.points()[1].step, Some(StepMode::Dense));
         assert_eq!(back.points()[1].backend.label(), "bus");
+        assert_eq!(
+            back.points()[2].step,
+            Some(StepMode::Sharded { threads: 4 })
+        );
         assert_eq!(back.points()[1].spec, sweep_spec(&back));
         assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn step_grammar_rejects_malformed_sharded_counts() {
+        for bad in [
+            "sharded()",
+            "sharded(0)",
+            "sharded(x)",
+            "sharded(4",
+            "shardy",
+        ] {
+            let text = format!(
+                "[sweep]\nmax_cycles = 10\nstep = \"{bad}\"\n\n[[sweep.point]]\n\
+                 label = \"a\"\nbackend = \"noc\"\n\n[[initiator]]\nname = \"m\"\n\
+                 socket = \"ahb\"\n\n[[memory]]\nname = \"mem\"\nbase = 0\nend = 16\nlatency = 1\n"
+            );
+            let err = Sweep::from_text(&text).unwrap_err();
+            let ScenarioError::Parse(e) = err else {
+                panic!("expected a parse error for step {bad:?}");
+            };
+            assert!(
+                matches!(e.kind, ParseErrorKind::BadValue { .. }),
+                "step {bad:?} -> {e:?}"
+            );
+        }
     }
 
     fn sweep_spec(sweep: &Sweep) -> ScenarioSpec {

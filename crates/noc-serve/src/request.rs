@@ -107,11 +107,10 @@ impl Request {
             kind: RequestErrorKind::Io(e.to_string()),
         })?;
         let mut req = Request::from_text(id, &file, &text)?;
-        // Relative trace paths in a spooled file resolve against the
-        // file itself, as they do for `scn FILE`.
-        if let Some(base) = path.parent() {
-            req.doc.resolve_trace_paths(base);
-        }
+        // Relative trace paths in a spooled or stdin-named file resolve
+        // against the file itself (absolutized), as they do for
+        // `scn FILE` — one shared rule across every entry point.
+        req.doc.resolve_trace_paths_from(path);
         Ok(req)
     }
 
@@ -249,6 +248,37 @@ mod tests {
                 "line {bad:?} -> {err}"
             );
         }
+    }
+
+    #[test]
+    fn load_resolves_trace_paths_to_absolute() {
+        // CWD-independence at the unit level: after `load`, a relative
+        // trace path has been rebased onto the request file's directory
+        // and absolutized, so later working-directory changes cannot
+        // redirect it.
+        let dir = std::env::temp_dir().join(format!("noc-req-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cpu.trace"), "0 read 0x100 1 4\n").unwrap();
+        let file = dir.join("traced.scn");
+        std::fs::write(
+            &file,
+            "[[initiator]]\nname = \"cpu\"\nsocket = \"axi\"\nkind = \"trace\"\ntrace_file = \"cpu.trace\"\n\n\
+             [[memory]]\nname = \"ram\"\nbase = 0x0\nend = 0x10000\nlatency = 2\nqueue = 4\n",
+        )
+        .unwrap();
+        let req = Request::load("q1", &file).unwrap();
+        let noc_scenario::Document::Scenario(spec) = &req.doc else {
+            panic!("expected a scenario document");
+        };
+        let noc_scenario::ProgramSpec::Trace(t) = &spec.initiators[0].program else {
+            panic!("expected a trace program");
+        };
+        assert!(
+            Path::new(&t.path).is_absolute(),
+            "trace path {:?} should be absolute after load",
+            t.path
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

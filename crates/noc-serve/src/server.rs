@@ -496,6 +496,102 @@ queue = 4
     }
 
     #[test]
+    fn zero_completion_points_report_null_mean_latency() {
+        // An initiator with no program drains instantly with zero
+        // completions: there is no latency sample, and the record must
+        // say `null`, not a fabricated number.
+        let dir = std::env::temp_dir().join(format!("noc-serve-zero-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("idle.scn");
+        std::fs::write(
+            &file,
+            "\
+[[initiator]]
+name = \"cpu\"
+socket = \"axi\"
+
+[[memory]]
+name = \"ram\"
+base = 0x0
+end = 0x10000
+latency = 2
+queue = 4
+",
+        )
+        .unwrap();
+        let input = format!("run q1 {}\nshutdown\n", file.display());
+        let mut out = Vec::new();
+        let stats = serve(
+            ServeConfig {
+                max_cycles: 10_000,
+                ..ServeConfig::default()
+            },
+            Cursor::new(input),
+            &mut out,
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(stats.points_ok, 3, "an empty program still drains");
+        let lines = records(&out);
+        for line in &lines[..3] {
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+            assert!(line.contains("\"completions\":0"), "{line}");
+            assert!(line.contains("\"mean_latency\":null"), "{line}");
+        }
+    }
+
+    #[test]
+    fn relative_trace_paths_resolve_against_the_request_file() {
+        // The scenario and its trace live in a temp directory; the
+        // test's working directory has no such trace file, so the run
+        // only drains if resolution used the request file's directory —
+        // the same CWD-independent rule `scn` applies.
+        let dir = std::env::temp_dir().join(format!("noc-serve-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("cpu.trace"),
+            "0 read 0x100 1 4\n4 read 0x200 1 4\n",
+        )
+        .unwrap();
+        let file = dir.join("traced.scn");
+        std::fs::write(
+            &file,
+            "\
+[[initiator]]
+name = \"cpu\"
+socket = \"axi\"
+kind = \"trace\"
+trace_file = \"cpu.trace\"
+
+[[memory]]
+name = \"ram\"
+base = 0x0
+end = 0x10000
+latency = 2
+queue = 4
+",
+        )
+        .unwrap();
+        let input = format!("run q1 {}\nshutdown\n", file.display());
+        let mut out = Vec::new();
+        let stats = serve(
+            ServeConfig {
+                max_cycles: 100_000,
+                ..ServeConfig::default()
+            },
+            Cursor::new(input),
+            &mut out,
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(stats.points_ok, 3, "trace resolved against the file");
+        let lines = records(&out);
+        for line in &lines[..3] {
+            assert!(line.contains("\"completions\":2"), "{line}");
+        }
+    }
+
+    #[test]
     fn spool_directory_is_served_and_consumed() {
         let dir = std::env::temp_dir().join(format!("noc-serve-spool-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

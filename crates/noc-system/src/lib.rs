@@ -47,8 +47,10 @@
 
 pub mod fabric;
 pub mod report;
+pub mod shard;
 pub mod soc;
 
 pub use fabric::Fabric;
 pub use report::{FabricReport, MasterReport, SocReport};
+pub use shard::ShardedSoc;
 pub use soc::{BuildError, NocConfig, Soc, SocBuilder};

@@ -1,0 +1,482 @@
+//! Conservative parallel execution of a partitioned [`Soc`].
+//!
+//! A [`ShardedSoc`] splits one SoC into regions connected only by
+//! multi-cycle channels (cross-region links and their credit-return
+//! wires), then advances the regions on worker threads in *epochs*: if
+//! the earliest cycle any region can act is `X` and every cross-region
+//! channel imposes at least `lookahead` cycles of latency, all regions
+//! may run to `X + lookahead` without communicating (see
+//! [`noc_kernel::pdes`]). Cross traffic is exchanged at epoch barriers
+//! as absolute-stamped messages that always land at or beyond the
+//! window bound, so no region ever sees an event early.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to single-threaded execution, for any
+//! region count and worker count:
+//!
+//! - within an epoch regions are causally independent (the registered
+//!   credit-return delay removes the last same-cycle cross-switch
+//!   interaction), and each region runs the ordinary sequential engine;
+//! - cross flits/credits carry absolute cycles computed at the sending
+//!   side, and are integrated only at barriers, in region order;
+//! - completion logs are region-local, counters are order-free sums,
+//!   and the one floating-point fold (mean link latency) is re-run in
+//!   global link order at report time;
+//! - a region that drains early is *parked* at its local done cycle and
+//!   a final fix-up brings every region to the exact cycle a
+//!   single-threaded run stops at, replaying the same skip accounting.
+
+use crate::fabric::Fabric;
+use crate::report::{FabricReport, MasterReport, SocReport};
+use crate::soc::{Soc, SocSplit};
+use noc_kernel::{EpochPlanner, Horizon, SpinBarrier};
+use noc_protocols::{CompletionLog, Program, SocketCommand};
+use noc_transport::Flit;
+use std::sync::Mutex;
+
+/// Assigns `num_switches` switches to `regions` contiguous index bands
+/// of near-equal size. Mesh builders number switches row-major, so
+/// bands are horizontal slabs cut by (few) vertical links — but
+/// correctness never depends on the cut: any partition is bit-exact,
+/// only the lookahead (and thus epoch length) varies.
+fn band_partition(num_switches: usize, regions: usize) -> Vec<usize> {
+    (0..num_switches)
+        .map(|s| s * regions / num_switches)
+        .collect()
+}
+
+/// What the coordinator asks the workers to do with their regions.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Advance each region until done or the window end.
+    Run(u64),
+    /// Force each region to exactly the target cycle (final fix-up).
+    Finish(u64),
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// Cross-region routing scratch, reused across epochs.
+#[derive(Debug, Clone, Default)]
+struct RouteBufs {
+    flits: Vec<(u32, u64, Flit)>,
+    credits: Vec<(u32, u64)>,
+}
+
+/// A [`Soc`] partitioned into regions for conservative parallel
+/// execution. Construct with [`ShardedSoc::new`]; drive it either
+/// densely ([`ShardedSoc::step`], serial, one-cycle epochs) or with
+/// [`ShardedSoc::advance_conservative`] (threaded, adaptive epochs).
+/// `Clone` remains the snapshot primitive, exactly as for [`Soc`].
+#[derive(Debug, Clone)]
+pub struct ShardedSoc {
+    regions: Vec<Soc>,
+    /// Worker threads used by the conservative runner (= region count).
+    threads: usize,
+    planner: EpochPlanner,
+    /// Request-fabric global link id → region whose inbox receives its
+    /// flits / region owning its replica (credit destination).
+    req_flit_to: Vec<Option<usize>>,
+    req_credit_to: Vec<Option<usize>>,
+    /// Response-fabric equivalents.
+    resp_flit_to: Vec<Option<usize>>,
+    resp_credit_to: Vec<Option<usize>>,
+    /// Global initiator ordinal → (region, region-local ordinal).
+    initiator_map: Vec<(usize, usize)>,
+    route_bufs: RouteBufs,
+}
+
+impl ShardedSoc {
+    /// Partitions `soc` into at most `threads` regions (clamped to the
+    /// switch count; at least one). Any step boundary is a valid split
+    /// point — the regions resume bit-identically.
+    pub fn new(soc: Soc, threads: usize) -> ShardedSoc {
+        let regions = threads.clamp(1, soc.num_switches().max(1));
+        let map = band_partition(soc.num_switches(), regions);
+        let SocSplit {
+            regions,
+            req_flit_to,
+            req_credit_to,
+            resp_flit_to,
+            resp_credit_to,
+            lookahead,
+            initiator_map,
+        } = soc.shard(&map, regions);
+        ShardedSoc {
+            threads: regions.len(),
+            regions,
+            // A single region (or a partition nothing crosses) has
+            // unbounded lookahead; the planner only needs it non-zero.
+            planner: EpochPlanner::new(lookahead.max(1)),
+            req_flit_to,
+            req_credit_to,
+            resp_flit_to,
+            resp_credit_to,
+            initiator_map,
+            route_bufs: RouteBufs::default(),
+        }
+    }
+
+    /// Number of regions (= worker threads of the conservative runner).
+    pub fn regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The cross-region lookahead the epoch planner runs with.
+    pub fn lookahead(&self) -> u64 {
+        self.planner.lookahead()
+    }
+
+    /// The frontier cycle: the furthest any region has advanced. After
+    /// [`ShardedSoc::step`] or a completed
+    /// [`ShardedSoc::advance_conservative`] every region sits here, and
+    /// it equals the single-threaded `now`.
+    pub fn now(&self) -> u64 {
+        self.regions.iter().map(Soc::now).max().unwrap_or(0)
+    }
+
+    /// Returns `true` when every region drained: all endpoints done,
+    /// all fabrics idle, nothing staged between regions. (Call sites
+    /// inside the runners only consult this with outboxes routed.)
+    pub fn is_done(&self) -> bool {
+        self.regions.iter().all(Soc::is_done)
+    }
+
+    /// Sum of executed steps over regions (the pre-split count carries
+    /// on region 0).
+    pub fn executed_steps(&self) -> u64 {
+        self.regions.iter().map(Soc::executed_steps).sum()
+    }
+
+    /// Sum of `next_activity` polls over regions.
+    pub fn horizon_polls(&self) -> u64 {
+        self.regions.iter().map(Soc::horizon_polls).sum()
+    }
+
+    /// Sum of calendar wakeups retired over regions.
+    pub fn calendar_pops(&self) -> u64 {
+        self.regions.iter().map(Soc::calendar_pops).sum()
+    }
+
+    /// Loads one program per initiator (global declaration order) into
+    /// an unstarted system, routing each to its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system already stepped or the program count does
+    /// not match the initiator count.
+    pub fn load_programs(&mut self, programs: &[Program]) {
+        assert_eq!(
+            programs.len(),
+            self.initiator_map.len(),
+            "one program per initiator endpoint"
+        );
+        let mut per_region: Vec<Vec<Program>> = vec![Vec::new(); self.regions.len()];
+        for (ordinal, program) in programs.iter().enumerate() {
+            let (r, local) = self.initiator_map[ordinal];
+            debug_assert_eq!(local, per_region[r].len());
+            per_region[r].push(program.clone());
+        }
+        for (soc, programs) in self.regions.iter_mut().zip(&per_region) {
+            soc.load_programs(programs);
+        }
+    }
+
+    /// Appends commands to the `ordinal`-th initiator (global
+    /// declaration order), mid-run; see [`Soc::append_commands`].
+    pub fn append_commands(&mut self, ordinal: usize, tail: &[SocketCommand]) {
+        let (r, local) = self.initiator_map[ordinal];
+        self.regions[r].append_commands(local, tail);
+    }
+
+    /// Named completion logs of all initiators, in global declaration
+    /// order — byte-identical to the monolithic [`Soc`]'s logs.
+    pub fn completion_logs(&self) -> Vec<(&str, &CompletionLog)> {
+        let per_region: Vec<_> = self.regions.iter().map(Soc::initiator_logs).collect();
+        self.initiator_map
+            .iter()
+            .filter_map(|&(r, local)| per_region[r][local])
+            .collect()
+    }
+
+    /// Builds the global report: masters in declaration order, fabric
+    /// counters summed, and the mean-link-latency fold replayed in
+    /// global link order so it is bit-identical to the monolithic fold.
+    pub fn report(&self) -> SocReport {
+        let mut per_region: Vec<Vec<Option<MasterReport>>> = self
+            .regions
+            .iter()
+            .map(Soc::initiator_master_reports)
+            .collect();
+        let masters = self
+            .initiator_map
+            .iter()
+            .filter_map(|&(r, local)| per_region[r][local].take())
+            .collect();
+        let mut fabric = FabricReport {
+            request_flits: 0,
+            response_flits: 0,
+            flits_forwarded: 0,
+            packets_forwarded: 0,
+            credit_stalls: 0,
+            arbitration_conflicts: 0,
+            lock_idle_cycles: 0,
+            mean_link_latency: 0.0,
+        };
+        for soc in &self.regions {
+            fabric.request_flits += soc.request_fabric().delivered_flits();
+            fabric.response_flits += soc.response_fabric().delivered_flits();
+            for stats in [soc.request_fabric().stats(), soc.response_fabric().stats()] {
+                fabric.flits_forwarded += stats.flits_forwarded;
+                fabric.packets_forwarded += stats.packets_forwarded;
+                fabric.credit_stalls += stats.credit_stalls;
+                fabric.arbitration_conflicts += stats.arbitration_conflicts;
+                fabric.lock_idle_cycles += stats.lock_idle_cycles;
+            }
+        }
+        let request_mean = merged_mean_link_latency(self.regions.iter().map(Soc::request_fabric));
+        let response_mean = merged_mean_link_latency(self.regions.iter().map(Soc::response_fabric));
+        fabric.mean_link_latency = (request_mean + response_mean) / 2.0;
+        SocReport {
+            cycles: self.now(),
+            all_done: self.is_done(),
+            masters,
+            fabric,
+        }
+    }
+
+    /// Routes everything staged in region outboxes into the destination
+    /// regions' inboxes / pending-credit queues. Regions are drained in
+    /// ascending index order, so integration order is deterministic
+    /// (and commutative anyway: every message targets a distinct port
+    /// or a monotone counter).
+    fn route_cross(&mut self) {
+        let mut bufs = std::mem::take(&mut self.route_bufs);
+        for response in [false, true] {
+            for r in 0..self.regions.len() {
+                let fabric = fabric_mut(&mut self.regions[r], response);
+                fabric.take_cross_output(&mut bufs.flits, &mut bufs.credits);
+            }
+            let flit_to = if response {
+                &self.resp_flit_to
+            } else {
+                &self.req_flit_to
+            };
+            let credit_to = if response {
+                &self.resp_credit_to
+            } else {
+                &self.req_credit_to
+            };
+            for (global, arrival, flit) in bufs.flits.drain(..) {
+                let dst = flit_to[global as usize].expect("outbox flit from an intra-region link");
+                fabric_mut(&mut self.regions[dst], response)
+                    .integrate_cross_flit(global, arrival, flit);
+            }
+            for (global, due) in bufs.credits.drain(..) {
+                let dst =
+                    credit_to[global as usize].expect("outbox credit from an intra-region link");
+                fabric_mut(&mut self.regions[dst], response).integrate_cross_credit(global, due);
+            }
+        }
+        self.route_bufs = bufs;
+    }
+
+    /// Advances the whole system one base cycle — the dense-mode
+    /// entry point: every region executes exactly this cycle (serially,
+    /// in region order), then cross traffic is exchanged. Within a
+    /// cycle regions are causally independent, so this is bit-identical
+    /// to the monolithic [`Soc::step`].
+    pub fn step(&mut self) {
+        let next = self.now() + 1;
+        for soc in &mut self.regions {
+            soc.advance_exact(next);
+        }
+        self.route_cross();
+    }
+
+    /// The earliest cycle at which any *non-done* region can act. Done
+    /// (parked) regions contribute nothing: their calendars may hold
+    /// stale entries at frozen cycles, and anything that could wake
+    /// them arrives as cross traffic, which re-opens the region via its
+    /// inbox before this is consulted again.
+    pub fn next_activity(&self) -> Option<u64> {
+        let mut horizon = Horizon::new();
+        for soc in &self.regions {
+            if !soc.is_done() {
+                horizon.merge(soc.next_activity());
+            }
+        }
+        horizon.earliest()
+    }
+
+    /// Runs conservative parallel epochs until the system drains or
+    /// every region reaches `horizon`. Once per epoch, `feed` is called
+    /// with an append hook (global initiator ordinal + command tail)
+    /// and the frontier cycle; it must return the exclusive release
+    /// bound the epoch window may not cross (the streamed-workload
+    /// refill contract — `u64::MAX`-like bounds are fine, the horizon
+    /// caps the window anyway).
+    ///
+    /// On return every region sits at the exact cycle a single-threaded
+    /// run would have stopped at, with bit-identical state.
+    pub fn advance_conservative<F>(&mut self, horizon: u64, mut feed: F)
+    where
+        F: FnMut(&mut dyn FnMut(usize, &[SocketCommand]), u64) -> u64,
+    {
+        let workers = self.threads.min(self.regions.len());
+        // The coordinator loop body, factored over "how an epoch runs".
+        // Returns the finish target once no further epochs are needed.
+        let mut plan = |this: &mut ShardedSoc| -> Result<u64, u64> {
+            this.route_cross();
+            let frontier = this.now();
+            let map = &this.initiator_map;
+            let regions = &mut this.regions;
+            let bound = feed(
+                &mut |ordinal, tail| {
+                    let (r, local) = map[ordinal];
+                    regions[r].append_commands(local, tail);
+                },
+                frontier,
+            );
+            if this.regions.iter().all(Soc::is_done) {
+                // Drained for good: the feeder appended nothing (a dry,
+                // unexhausted feeder always has commands due at or
+                // before the frontier, so "no append" means "no more
+                // input ever").
+                return Err(this.now());
+            }
+            if this
+                .regions
+                .iter()
+                .all(|s| s.is_done() || s.now() >= horizon)
+            {
+                return Err(horizon);
+            }
+            Ok(this.planner.window(this.next_activity(), [bound, horizon]))
+        };
+        if workers <= 1 {
+            let finish = loop {
+                match plan(self) {
+                    Err(finish) => break finish,
+                    Ok(window) => {
+                        for soc in &mut self.regions {
+                            soc.advance_to(window);
+                        }
+                    }
+                }
+            };
+            for soc in &mut self.regions {
+                soc.advance_exact(finish);
+            }
+            self.route_cross();
+            return;
+        }
+        // Threaded runner. Regions travel between the coordinator and
+        // their worker through per-region mailbox slots; two barrier
+        // crossings frame each epoch (A: command + regions published,
+        // B: results published). Worker `w` owns regions w, w+W, … —
+        // a static assignment, so no two workers touch one slot in the
+        // same epoch and the coordinator only touches slots between
+        // barriers.
+        let slots: Vec<Mutex<Option<Soc>>> =
+            (0..self.regions.len()).map(|_| Mutex::new(None)).collect();
+        let barrier = SpinBarrier::new(workers + 1);
+        let command = Mutex::new(Cmd::Stop);
+        let finish = std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let barrier = &barrier;
+                let command = &command;
+                scope.spawn(move || loop {
+                    barrier.wait(); // A: command and regions published.
+                    let cmd = *command
+                        .lock()
+                        .expect("coordinator cannot panic holding this");
+                    if let Cmd::Stop = cmd {
+                        break;
+                    }
+                    for slot in slots.iter().skip(w).step_by(workers) {
+                        let mut soc = slot
+                            .lock()
+                            .expect("slots are uncontended")
+                            .take()
+                            .expect("coordinator filled every slot");
+                        match cmd {
+                            Cmd::Run(window) => soc.advance_to(window),
+                            Cmd::Finish(target) => soc.advance_exact(target),
+                            Cmd::Stop => unreachable!("handled above"),
+                        }
+                        *slot.lock().expect("slots are uncontended") = Some(soc);
+                    }
+                    barrier.wait(); // B: results published.
+                });
+            }
+            let dispatch = |regions: &mut Vec<Soc>, cmd: Cmd| {
+                *command.lock().expect("workers cannot panic holding this") = cmd;
+                for (slot, soc) in slots.iter().zip(regions.drain(..)) {
+                    *slot.lock().expect("slots are uncontended") = Some(soc);
+                }
+                barrier.wait(); // A
+                barrier.wait(); // B
+                for slot in &slots {
+                    regions.push(
+                        slot.lock()
+                            .expect("slots are uncontended")
+                            .take()
+                            .expect("worker returned every region"),
+                    );
+                }
+            };
+            let finish = loop {
+                match plan(self) {
+                    Err(finish) => break finish,
+                    Ok(window) => {
+                        let mut regions = std::mem::take(&mut self.regions);
+                        dispatch(&mut regions, Cmd::Run(window));
+                        self.regions = regions;
+                    }
+                }
+            };
+            if self.regions.iter().any(|s| s.now() < finish) {
+                let mut regions = std::mem::take(&mut self.regions);
+                dispatch(&mut regions, Cmd::Finish(finish));
+                self.regions = regions;
+            }
+            *command.lock().expect("workers cannot panic holding this") = Cmd::Stop;
+            barrier.wait(); // A: release workers to exit.
+            finish
+        });
+        debug_assert!(self.regions.iter().all(|s| s.now() == finish));
+        self.route_cross();
+    }
+}
+
+fn fabric_mut(soc: &mut Soc, response: bool) -> &mut Fabric {
+    if response {
+        soc.response_fabric_mut()
+    } else {
+        soc.request_fabric_mut()
+    }
+}
+
+/// Replays [`Fabric::mean_link_latency`]'s fold over the merged
+/// per-region latency entries in global link order — the same values in
+/// the same order as the monolithic fabric would fold them.
+fn merged_mean_link_latency<'a>(fabrics: impl Iterator<Item = &'a Fabric>) -> f64 {
+    let mut entries: Vec<(u32, u64, f64)> = Vec::new();
+    for f in fabrics {
+        f.link_latency_entries(&mut entries);
+    }
+    entries.sort_unstable_by_key(|&(global, _, _)| global);
+    let (mut sum, mut n) = (0.0, 0u64);
+    for &(_, delivered, mean) in &entries {
+        sum += mean * delivered as f64;
+        n += delivered;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
