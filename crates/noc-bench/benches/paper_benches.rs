@@ -290,6 +290,68 @@ fn main() {
         }
     }
 
+    // Partition quality on the hotspot mesh: default round-robin
+    // placement parks every endpoint on switches 0..11 of the 16x16
+    // fabric, so the naive band cut puts all traffic in region 0 (zero
+    // parallelism), while the balanced cut — the build default, fed by
+    // the static load estimate — splits the endpoint cluster itself.
+    let hotspot = noc_bench::scenarios::zipf_hotspot_mesh16_spec();
+    {
+        let spec = hotspot.clone();
+        h.case(
+            "step_mode",
+            "zipf_hotspot_16x16_build_only",
+            200,
+            move || {
+                spec.build(&noc_scenario::Backend::noc())
+                    .expect("consistent")
+                    .now()
+            },
+        );
+    }
+    let band_hotspot = {
+        let cfg = noc_scenario::NocConfigSpec::new()
+            .with_shards(4)
+            .with_assignment(noc_bench::scenarios::band_assignment(256, 4));
+        hotspot.clone().with_config(cfg)
+    };
+    for (mode_name, spec) in [
+        ("sharded4_band", band_hotspot),
+        ("sharded4_balanced", hotspot.clone()),
+    ] {
+        h.case(
+            "step_mode",
+            &format!("zipf_hotspot_16x16_{mode_name}"),
+            300,
+            move || {
+                let mut sim = spec
+                    .build(&noc_scenario::Backend::noc())
+                    .expect("consistent");
+                assert!(sim.run_until_with(5_000_000, StepMode::Sharded { threads: 4 }));
+                sim.now()
+            },
+        );
+    }
+    {
+        let build = step_ns(&h, "zipf_hotspot_16x16_build_only");
+        let band = step_ns(&h, "zipf_hotspot_16x16_sharded4_band") - build;
+        let balanced = step_ns(&h, "zipf_hotspot_16x16_sharded4_balanced") - build;
+        let speedup = band / balanced;
+        println!(
+            "{:<22} {:<28} {speedup:>20.1}x",
+            "step_mode", "zipf_hotspot_balanced_gain"
+        );
+        if cores >= 4 {
+            assert!(
+                speedup >= 1.05,
+                "the balanced cut must step the 16x16 hotspot mesh faster than \
+                 the naive band cut, got {speedup:.2}x"
+            );
+        } else {
+            println!("(balanced-vs-band gate skipped: {cores} core(s) available, need 4)");
+        }
+    }
+
     // The deep-pipeline mesh (the corpus `deep_pipeline.scn` scenario):
     // traffic is in flight almost every cycle, so before the per-layer
     // event horizons this workload ran dense under both modes. The NoC

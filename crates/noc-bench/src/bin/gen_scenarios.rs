@@ -7,7 +7,8 @@
 use noc_bench::scenarios::{
     bursty_storm_spec, clocked_mixed_spec, deep_pipeline_spec, exclusive_sweep, ordering_sweep,
     qos_spec, ring_mixed_spec, scale_sweep, serve_sweep, services_spec, sparse_mesh_32_spec,
-    sparse_mesh_spec, trace_replay_spec, trace_replay_trace, zipf_hotspot_spec,
+    sparse_mesh_spec, trace_replay_spec, trace_replay_trace, zipf_hotspot_mesh16_spec,
+    zipf_hotspot_spec,
 };
 use noc_workloads::{SetTop, SetTopConfig};
 use std::path::Path;
@@ -38,6 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("mesh_32x32_sparse.scn", sparse_mesh_32_spec().to_text()),
         ("bursty_storm.scn", bursty_storm_spec().to_text()),
         ("zipf_hotspot.scn", zipf_hotspot_spec().to_text()),
+        (
+            "zipf_hotspot_mesh16.scn",
+            zipf_hotspot_mesh16_spec().to_text(),
+        ),
         ("trace_replay.scn", trace_replay_spec().to_text()),
         // Companion data, not a scenario: the trace the replay file
         // streams. Written here so the git-porcelain CI check pins it

@@ -594,6 +594,48 @@ pub fn zipf_hotspot_spec() -> ScenarioSpec {
         .memory(MemorySpec::new("cold", 0x3000, 0x4000, 2).with_queue(4))
 }
 
+/// The hotspot storm on a 16x16 mesh — the partition-quality corpus
+/// scenario. Eight Zipf generators and four memories keep the default
+/// round-robin placement, which parks all twelve endpoints on switches
+/// 0..11 of a 256-switch fabric: the naive band cut (64 switches per
+/// region) then puts every endpoint *and* every flit in region 0 and
+/// the other three regions idle, while the balanced cut (the build
+/// default, from the static load estimate) splits the cluster itself.
+/// The bench gates balanced-vs-band wall clock on this spec, and CI
+/// gates its epoch occupancy (`scn --assert-occupancy`).
+pub fn zipf_hotspot_mesh16_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new();
+    for (i, seed) in [
+        0x16F0u64, 0x16F1, 0x16F2, 0x16F3, 0x16F4, 0x16F5, 0x16F6, 0x16F7,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut z = ZipfSpec::new(seed, 150, 2200);
+        z.shape.gap = 1;
+        spec = spec.initiator(InitiatorSpec::new(&format!("gen{i}"), SocketSpec::Ahb, z));
+    }
+    spec.memory(MemorySpec::new("hot", 0x0, 0x1000, 28).with_queue(8))
+        .memory(MemorySpec::new("warm", 0x1000, 0x2000, 2).with_queue(4))
+        .memory(MemorySpec::new("cool", 0x2000, 0x3000, 2).with_queue(4))
+        .memory(MemorySpec::new("cold", 0x3000, 0x4000, 2).with_queue(4))
+        .with_topology(TopologySpec::Mesh {
+            width: 16,
+            height: 16,
+        })
+        .with_config(NocConfigSpec::new().with_shards(4))
+}
+
+/// The naive contiguous band cut over `switches`, `regions` equal
+/// slices — what the partitioner falls back to with no load signal,
+/// pinned explicitly so benchmarks can race it against the balanced
+/// default.
+pub fn band_assignment(switches: usize, regions: usize) -> Vec<usize> {
+    (0..switches)
+        .map(|s| (s * regions / switches).min(regions - 1))
+        .collect()
+}
+
 /// The trace-replay corpus scenario: an OCP initiator streaming the
 /// checked-in `trace_replay.trace` (written by `gen_scenarios` next to
 /// the `.scn` file) alongside an explicit AHB control master.

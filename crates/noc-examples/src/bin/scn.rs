@@ -45,6 +45,20 @@
 //!                                   hotspot workloads congest); a
 //!                                   per-target latency table is printed
 //!                                   for any multi-target scenario
+//!   --assert-occupancy RATIO        fail if the sharded run's
+//!                                   epoch-occupancy ratio — the busiest
+//!                                   region's share of the epoch work,
+//!                                   printed in the occup column next to
+//!                                   polls/pops; 1/regions is a perfect
+//!                                   spread, 1.0 one region doing
+//!                                   everything — exceeds RATIO on any
+//!                                   row: the CI guard keeping the
+//!                                   balanced partitioner from
+//!                                   regressing to a lopsided cut on
+//!                                   hotspot workloads; needs a sharded
+//!                                   run, and the ratio is deterministic
+//!                                   (regions are logical, so core count
+//!                                   does not move it)
 //!   --max-cycles N                  drain budget (default 10_000_000
 //!                                   for scenario files, the file's
 //!                                   budget for sweeps)
@@ -76,7 +90,7 @@
 
 use noc_protocols::CompletionRecord;
 use noc_scenario::{
-    parse_document, Backend, Document, ScenarioError, ScenarioSpec, StepMode, Sweep,
+    parse_document, Backend, Document, EpochOccupancy, ScenarioError, ScenarioSpec, StepMode, Sweep,
 };
 use noc_stats::Table;
 use std::fmt::Write as _;
@@ -113,6 +127,13 @@ struct Options {
     /// factor above the coldest trafficked target's, on every backend —
     /// the CI guard proving the hotspot workloads actually congest.
     assert_target_spread: Option<f64>,
+    /// Fail if the sharded run's epoch-occupancy ratio (the busiest
+    /// region's share of the epoch work; lower is a better spread)
+    /// exceeds this ceiling on any row — the CI guard keeping the
+    /// balanced partitioner from regressing to a lopsided cut on
+    /// hotspot workloads. Requires a sharded run (only sharded stepping
+    /// has epochs to measure).
+    assert_occupancy: Option<f64>,
     /// `--shards N`: region/thread count for sharded stepping. Alone it
     /// selects sharded stepping outright; with `--step both` the
     /// comparison becomes dense (unsharded, the reference semantics)
@@ -133,7 +154,7 @@ const WAKEUP_POLL_SLACK: u64 = 64;
 fn usage() -> &'static str {
     "usage: scn [--backend noc|bridged|bus|all] [--step dense|horizon|sharded|both] \
      [--shards N] [--assert-fewer-steps] [--assert-wakeup-discipline] \
-     [--assert-target-spread RATIO] [--max-cycles N] FILE..."
+     [--assert-target-spread RATIO] [--assert-occupancy RATIO] [--max-cycles N] FILE..."
 }
 
 fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
@@ -145,6 +166,7 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
         assert_fewer_steps: false,
         assert_wakeup_discipline: false,
         assert_target_spread: None,
+        assert_occupancy: None,
         shards: None,
     };
     let mut args = std::env::args().skip(1);
@@ -191,6 +213,16 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
                     return Err(format!("--assert-target-spread {v:?} must be >= 1").into());
                 }
                 opts.assert_target_spread = Some(ratio);
+            }
+            "--assert-occupancy" => {
+                let v = args.next().ok_or("--assert-occupancy needs a ratio")?;
+                let ratio: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --assert-occupancy {v:?}"))?;
+                if !(ratio > 0.0 && ratio <= 1.0) {
+                    return Err(format!("--assert-occupancy {v:?} must be in (0, 1]").into());
+                }
+                opts.assert_occupancy = Some(ratio);
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -248,6 +280,10 @@ struct RunOutcome {
     steps: u64,
     polls: u64,
     pops: u64,
+    /// Sharded runs only: the epoch-occupancy counter. Deliberately
+    /// outside `compared` — like polls/pops it is stepping accounting,
+    /// not simulated behaviour.
+    occupancy: Option<EpochOccupancy>,
 }
 
 fn run_once(
@@ -268,6 +304,7 @@ fn run_once(
         steps: sim.executed_steps(),
         polls: sim.horizon_polls(),
         pops: sim.calendar_pops(),
+        occupancy: sim.report().occupancy,
     })
 }
 
@@ -443,6 +480,32 @@ fn run_spec(
     } else {
         "-".to_owned()
     };
+    // Epoch occupancy exists only on sharded runs (the last outcome
+    // under Both); it sits next to polls/pops as stepping accounting.
+    let occupancy = outcomes.iter().rev().find_map(|o| o.occupancy);
+    let occ_cell = match occupancy {
+        Some(occ) => format!("{:.3}", occ.ratio()),
+        None => "-".to_owned(),
+    };
+    if let Some(ceiling) = opts.assert_occupancy {
+        let Some(occ) = occupancy else {
+            return Err(format!(
+                "{backend}: --assert-occupancy needs a sharded run \
+                 (use --step sharded or --shards N)"
+            )
+            .into());
+        };
+        if occ.ratio() > ceiling {
+            return Err(format!(
+                "{backend}: the busiest region carried {:.3} of the epoch work \
+                 over {} epochs, above the --assert-occupancy ceiling {ceiling} \
+                 — the partition is lopsided for this workload",
+                occ.ratio(),
+                occ.epochs
+            )
+            .into());
+        }
+    }
     let stats = target_stats(spec, logs);
     if let Some(ratio) = opts.assert_target_spread {
         check_target_spread(backend, &stats, ratio)?;
@@ -457,6 +520,7 @@ fn run_spec(
             steps_cell,
             ratio_cell,
             wake_cell,
+            occ_cell,
         ],
         stats,
     )))
@@ -481,6 +545,7 @@ fn run_scenario_file(
         "steps",
         "dense/horizon",
         "polls/pops",
+        "occup",
     ]);
     t.numeric();
     let mut target_rows = Vec::new();
@@ -531,6 +596,7 @@ fn run_sweep_file(sweep: &Sweep, opts: &Options) -> Result<(), Box<dyn std::erro
             "steps",
             "dense/horizon",
             "polls/pops",
+            "occup",
         ]);
         t.numeric();
         for p in sweep.points() {

@@ -56,7 +56,7 @@ pub use calendar::{Calendar, WakeId};
 pub use clock::{ClockDomain, ClockId, ClockSet};
 pub use event::{Event, EventId, Scheduler};
 pub use horizon::Horizon;
-pub use pdes::{EpochPlanner, SpinBarrier};
+pub use pdes::{EpochPlanner, MinStamp, ParityCell, SpinBarrier};
 pub use rng::SplitMix64;
 pub use time::SimTime;
 

@@ -10,14 +10,20 @@
 //! `X + lookahead` — so all regions may execute cycles strictly below
 //! that bound in parallel without exchanging messages (the classic
 //! null-message/YAWNS window argument). [`EpochPlanner`] computes the
-//! window; [`SpinBarrier`] synchronises the epoch edges.
+//! window; [`SpinBarrier`] synchronises the epoch edges; [`ParityCell`]
+//! and [`MinStamp`] double-buffer the mailboxes and published values an
+//! *overlapped* runner exchanges between barriers.
 //!
-//! Determinism does not depend on thread scheduling: regions exchange
-//! messages only at barriers, every message carries an absolute arrival
-//! stamp at or beyond the window bound, and each region's intra-epoch
-//! execution is the ordinary sequential engine.
+//! Determinism does not depend on thread scheduling: every message
+//! carries an absolute arrival stamp at or beyond the window bound, so
+//! it may be published the instant it is produced and integrated at any
+//! point before its destination advances past the stamp — early
+//! integration is harmless, and the epoch protocol makes late
+//! integration impossible. Each region's intra-epoch execution is the
+//! ordinary sequential engine.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Plans safe execution windows from a cross-region lookahead.
 ///
@@ -155,6 +161,93 @@ impl SpinBarrier {
     }
 }
 
+/// A double-buffered shared cell for overlapped epochs, indexed by epoch
+/// parity.
+///
+/// An overlapped conservative runner separates its epochs with a single
+/// barrier: while epoch `N` executes, values published during epoch
+/// `N-1` are still being read (for the window min-reduction and for
+/// late mailbox integration). Giving each epoch parity its own buffer
+/// makes that safe — the barrier guarantees no worker is ever more than
+/// one epoch ahead, so writes for parity `p` can never race reads of
+/// parity `p ^ 1`, and the buffer for parity `p` has always been fully
+/// consumed (one epoch ago) by the time it is written again.
+///
+/// The cell is deliberately a plain mutex pair, not a lock-free
+/// structure: it is locked a bounded number of times per epoch and the
+/// sections are short appends/drains, so contention is negligible next
+/// to the per-epoch simulation work.
+///
+/// # Examples
+///
+/// ```
+/// use noc_kernel::ParityCell;
+/// let cell: ParityCell<Vec<u64>> = ParityCell::default();
+/// cell.lock(0).push(7); // published during an even epoch
+/// assert_eq!(cell.lock(0).as_slice(), [7]);
+/// assert!(cell.lock(1).is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ParityCell<T> {
+    slots: [Mutex<T>; 2],
+}
+
+impl<T> ParityCell<T> {
+    /// Creates a cell from the two parity buffers.
+    pub fn new(even: T, odd: T) -> Self {
+        ParityCell {
+            slots: [Mutex::new(even), Mutex::new(odd)],
+        }
+    }
+
+    /// Locks the buffer for epoch parity `parity & 1`.
+    pub fn lock(&self, parity: usize) -> MutexGuard<'_, T> {
+        self.slots[parity & 1]
+            .lock()
+            .expect("epoch workers do not panic holding parity buffers")
+    }
+}
+
+/// A monotone-min cycle stamp shared between epoch workers.
+///
+/// Senders fold the absolute arrival stamps of messages they publish
+/// into the tracker; the next epoch's window min-reduction reads the
+/// accumulated minimum so traffic that has been *published but not yet
+/// integrated* still bounds the global next-activity estimate. Unlike
+/// the two-slot [`ParityCell`], trackers rotate through *three* slots
+/// keyed by epoch index: workers write slot `e % 3`, read the fully
+/// quiesced slot `(e + 2) % 3`, and reset slot `(e + 1) % 3` for
+/// reuse — with only two slots a fast worker could start writing a
+/// slot a slow neighbour was still reading.
+///
+/// `u64::MAX` is the identity ("no stamps recorded").
+#[derive(Debug)]
+pub struct MinStamp(AtomicU64);
+
+impl Default for MinStamp {
+    fn default() -> Self {
+        MinStamp(AtomicU64::new(u64::MAX))
+    }
+}
+
+impl MinStamp {
+    /// Folds `stamp` into the running minimum.
+    pub fn record(&self, stamp: u64) {
+        self.0.fetch_min(stamp, Ordering::AcqRel);
+    }
+
+    /// The minimum recorded since the last [`MinStamp::reset`], or
+    /// `u64::MAX` when nothing was recorded.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Clears the tracker back to the identity.
+    pub fn reset(&self) {
+        self.0.store(u64::MAX, Ordering::Release);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +316,46 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn parity_buffers_are_independent() {
+        let cell: ParityCell<Vec<u32>> = ParityCell::new(Vec::new(), Vec::new());
+        cell.lock(0).push(1);
+        cell.lock(1).push(2);
+        cell.lock(2).push(3); // parity wraps: 2 & 1 == 0
+        assert_eq!(*cell.lock(0), vec![1, 3]);
+        assert_eq!(*cell.lock(1), vec![2]);
+    }
+
+    #[test]
+    fn min_stamp_accumulates_and_resets() {
+        let m = MinStamp::default();
+        assert_eq!(m.get(), u64::MAX);
+        m.record(40);
+        m.record(25);
+        m.record(90);
+        assert_eq!(m.get(), 25);
+        m.reset();
+        assert_eq!(m.get(), u64::MAX);
+    }
+
+    #[test]
+    fn min_stamp_is_shared_across_threads() {
+        let m = Arc::new(MinStamp::default());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    m.record(1000 + t * 100 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get(), 1000);
     }
 
     #[test]

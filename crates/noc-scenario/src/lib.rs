@@ -50,6 +50,7 @@ pub mod spec;
 pub mod sweep;
 pub mod text;
 
+pub use noc_system::{EpochOccupancy, Partition};
 pub use program::{
     BurstySpec, Discipline, FeedSource, ProgramSpec, StochasticShape, TraceCursor, TraceSpec,
     Workload, ZipfSpec,

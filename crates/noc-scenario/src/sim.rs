@@ -4,7 +4,9 @@ use crate::program::{FeedSource, Workload};
 use noc_baseline::{BridgedInterconnect, Interconnect, SharedBus};
 use noc_protocols::{CompletionLog, Program, SocketCommand};
 use noc_stats::Histogram;
-use noc_system::{FabricReport, MasterReport, ShardedSoc, Soc, SocReport};
+use noc_system::{
+    EpochOccupancy, FabricReport, MasterReport, Partition, RegionFeeder, ShardedSoc, Soc, SocReport,
+};
 use noc_transaction::Fingerprint;
 use std::fmt;
 
@@ -131,6 +133,49 @@ impl FeederSet {
     /// Whether every feeder has drained its source.
     pub(crate) fn exhausted(&self) -> bool {
         self.feeders.iter().all(|f| f.exhausted)
+    }
+
+    /// Splits the set into one [`FeederSet`] per region of `sharded`,
+    /// each holding exactly the feeders whose master lives there, so
+    /// the overlapped runner can refill regions from inside their
+    /// workers. Reassemble with [`FeederSet::merge`].
+    fn split_by_region(&mut self, sharded: &ShardedSoc) -> Vec<FeederSet> {
+        let mut per_region: Vec<FeederSet> = (0..sharded.regions())
+            .map(|_| FeederSet::default())
+            .collect();
+        for f in self.feeders.drain(..) {
+            per_region[sharded.initiator_region(f.ordinal)]
+                .feeders
+                .push(f);
+        }
+        per_region
+    }
+
+    /// Reabsorbs region feeder sets, restoring the canonical global
+    /// ordering (by master ordinal) so snapshots and later splits are
+    /// bit-identical to a never-split set.
+    fn merge(&mut self, parts: Vec<FeederSet>) {
+        debug_assert!(self.feeders.is_empty());
+        for mut part in parts {
+            self.feeders.append(&mut part.feeders);
+        }
+        self.feeders.sort_by_key(|f| f.ordinal);
+    }
+}
+
+/// The overlapped runner's view of one region's streamed workloads:
+/// refill appends through global master ordinals (the runner maps them
+/// to region-local ones), the bound is the set's earliest unappended
+/// release, uncapped (the runner folds in its own horizon).
+impl RegionFeeder for FeederSet {
+    fn refill(&mut self, frontier: u64, append: &mut dyn FnMut(usize, &[SocketCommand])) {
+        FeederSet::refill(self, frontier, |ordinal, tail| append(ordinal, tail));
+    }
+    fn bound(&self) -> u64 {
+        FeederSet::bound(self, u64::MAX)
+    }
+    fn exhausted(&self) -> bool {
+        FeederSet::exhausted(self)
     }
 }
 
@@ -283,6 +328,15 @@ pub trait Simulation: Send {
     /// Panics if the simulation already stepped or the workload count
     /// does not match the master count.
     fn load_programs(&mut self, workloads: &[Workload]);
+
+    /// Installs the [`Partition`] a first sharded run will cut the
+    /// fabric with. Warm-state forking needs this hook: the cached
+    /// checkpoint is built from a *programless* spec, whose static load
+    /// estimate is empty, so after [`Simulation::load_programs`] the
+    /// fork re-applies the partition resolved from the full spec
+    /// ([`crate::ScenarioSpec::resolve_partition`]). Backends without a
+    /// fabric ignore it.
+    fn set_partition(&mut self, _partition: Option<Partition>) {}
 }
 
 /// A backend-neutral simulation report: per-master results plus fabric
@@ -308,6 +362,10 @@ pub struct ScenarioReport {
     /// Calendar wakeups retired while stepping (both modes execute the
     /// same events, so this is mode-independent up to run length).
     pub calendar_pops: u64,
+    /// Epoch load-balance accounting (`Σ max-region-busy / Σ
+    /// total-region-busy` over conservative epochs); `None` unless the
+    /// run used the sharded runner.
+    pub occupancy: Option<EpochOccupancy>,
 }
 
 impl ScenarioReport {
@@ -387,6 +445,9 @@ impl fmt::Display for ScenarioReport {
                 fab.lock_idle_cycles
             )?;
         }
+        if let Some(occ) = &self.occupancy {
+            write!(f, "\n  occupancy: {occ}")?;
+        }
         Ok(())
     }
 }
@@ -444,6 +505,10 @@ pub struct NocSim {
     /// [`StepMode::Sharded`]`{ threads: 0 }` resolves to before falling
     /// back to the machine's available parallelism.
     default_shards: Option<usize>,
+    /// How the first sharded run cuts the fabric: the scenario's
+    /// `[config] assignment` (explicit bands) or a static load
+    /// estimate, when either is available.
+    partition: Option<Partition>,
 }
 
 impl NocSim {
@@ -452,6 +517,7 @@ impl NocSim {
             state: SocState::Single(soc),
             feeders: FeederSet::default(),
             default_shards: None,
+            partition: None,
         }
     }
 
@@ -459,6 +525,20 @@ impl NocSim {
     /// [`StepMode::Sharded`]).
     pub(crate) fn set_default_shards(&mut self, shards: Option<usize>) {
         self.default_shards = shards;
+    }
+
+    /// Installs the [`Partition`] the first sharded run will cut the
+    /// fabric with (explicit `[config] assignment` bands, or a static
+    /// load estimate from the scenario's address map). `None` keeps the
+    /// default: warm activity counters when present, uniform bands
+    /// otherwise. Has no effect once the simulation is sharded.
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        self.partition = partition;
+    }
+
+    /// The partition the first sharded run will use, if one was pinned.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
     }
 
     /// Installs the streamed-workload feeders and primes their first
@@ -508,12 +588,18 @@ impl NocSim {
         if threads > 0 {
             return threads;
         }
-        match self.default_shards {
-            Some(n) if n > 0 => n,
-            _ => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+        if let Some(n) = self.default_shards {
+            if n > 0 {
+                return n;
+            }
         }
+        // An explicit assignment fixes the region count by itself.
+        if let Some(Partition::Explicit { assignment }) = &self.partition {
+            return assignment.iter().copied().max().map_or(1, |m| m + 1);
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 
     /// Partitions the SoC for sharded stepping (idempotent; the first
@@ -526,8 +612,40 @@ impl NocSim {
             else {
                 unreachable!()
             };
-            self.state = SocState::Sharded(ShardedSoc::new(soc, threads));
+            let sharded = match &self.partition {
+                // An explicit assignment always wins. A pinned balanced
+                // estimate is a cold-start signal only: once the soc has
+                // run, its warm activity counters are strictly better,
+                // and `ShardedSoc::new` prefers them.
+                Some(p @ Partition::Explicit { .. }) => ShardedSoc::with_partition(soc, threads, p),
+                Some(p) if soc.switch_activity().iter().all(|&a| a == 0) => {
+                    ShardedSoc::with_partition(soc, threads, p)
+                }
+                _ => ShardedSoc::new(soc, threads),
+            };
+            self.state = SocState::Sharded(sharded);
         }
+    }
+
+    /// Runs until done or `max_cycles` on the *barrier-integrated*
+    /// reference runner ([`ShardedSoc::advance_conservative`]: serial
+    /// cross-traffic integration and feeder refill under the epoch
+    /// barrier) instead of the overlapped one — the differential oracle
+    /// of the sharded determinism suite. Shards the simulation on first
+    /// use exactly like [`StepMode::Sharded`].
+    pub fn run_until_barrier(&mut self, max_cycles: u64, threads: usize) -> bool {
+        self.ensure_sharded(threads);
+        let NocSim { state, feeders, .. } = self;
+        match state {
+            SocState::Sharded(sharded) => {
+                sharded.advance_conservative(max_cycles, |append, frontier| {
+                    feeders.refill(frontier, |ordinal, tail| append(ordinal, tail));
+                    feeders.bound(max_cycles)
+                });
+            }
+            _ => unreachable!("ensure_sharded pins the sharded shape"),
+        }
+        self.is_done()
     }
 }
 
@@ -571,10 +689,12 @@ impl Simulation for NocSim {
                 }
             }
             SocState::Sharded(sharded) => {
-                sharded.advance_conservative(horizon, |append, frontier| {
-                    feeders.refill(frontier, |ordinal, tail| append(ordinal, tail));
-                    feeders.bound(horizon)
-                });
+                // The overlapped runner refills each region's feeders
+                // from inside its worker; split the set along the
+                // partition for the duration of the run.
+                let mut region_feeders = feeders.split_by_region(sharded);
+                sharded.advance_overlapped(horizon, &mut region_feeders);
+                feeders.merge(region_feeders);
             }
             SocState::Converting => unreachable!("transient conversion placeholder escaped"),
         }
@@ -610,6 +730,7 @@ impl Simulation for NocSim {
             fabric: Some(r.fabric),
             horizon_polls: self.horizon_polls(),
             calendar_pops: self.calendar_pops(),
+            occupancy: r.occupancy,
         }
     }
     fn snapshot(&self) -> Box<dyn Simulation> {
@@ -619,6 +740,9 @@ impl Simulation for NocSim {
         let heads: Vec<Program> = workloads.iter().map(Workload::head_program).collect();
         with_soc!(&mut self.state, soc => soc.load_programs(&heads));
         self.attach_workloads(workloads);
+    }
+    fn set_partition(&mut self, partition: Option<Partition>) {
+        NocSim::set_partition(self, partition);
     }
 }
 
@@ -654,6 +778,7 @@ fn baseline_report<I: Interconnect>(
         fabric: None,
         horizon_polls: ic.horizon_polls(),
         calendar_pops: ic.calendar_pops(),
+        occupancy: None,
     }
 }
 

@@ -24,6 +24,9 @@
 //! [config]                      # optional NoC transport/physical knobs
 //! buffer_depth = 8              # switch input buffers, in flits
 //! shards = 4                    # default region count for sharded stepping
+//! assignment = [0, 0, 1, 1]     # explicit switch→region bands (contiguous,
+//!                               #   non-decreasing from 0; fixes the region
+//!                               #   count, so it must agree with shards)
 //! link_pipeline = 9             # both link classes unless overridden:
 //! link_phits = 1                #   pipeline stages, phits per flit,
 //! link_cdc_latency = 2          #   CDC synchroniser depth, in-flight
@@ -143,6 +146,7 @@ use crate::spec::{
 use crate::sweep::{Sweep, SweepPoint};
 use noc_protocols::vci::VciFlavor;
 use noc_protocols::SocketCommand;
+use noc_system::Partition;
 use noc_topology::RouteAlgorithm;
 use noc_transaction::{BurstKind, Opcode, OrderingModel, StreamId};
 use std::fmt;
@@ -567,6 +571,10 @@ fn emit_scenario(out: &mut String, spec: &ScenarioSpec) {
         }
         if let Some(shards) = cfg.shards {
             out.push_str(&format!("shards = {shards}\n"));
+        }
+        if let Some(assignment) = &cfg.assignment {
+            let regions: Vec<String> = assignment.iter().map(|r| r.to_string()).collect();
+            out.push_str(&format!("assignment = [{}]\n", regions.join(", ")));
         }
         emit_link_class(out, "link", &cfg.link);
         emit_link_class(out, "endpoint", &cfg.endpoint);
@@ -1529,7 +1537,10 @@ fn finalize_link_class(sec: &mut Section, prefix: &str) -> Result<LinkClassSpec,
     Ok(class)
 }
 
-fn finalize_config(section: Option<Section>) -> Result<Option<NocConfigSpec>, ParseError> {
+fn finalize_config(
+    section: Option<Section>,
+    topology: &TopologySpec,
+) -> Result<Option<NocConfigSpec>, ParseError> {
     let Some(mut sec) = section else {
         return Ok(None);
     };
@@ -1539,6 +1550,22 @@ fn finalize_config(section: Option<Section>) -> Result<Option<NocConfigSpec>, Pa
     }
     if let Some(e) = sec.take("shards")? {
         cfg.shards = Some(e.nonzero(1 << 10)? as usize);
+    }
+    if let Some(e) = sec.take("assignment")? {
+        let assignment: Vec<usize> = e.ints()?.iter().map(|&r| r as usize).collect();
+        // The topology is already finalized, so the band-shape rules can
+        // be checked here, where the entry still knows its line/column.
+        let regions = match cfg.shards {
+            Some(shards) => shards,
+            None => assignment.iter().copied().max().map_or(1, |m| m + 1),
+        };
+        let partition = Partition::Explicit {
+            assignment: assignment.clone(),
+        };
+        if let Err(reason) = partition.validate(topology.switch_count(), regions) {
+            return Err(e.bad(reason));
+        }
+        cfg.assignment = Some(assignment);
     }
     cfg.link = finalize_link_class(&mut sec, "link")?;
     cfg.endpoint = finalize_link_class(&mut sec, "endpoint")?;
@@ -1722,9 +1749,10 @@ fn finalize_memory(mut sec: Section) -> Result<Named<MemorySpec>, ParseError> {
 
 fn finalize_doc(doc: DocBuf) -> Result<ScenarioSpec, ParseError> {
     let (topology, routing) = finalize_topology(doc.topology)?;
+    let config = finalize_config(doc.config, &topology)?;
     let mut spec = ScenarioSpec::new().with_topology(topology);
     spec.routing = routing;
-    spec.config = finalize_config(doc.config)?;
+    spec.config = config;
     let mut names: Vec<(String, usize)> = Vec::new();
     let check_name = |name: &str, line: usize, names: &mut Vec<(String, usize)>| {
         if names.iter().any(|(n, _)| n == name) {

@@ -931,6 +931,17 @@ impl Fabric {
         total
     }
 
+    /// Accumulates each switch's forwarded-flit count into `out`
+    /// (indexed by switch), the activity weights the balanced
+    /// partitioner cuts the mesh by. Callers size `out` to the switch
+    /// count; values add so request and response fabrics can share one
+    /// buffer.
+    pub(crate) fn accumulate_switch_activity(&self, out: &mut [u64]) {
+        for (s, sw) in self.switches.iter().enumerate() {
+            out[s] += sw.stats().flits_forwarded;
+        }
+    }
+
     /// Total flits delivered to endpoints.
     pub fn delivered_flits(&self) -> u64 {
         self.delivered_flits

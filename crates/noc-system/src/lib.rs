@@ -51,6 +51,6 @@ pub mod shard;
 pub mod soc;
 
 pub use fabric::Fabric;
-pub use report::{FabricReport, MasterReport, SocReport};
-pub use shard::ShardedSoc;
+pub use report::{EpochOccupancy, FabricReport, MasterReport, SocReport};
+pub use shard::{Partition, RegionFeeder, ShardedSoc};
 pub use soc::{BuildError, NocConfig, Soc, SocBuilder};

@@ -720,6 +720,7 @@ impl Soc {
                     + self.response.mean_link_latency())
                     / 2.0,
             },
+            occupancy: None,
         }
     }
 
@@ -727,6 +728,16 @@ impl Soc {
     /// share the topology).
     pub fn num_switches(&self) -> usize {
         self.request.num_switches()
+    }
+
+    /// Per-switch forwarded-flit totals over both fabrics — the warm
+    /// activity profile the balanced partitioner prefers over static
+    /// estimates when the system has already run.
+    pub fn switch_activity(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_switches()];
+        self.request.accumulate_switch_activity(&mut out);
+        self.response.accumulate_switch_activity(&mut out);
+        out
     }
 
     pub(crate) fn request_fabric(&self) -> &Fabric {

@@ -1054,3 +1054,54 @@ fn sharded_trace_replay_and_snapshots_resume_identically() {
         assert_eq!(reference.1, finished.now(), "{tag}: finish cycle differs");
     }
 }
+
+/// Epoch-order invariance of the overlapped runner: the single-barrier
+/// protocol `StepMode::Sharded` drives (mailboxes published on send,
+/// per-region feeder refill inside the workers) must stay record- and
+/// counter-identical both to single-thread dense stepping and to the
+/// barrier-integrated reference runner it replaced
+/// ([`noc_scenario::NocSim::run_until_barrier`]: serial integration and
+/// refill under the barrier) — for region counts 2, 4 and 7, a prime
+/// count included so bands never align with the topology.
+#[test]
+fn overlapped_sharding_matches_dense_and_the_barrier_reference() {
+    use noc_scenario::{Simulation, StepMode};
+
+    let mut rng = SplitMix64::new(0xB0A7ED);
+    for case in 0..8 {
+        let spec = if case % 2 == 0 {
+            let clocked = rng.chance(0.4);
+            arb_scenario(&mut rng, clocked)
+        } else {
+            arb_stochastic_scenario(&mut rng)
+        };
+        let dense = run_noc_observable(&spec, StepMode::Dense);
+        assert!(dense.0, "case {case}: dense must drain");
+        for threads in [2, 4, 7] {
+            let overlapped = run_noc_observable(&spec, StepMode::Sharded { threads });
+            assert_eq!(
+                dense, overlapped,
+                "case {case}: overlapped sharded({threads}) diverges from dense"
+            );
+            let mut sim = spec
+                .build_noc(noc_system::NocConfig::new())
+                .expect("valid spec");
+            let drained = sim.run_until_barrier(3_000_000, threads);
+            let logs: Vec<Vec<noc_protocols::CompletionRecord>> = sim
+                .logs()
+                .iter()
+                .map(|(_, log)| log.records().to_vec())
+                .collect();
+            let r = sim.report();
+            let counters = format!(
+                "cycles={} done={} fabric={:?} masters={:?}",
+                r.cycles, r.all_done, r.fabric, r.masters
+            );
+            let barrier = (drained, sim.now(), logs, counters);
+            assert_eq!(
+                dense, barrier,
+                "case {case}: barrier-integrated oracle({threads}) diverges from dense"
+            );
+        }
+    }
+}
